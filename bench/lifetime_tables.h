@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared driver for the lifetime-simulation benches (Figs. 12-14): runs
+ * the 16,384-node 6-year Monte Carlo for the no-repair / 1-way / 4-way x
+ * {PPR, FreeFault, RelaxFault} matrix under a replacement policy and
+ * prints one metric.
+ */
+
+#ifndef RELAXFAULT_BENCH_LIFETIME_TABLES_H
+#define RELAXFAULT_BENCH_LIFETIME_TABLES_H
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace relaxfault::bench {
+
+/** Metric extractor from a trial summary. */
+using MetricFn = std::function<const RunningStat &(const LifetimeSummary &)>;
+
+/**
+ * Run the repair-mechanism matrix of Figs. 12-14 and print `metric` with
+ * its 95% CI. `ways` holds the per-set limits evaluated (paper: 1, 4).
+ */
+inline void
+runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
+                uint64_t seed, const MetricFn &metric,
+                const std::string &metric_name)
+{
+    const DramGeometry geometry = base_config.faultModel.geometry;
+    const LifetimeSimulator simulator(base_config);
+
+    struct Row
+    {
+        std::string label;
+        MechanismSpec spec;
+    };
+    const std::vector<Row> rows = {
+        {"no-repair", MechanismSpec::none()},
+        {"PPR", MechanismSpec::ppr()},
+        {"FreeFault-1way", MechanismSpec::freeFault(1)},
+        {"RelaxFault-1way", MechanismSpec::relaxFault(1)},
+        {"FreeFault-4way", MechanismSpec::freeFault(4)},
+        {"RelaxFault-4way", MechanismSpec::relaxFault(4)},
+    };
+
+    TextTable table;
+    table.setHeader({"mechanism", metric_name, "95%CI", "vs-no-repair"});
+    double baseline = 0.0;
+    for (const auto &row : rows) {
+        const LifetimeSummary summary = simulator.runTrials(
+            trials,
+            row.spec.kind == MechanismSpec::Kind::None
+                ? LifetimeSimulator::MechanismFactory{}
+                : makeFactory(row.spec, geometry),
+            seed);
+        const RunningStat &stat = metric(summary);
+        if (row.spec.kind == MechanismSpec::Kind::None)
+            baseline = stat.mean();
+        const double reduction = baseline > 0.0
+            ? 100.0 * (1.0 - stat.mean() / baseline) : 0.0;
+        table.addRow({row.label, TextTable::num(stat.mean(), 3),
+                      "+/-" + TextTable::num(stat.ci95(), 3),
+                      row.spec.kind == MechanismSpec::Kind::None
+                          ? std::string("-")
+                          : "-" + TextTable::num(reduction, 1) + "%"});
+    }
+    table.print(std::cout);
+}
+
+} // namespace relaxfault::bench
+
+#endif // RELAXFAULT_BENCH_LIFETIME_TABLES_H

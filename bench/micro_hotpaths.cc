@@ -1,0 +1,152 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hardware-datapath hot paths:
+ * the RelaxFault address map, the normal DRAM address map, the faulty-
+ * bank-table + tag test (the per-miss filter), the chipkill codecs, and
+ * the coalescer merge. These bound the logic the paper argues is cheap
+ * enough to hide under a DRAM access.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "cache/cache_geometry.h"
+#include "common/rng.h"
+#include "core/relaxfault_controller.h"
+#include "dram/address_map.h"
+#include "ecc/chipkill.h"
+#include "repair/relaxfault_map.h"
+#include "repair/relaxfault_repair.h"
+
+namespace {
+
+using namespace relaxfault;
+
+const DramGeometry kGeometry;
+const CacheGeometry kLlc{8 * 1024 * 1024, 16, 64};
+
+void
+BM_DramAddressMapDecode(benchmark::State &state)
+{
+    const DramAddressMap map(kGeometry, true);
+    Rng rng(1);
+    uint64_t pa = rng.next() % kGeometry.nodeBytes();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.decode(pa));
+        pa = (pa + 4097 * 64) % kGeometry.nodeBytes();
+    }
+}
+BENCHMARK(BM_DramAddressMapDecode);
+
+void
+BM_RelaxFaultMapLocate(benchmark::State &state)
+{
+    const RelaxFaultMap map(kGeometry, kLlc, true);
+    RemapUnit unit{3, 7, 2, 12345, 5};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.locate(unit));
+        unit.row = (unit.row + 97) & 0xffff;
+    }
+}
+BENCHMARK(BM_RelaxFaultMapLocate);
+
+void
+BM_FaultyBankFilter(benchmark::State &state)
+{
+    // The per-LLC-miss test: faulty-bank table lookup + (on hit) the
+    // repair-tag probe for one device.
+    RelaxFaultRepair repair(kGeometry, kLlc, RepairBudget{4, 32768}, true);
+    FaultRecord fault;
+    fault.persistence = Persistence::Permanent;
+    RegionCluster cluster;
+    cluster.bankMask = 1;
+    cluster.rows = RowSet::of({100});
+    cluster.cols = ColSet::allCols();
+    fault.parts.push_back({0, 3, FaultRegion({cluster})});
+    repair.tryRepair(fault);
+
+    RemapUnit unit{0, 3, 0, 100, 0};
+    uint32_t row = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(repair.bankFlagged(0, row & 7));
+        unit.row = row;
+        benchmark::DoNotOptimize(repair.unitRepaired(unit));
+        ++row;
+    }
+}
+BENCHMARK(BM_FaultyBankFilter);
+
+void
+BM_ChipkillEncodeLine(benchmark::State &state)
+{
+    uint8_t data[64];
+    for (unsigned i = 0; i < 64; ++i)
+        data[i] = static_cast<uint8_t>(i * 7);
+    uint8_t line[72];
+    for (auto _ : state) {
+        LineCodec::buildLine(data, line);
+        benchmark::DoNotOptimize(line);
+        data[0] ^= 1;
+    }
+}
+BENCHMARK(BM_ChipkillEncodeLine);
+
+void
+BM_ChipkillDecodeFaultyLine(benchmark::State &state)
+{
+    uint8_t data[64] = {1, 2, 3};
+    uint8_t clean[72];
+    LineCodec::buildLine(data, clean);
+    uint8_t line[72];
+    for (auto _ : state) {
+        std::memcpy(line, clean, 72);
+        line[4 * 5 + 1] ^= 0x3c;  // One faulty device symbol.
+        benchmark::DoNotOptimize(LineCodec::decodeLine(line));
+    }
+}
+BENCHMARK(BM_ChipkillDecodeFaultyLine);
+
+void
+BM_CoalescerMerge(benchmark::State &state)
+{
+    // The Fig. 6 merge: substitute one device's 4B sub-block.
+    uint8_t line[72] = {};
+    const uint8_t remap[64] = {0xaa, 0xbb, 0xcc, 0xdd};
+    unsigned device = 0;
+    for (auto _ : state) {
+        std::memcpy(line + device * 4, remap, 4);
+        benchmark::DoNotOptimize(line);
+        device = (device + 1) % 18;
+    }
+}
+BENCHMARK(BM_CoalescerMerge);
+
+void
+BM_ControllerReadRepairedLine(benchmark::State &state)
+{
+    ControllerConfig config;
+    RelaxFaultController controller(config);
+    FaultRecord fault;
+    fault.persistence = Persistence::Permanent;
+    RegionCluster cluster;
+    cluster.bankMask = 1;
+    cluster.rows = RowSet::of({100});
+    cluster.cols = ColSet::allCols();
+    fault.parts.push_back({0, 3, FaultRegion({cluster})});
+    controller.reportFault(fault);
+
+    LineCoord coord;
+    coord.row = 100;
+    const uint64_t pa = controller.addressMap().encode(coord);
+    uint8_t data[64] = {42};
+    controller.write(pa, data);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(controller.read(pa, data));
+    }
+}
+BENCHMARK(BM_ControllerReadRepairedLine);
+
+} // namespace
+
+BENCHMARK_MAIN();

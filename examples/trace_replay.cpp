@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Trace recording and replay: capture an application's memory behaviour
+ * once, then evaluate repair configurations against the exact same
+ * access sequence.
+ *
+ *   ./examples/trace_replay --record trace.txt         # capture
+ *   ./examples/trace_replay --replay trace.txt         # evaluate
+ *   ./examples/trace_replay                            # both, in /tmp
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "perf/perf_sim.h"
+#include "perf/trace.h"
+
+using namespace relaxfault;
+
+namespace {
+
+void
+record(const std::string &path, uint64_t count)
+{
+    std::ofstream os(path);
+    TraceWriter writer(os);
+    SyntheticWorkload workload(WorkloadParams::preset("LULESH"), 0, 42);
+    os << "# LULESH-profile synthetic trace, " << count << " ops\n";
+    for (uint64_t i = 0; i < count; ++i)
+        writer.record(workload.next());
+    std::printf("recorded %llu accesses to %s\n",
+                static_cast<unsigned long long>(writer.recordCount()),
+                path.c_str());
+}
+
+void
+replay(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    uint64_t malformed = 0;
+    const std::vector<MemAccess> accesses =
+        TraceReader::readAll(is, &malformed);
+    std::printf("loaded %zu accesses (%llu malformed lines skipped)\n",
+                accesses.size(),
+                static_cast<unsigned long long>(malformed));
+
+    PerfConfig config;
+    config.instructionsPerCore = 300000;
+    const PerfSimulator simulator(config);
+
+    TextTable table;
+    table.setHeader({"LLC repair", "IPC (core 0)", "LLC miss rate"});
+    for (const auto &repair :
+         {LlcRepairConfig::none(),
+          LlcRepairConfig::randomBytes(100 * 1024, 1),
+          LlcRepairConfig::ways(4)}) {
+        std::vector<std::unique_ptr<AccessStream>> streams(1);
+        streams[0] =
+            std::make_unique<TraceWorkload>(accesses, 2.5, "trace");
+        const PerfResult result =
+            simulator.runStreams(std::move(streams), repair);
+        table.addRow({repair.label(),
+                      TextTable::num(result.cores[0].ipc(), 3),
+                      TextTable::num(100.0 * result.llcMissRate(), 1) +
+                          "%"});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options(argc, argv);
+    const uint64_t count =
+        static_cast<uint64_t>(options.getInt("accesses", 400000));
+
+    if (options.has("record")) {
+        record(options.getString("record", "trace.txt"), count);
+        return 0;
+    }
+    if (options.has("replay")) {
+        replay(options.getString("replay", "trace.txt"));
+        return 0;
+    }
+    const std::string path = "/tmp/relaxfault_trace.txt";
+    record(path, count);
+    replay(path);
+    return 0;
+}

@@ -1,0 +1,29 @@
+#include "cache/cache_geometry.h"
+
+namespace relaxfault {
+
+SetIndexer::SetIndexer(const CacheGeometry &geometry, bool xor_hash)
+    : geometry_(geometry), xorHash_(xor_hash),
+      setBits_(geometry.setBits()), offsetBits_(geometry.offsetBits())
+{
+}
+
+uint64_t
+SetIndexer::setIndex(uint64_t pa) const
+{
+    const uint64_t line = pa >> offsetBits_;
+    const uint64_t index = line & maskBits(setBits_);
+    if (!xorHash_)
+        return index;
+    // Fold the tag into the index so that addresses differing only in
+    // high-order (tag) bits land in different sets.
+    return index ^ xorFold(line >> setBits_, setBits_);
+}
+
+uint64_t
+SetIndexer::tag(uint64_t pa) const
+{
+    return pa >> (offsetBits_ + setBits_);
+}
+
+} // namespace relaxfault

@@ -1,0 +1,145 @@
+#include "cache/cache_model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+CacheModel::CacheModel(const CacheGeometry &geometry, bool xor_hash)
+    : geometry_(geometry), indexer_(geometry, xor_hash),
+      ways_(geometry.sets() * geometry.ways),
+      lockedWays_(geometry.sets(), 0), ageCounter_(geometry.sets(), 0)
+{
+}
+
+uint64_t
+CacheModel::lineAddress(uint64_t set, uint64_t tag) const
+{
+    uint64_t low = set;
+    if (indexer_.xorHash())
+        low ^= xorFold(tag, geometry_.setBits());
+    return ((tag << geometry_.setBits()) | low) << geometry_.offsetBits();
+}
+
+unsigned
+CacheModel::availableWays(uint64_t set) const
+{
+    return geometry_.ways - lockedWays_[set];
+}
+
+CacheAccessResult
+CacheModel::access(uint64_t pa, bool write)
+{
+    CacheAccessResult result;
+    const uint64_t set = indexer_.setIndex(pa);
+    const uint64_t tag = indexer_.tag(pa);
+    Way *base = setBase(set);
+    const unsigned usable = availableWays(set);
+
+    // Locked ways occupy the tail of the set; normal data uses [0,usable).
+    for (unsigned w = 0; w < usable; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.age = ++ageCounter_[set];
+            way.dirty = way.dirty || write;
+            ++hits_;
+            result.hit = true;
+            return result;
+        }
+    }
+    ++misses_;
+    if (usable == 0)
+        return result;  // Fully locked set: the access bypasses the cache.
+
+    // Victim: first invalid way, else true LRU.
+    Way *victim = base;
+    for (unsigned w = 0; w < usable; ++w) {
+        Way &way = base[w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.age < victim->age)
+            victim = &way;
+    }
+
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        result.evictedDirty = true;
+        result.evictedPa = lineAddress(set, victim->tag);
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->age = ++ageCounter_[set];
+    return result;
+}
+
+bool
+CacheModel::contains(uint64_t pa) const
+{
+    const uint64_t set = indexer_.setIndex(pa);
+    const uint64_t tag = indexer_.tag(pa);
+    const Way *base = setBase(set);
+    for (unsigned w = 0; w < availableWays(set); ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+CacheModel::invalidate(uint64_t pa)
+{
+    const uint64_t set = indexer_.setIndex(pa);
+    const uint64_t tag = indexer_.tag(pa);
+    Way *base = setBase(set);
+    for (unsigned w = 0; w < availableWays(set); ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            const bool dirty = way.dirty;
+            way.valid = false;
+            way.dirty = false;
+            return dirty;
+        }
+    }
+    return false;
+}
+
+void
+CacheModel::lockWaysPerSet(unsigned count)
+{
+    if (count > geometry_.ways)
+        fatal("CacheModel: cannot lock more ways than exist");
+    for (uint64_t set = 0; set < geometry_.sets(); ++set) {
+        lockedWays_[set] = static_cast<uint8_t>(count);
+        // Invalidate lines that now live in locked ways.
+        Way *base = setBase(set);
+        for (unsigned w = geometry_.ways - count; w < geometry_.ways; ++w)
+            base[w] = Way{};
+    }
+}
+
+void
+CacheModel::lockRandomLines(uint64_t total_lines, Rng &rng)
+{
+    for (uint64_t i = 0; i < total_lines; ++i) {
+        const uint64_t set = rng.uniformInt(geometry_.sets());
+        if (lockedWays_[set] < geometry_.ways) {
+            ++lockedWays_[set];
+            setBase(set)[geometry_.ways - lockedWays_[set]] = Way{};
+        }
+    }
+}
+
+void
+CacheModel::reset()
+{
+    std::fill(ways_.begin(), ways_.end(), Way{});
+    std::fill(lockedWays_.begin(), lockedWays_.end(), 0);
+    std::fill(ageCounter_.begin(), ageCounter_.end(), 0);
+    hits_ = misses_ = writebacks_ = 0;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tag-only set-associative cache with true-LRU replacement and way
+ * locking, used by the performance simulator.
+ *
+ * Way locking models LLC capacity dedicated to repair: locked ways are
+ * unavailable to normal data (paper Sec. 4.2 evaluates whole locked ways
+ * as a pessimistic stand-in, plus a 100KiB randomly-placed configuration;
+ * both are supported).
+ */
+
+#ifndef RELAXFAULT_CACHE_CACHE_MODEL_H
+#define RELAXFAULT_CACHE_CACHE_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_geometry.h"
+#include "common/rng.h"
+
+namespace relaxfault {
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool evictedDirty = false;   ///< A dirty victim was written back.
+    uint64_t evictedPa = 0;      ///< Line address of the victim.
+};
+
+/** LRU set-associative cache tracking tags and dirty bits only. */
+class CacheModel
+{
+  public:
+    CacheModel(const CacheGeometry &geometry, bool xor_hash);
+
+    /**
+     * Access one line; allocates on miss (write-allocate) and returns
+     * the victim, if any. @p pa is a byte address.
+     */
+    CacheAccessResult access(uint64_t pa, bool write);
+
+    /** Probe without allocating or updating LRU. */
+    bool contains(uint64_t pa) const;
+
+    /** Invalidate one line if present; returns true if it was dirty. */
+    bool invalidate(uint64_t pa);
+
+    /** Lock @p count ways (uniformly) in every set. */
+    void lockWaysPerSet(unsigned count);
+
+    /** Lock @p total_lines lines placed uniformly at random. */
+    void lockRandomLines(uint64_t total_lines, Rng &rng);
+
+    /** Remove all locks and invalidate all contents. */
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    const CacheGeometry &geometry() const { return geometry_; }
+    const SetIndexer &indexer() const { return indexer_; }
+
+    /** Ways usable by normal data in @p set. */
+    unsigned availableWays(uint64_t set) const;
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint32_t age = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Way *setBase(uint64_t set) { return &ways_[set * geometry_.ways]; }
+    const Way *setBase(uint64_t set) const
+    {
+        return &ways_[set * geometry_.ways];
+    }
+    uint64_t lineAddress(uint64_t set, uint64_t tag) const;
+
+    CacheGeometry geometry_;
+    SetIndexer indexer_;
+    std::vector<Way> ways_;
+    std::vector<uint8_t> lockedWays_;  ///< Per-set count of locked ways.
+    std::vector<uint32_t> ageCounter_; ///< Per-set LRU clock.
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_CACHE_CACHE_MODEL_H

@@ -1,0 +1,60 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace relaxfault {
+
+CliOptions::CliOptions(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "";
+        }
+    }
+}
+
+bool
+CliOptions::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+CliOptions::getString(const std::string &name,
+                      const std::string &fallback) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+int64_t
+CliOptions::getInt(const std::string &name, int64_t fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+CliOptions::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace relaxfault

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal command-line option parsing shared by benches and examples.
+ *
+ * Supports `--name=value` and `--name value` forms plus bare flags. The
+ * benches use it for `--trials`, `--seed`, and model overrides so that
+ * quick runs and paper-scale runs use the same binaries.
+ */
+
+#ifndef RELAXFAULT_COMMON_CLI_H
+#define RELAXFAULT_COMMON_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace relaxfault {
+
+/** Parsed command-line options with typed accessors and defaults. */
+class CliOptions
+{
+  public:
+    CliOptions(int argc, char **argv);
+
+    /** True if `--name` was passed (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of `--name`, or @p fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer value of `--name`, or @p fallback. */
+    int64_t getInt(const std::string &name, int64_t fallback) const;
+
+    /** Floating-point value of `--name`, or @p fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_CLI_H

@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace relaxfault {
+
+void
+inform(const std::string &message)
+{
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+warn(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+} // namespace relaxfault

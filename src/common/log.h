@@ -1,0 +1,31 @@
+/**
+ * @file
+ * gem5-style status/error reporting.
+ *
+ * `fatal` aborts on user error (bad configuration); `panic` aborts on an
+ * internal invariant violation; `warn`/`inform` report but never stop the
+ * run.
+ */
+
+#ifndef RELAXFAULT_COMMON_LOG_H
+#define RELAXFAULT_COMMON_LOG_H
+
+#include <string>
+
+namespace relaxfault {
+
+/** Print an informational message to stderr. */
+void inform(const std::string &message);
+
+/** Print a warning to stderr. */
+void warn(const std::string &message);
+
+/** Report a user/configuration error and exit(1). */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const std::string &message);
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_LOG_H

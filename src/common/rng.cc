@@ -1,0 +1,176 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace relaxfault {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+constexpr uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::uniformInt(uint64_t bound)
+{
+    // Rejection-free multiply-shift (Lemire); bias is < 2^-64 * bound,
+    // negligible for every bound used in this project.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+}
+
+int64_t
+Rng::uniformRange(int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(
+        uniformInt(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double lambda)
+{
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / lambda;
+}
+
+double
+Rng::normal()
+{
+    if (hasSpareNormal_) {
+        hasSpareNormal_ = false;
+        return spareNormal_;
+    }
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * M_PI * u2;
+    spareNormal_ = radius * std::sin(angle);
+    hasSpareNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormalMeanVar(double mean, double variance)
+{
+    if (mean <= 0.0)
+        return 0.0;
+    if (variance <= 0.0)
+        return mean;
+    const double ratio = 1.0 + variance / (mean * mean);
+    const double mu = std::log(mean / std::sqrt(ratio));
+    const double sigma = std::sqrt(std::log(ratio));
+    return std::exp(normal(mu, sigma));
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's product-of-uniforms method.
+        const double limit = std::exp(-mean);
+        uint64_t count = 0;
+        double product = uniform();
+        while (product > limit) {
+            ++count;
+            product *= uniform();
+        }
+        return count;
+    }
+    // Normal approximation with continuity correction for large means;
+    // lifetime simulations only hit this path with strongly accelerated
+    // FIT rates, where the approximation error is immaterial.
+    const double sample = normal(mean, std::sqrt(mean));
+    return sample <= 0.0 ? 0 : static_cast<uint64_t>(sample + 0.5);
+}
+
+uint64_t
+Rng::binomial(uint64_t n, double p)
+{
+    if (p <= 0.0 || n == 0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    if (n < 64) {
+        uint64_t count = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            count += bernoulli(p);
+        return count;
+    }
+    const double mean = static_cast<double>(n) * p;
+    if (mean < 15.0) {
+        // Poisson approximation for the rare-event regime, clamped to n.
+        const uint64_t count = poisson(mean);
+        return count > n ? n : count;
+    }
+    const double stddev = std::sqrt(mean * (1.0 - p));
+    const double sample = normal(mean, stddev);
+    if (sample <= 0.0)
+        return 0;
+    const auto count = static_cast<uint64_t>(sample + 0.5);
+    return count > n ? n : count;
+}
+
+} // namespace relaxfault

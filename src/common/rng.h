@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulators.
+ *
+ * All stochastic components of the project draw from Xoshiro256**, seeded
+ * through SplitMix64 so that a single 64-bit seed expands into a full state.
+ * The generator is deliberately not std::mt19937: it is faster, has a tiny
+ * state that is cheap to fork per node/device, and its output is identical
+ * across platforms, which keeps every benchmark and test reproducible.
+ */
+
+#ifndef RELAXFAULT_COMMON_RNG_H
+#define RELAXFAULT_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace relaxfault {
+
+/**
+ * Xoshiro256** PRNG with distribution helpers.
+ *
+ * The distribution samplers cover exactly what the fault and timing models
+ * need: uniforms, exponential inter-arrival times, Poisson counts, and
+ * Lognormal rate multipliers.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; the state is expanded via SplitMix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Fork an independent stream; used to give each node its own RNG. */
+    Rng fork();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    uint64_t uniformInt(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformRange(int64_t lo, int64_t hi);
+
+    /** Bernoulli trial with success probability @p p. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with rate @p lambda (> 0). */
+    double exponential(double lambda);
+
+    /** Standard normal variate (Box-Muller). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal variate with the given *arithmetic* mean and variance.
+     * The underlying normal's mu/sigma are derived from the moments, which
+     * is how the paper specifies its device-rate variation (mean = nominal
+     * FIT, variance = mean/4).
+     */
+    double lognormalMeanVar(double mean, double variance);
+
+    /** Poisson count with mean @p mean (exact; OK for the means used here). */
+    uint64_t poisson(double mean);
+
+    /** Binomial count of @p n trials with success probability @p p. */
+    uint64_t binomial(uint64_t n, double p);
+
+  private:
+    uint64_t state_[4];
+    bool hasSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_RNG_H

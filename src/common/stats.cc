@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <limits>
+
+namespace relaxfault {
+
+RunningStat::RunningStat()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+RunningStat::add(double value)
+{
+    ++count_;
+    sum_ += value;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::stderror() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Histogram::Histogram(double bin_width, size_t bin_count)
+    : binWidth_(bin_width), bins_(bin_count, 0.0)
+{
+}
+
+void
+Histogram::add(double value, double weight)
+{
+    totalWeight_ += weight;
+    if (value < 0.0)
+        value = 0.0;
+    const auto index = static_cast<size_t>(value / binWidth_);
+    if (index >= bins_.size())
+        overflow_ += weight;
+    else
+        bins_[index] += weight;
+}
+
+double
+Histogram::cumulativeWeightUpTo(double value) const
+{
+    double cumulative = 0.0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        if (binUpperEdge(i) <= value + 1e-9)
+            cumulative += bins_[i];
+        else
+            break;
+    }
+    return cumulative;
+}
+
+double
+Histogram::binUpperEdge(size_t index) const
+{
+    return binWidth_ * static_cast<double>(index + 1);
+}
+
+} // namespace relaxfault

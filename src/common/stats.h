@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Statistics accumulators used to aggregate Monte Carlo results.
+ */
+
+#ifndef RELAXFAULT_COMMON_STATS_H
+#define RELAXFAULT_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relaxfault {
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ *
+ * Used to aggregate per-trial metrics (e.g., DUEs per system lifetime) and
+ * report a mean with a normal-approximation confidence interval.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 if fewer than two observations). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Standard error of the mean. */
+    double stderror() const;
+
+    /** Half-width of the ~95% confidence interval of the mean. */
+    double ci95() const { return 1.96 * stderror(); }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+    /** Minimum observation (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Maximum observation (-inf if empty). */
+    double max() const { return max_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_;
+    double max_;
+
+  public:
+    RunningStat();
+};
+
+/**
+ * Fixed-bin histogram over [0, binWidth * binCount); values beyond the last
+ * bin accumulate in an overflow bucket. Supports cumulative queries, which
+ * is how the coverage-vs-capacity curves (Figs. 10-11) are produced.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bin_width, size_t bin_count);
+
+    /** Add an observation with the given weight. */
+    void add(double value, double weight = 1.0);
+
+    /** Total weight added. */
+    double totalWeight() const { return totalWeight_; }
+
+    /** Weight in bins whose upper edge is <= @p value (+ exact fit). */
+    double cumulativeWeightUpTo(double value) const;
+
+    /** Weight accumulated beyond the last bin. */
+    double overflowWeight() const { return overflow_; }
+
+    /** Upper edge of bin @p index. */
+    double binUpperEdge(size_t index) const;
+
+    /** Number of regular bins. */
+    size_t binCount() const { return bins_.size(); }
+
+    /** Weight in bin @p index. */
+    double binWeight(size_t index) const { return bins_[index]; }
+
+  private:
+    double binWidth_;
+    std::vector<double> bins_;
+    double overflow_ = 0.0;
+    double totalWeight_ = 0.0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_STATS_H

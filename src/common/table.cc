@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace relaxfault {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+TextTable::num(uint64_t value)
+{
+    return std::to_string(value);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    size_t columns = header_.size();
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.size());
+
+    std::vector<size_t> widths(columns, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < columns; ++i) {
+            const std::string &cell = i < row.size() ? row[i] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[i])) << cell;
+            if (i + 1 < columns)
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t rule = 0;
+        for (size_t i = 0; i < columns; ++i)
+            rule += widths[i] + (i + 1 < columns ? 2 : 0);
+        os << std::string(rule, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace relaxfault

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Column-aligned plain-text table printer for the benchmark harnesses.
+ *
+ * Every figure/table bench emits its series through this printer so that
+ * the output is stable, diffable, and easy to paste next to the paper.
+ */
+
+#ifndef RELAXFAULT_COMMON_TABLE_H
+#define RELAXFAULT_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace relaxfault {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set (or replace) the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(uint64_t value);
+
+    /** Render to the stream with 2-space gutters and a header rule. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_TABLE_H

@@ -1,0 +1,182 @@
+#include "core/fault_log.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace relaxfault {
+
+namespace {
+
+constexpr const char *kMagic = "relaxfault-faultlog-v1";
+
+void
+writeRegion(const FaultRegion &region, std::ostream &os)
+{
+    os << "  clusters " << region.clusters().size() << '\n';
+    for (const auto &cluster : region.clusters()) {
+        os << "  cluster " << cluster.bankMask << ' ' << std::hex
+           << cluster.bitMask << std::dec;
+        if (cluster.rows.all) {
+            os << " rows all";
+        } else {
+            os << " rows " << cluster.rows.rows.size();
+            for (const auto row : cluster.rows.rows)
+                os << ' ' << row;
+        }
+        if (cluster.cols.all) {
+            os << " cols all";
+        } else {
+            os << " cols " << cluster.cols.cols.size();
+            for (const auto col : cluster.cols.cols)
+                os << ' ' << col;
+        }
+        os << '\n';
+    }
+}
+
+bool
+readRegion(std::istream &is, FaultRegion &region)
+{
+    std::string token;
+    size_t cluster_count = 0;
+    if (!(is >> token >> cluster_count) || token != "clusters")
+        return false;
+    std::vector<RegionCluster> clusters;
+    for (size_t c = 0; c < cluster_count; ++c) {
+        RegionCluster cluster;
+        if (!(is >> token >> cluster.bankMask >> std::hex >>
+              cluster.bitMask >> std::dec) ||
+            token != "cluster")
+            return false;
+        if (!(is >> token) || token != "rows")
+            return false;
+        if (!(is >> token))
+            return false;
+        if (token == "all") {
+            cluster.rows = RowSet::allRows();
+        } else {
+            const auto count = std::stoul(token);
+            std::vector<uint32_t> rows(count);
+            for (auto &row : rows) {
+                if (!(is >> row))
+                    return false;
+            }
+            cluster.rows = RowSet::of(std::move(rows));
+        }
+        if (!(is >> token) || token != "cols")
+            return false;
+        if (!(is >> token))
+            return false;
+        if (token == "all") {
+            cluster.cols = ColSet::allCols();
+        } else {
+            const auto count = std::stoul(token);
+            std::vector<uint16_t> cols(count);
+            for (auto &col : cols) {
+                if (!(is >> col))
+                    return false;
+            }
+            cluster.cols = ColSet::of(std::move(cols));
+        }
+        clusters.push_back(std::move(cluster));
+    }
+    region = FaultRegion(std::move(clusters));
+    return true;
+}
+
+} // namespace
+
+void
+writeFaultLog(const std::vector<FaultRecord> &faults, std::ostream &os)
+{
+    os << kMagic << '\n';
+    os << "faults " << faults.size() << '\n';
+    for (const auto &fault : faults) {
+        os << "fault mode " << static_cast<unsigned>(fault.mode)
+           << " persistence " << static_cast<unsigned>(fault.persistence)
+           << " time " << fault.timeHours << " hardperm "
+           << fault.hardPermanent << " activation "
+           << fault.activationRatePerHour << " parts "
+           << fault.parts.size() << '\n';
+        for (const auto &part : fault.parts) {
+            os << " part " << part.dimm << ' ' << part.device << '\n';
+            writeRegion(part.region, os);
+        }
+    }
+}
+
+std::vector<FaultRecord>
+readFaultLog(std::istream &is, unsigned *malformed)
+{
+    std::vector<FaultRecord> faults;
+    unsigned bad = 0;
+    std::string magic;
+    std::getline(is, magic);
+    if (magic != kMagic) {
+        if (malformed != nullptr)
+            *malformed = 1;
+        return faults;
+    }
+
+    std::string token;
+    size_t fault_count = 0;
+    if (!(is >> token >> fault_count) || token != "faults") {
+        if (malformed != nullptr)
+            *malformed = 1;
+        return faults;
+    }
+
+    for (size_t f = 0; f < fault_count; ++f) {
+        FaultRecord fault;
+        unsigned mode = 0;
+        unsigned persistence = 0;
+        size_t part_count = 0;
+        bool ok = true;
+        // fault mode M persistence P time T hardperm H activation A
+        // parts N
+        std::string keys[6];
+        ok = static_cast<bool>(
+            is >> token >> keys[0] >> mode >> keys[1] >> persistence >>
+            keys[2] >> fault.timeHours >> keys[3] >>
+            fault.hardPermanent >> keys[4] >>
+            fault.activationRatePerHour >> keys[5] >> part_count);
+        ok = ok && token == "fault" && mode < kFaultModeCount &&
+             persistence < 2;
+        if (ok) {
+            fault.mode = static_cast<FaultMode>(mode);
+            fault.persistence = static_cast<Persistence>(persistence);
+            for (size_t p = 0; p < part_count && ok; ++p) {
+                DevicePart part;
+                ok = static_cast<bool>(is >> token >> part.dimm >>
+                                       part.device) &&
+                     token == "part" && readRegion(is, part.region);
+                if (ok)
+                    fault.parts.push_back(std::move(part));
+            }
+        }
+        if (!ok) {
+            ++bad;
+            break;  // Stream position is unreliable after a bad record.
+        }
+        faults.push_back(std::move(fault));
+    }
+    if (malformed != nullptr)
+        *malformed = bad;
+    return faults;
+}
+
+RestoreReport
+restoreFaultLog(RelaxFaultController &controller, std::istream &is)
+{
+    RestoreReport report;
+    for (const auto &fault : readFaultLog(is)) {
+        ++report.faultsRestored;
+        if (controller.reportFault(fault) && fault.permanent())
+            ++report.faultsRepaired;
+    }
+    return report;
+}
+
+} // namespace relaxfault

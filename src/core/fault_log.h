@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Persistent fault log: serialize the tracked fault records and
+ * re-establish repair after a reboot.
+ *
+ * RelaxFault's repair state lives in the (volatile) LLC and on-chip
+ * tables, so a real system must keep the discovered-fault list in
+ * durable storage (BIOS flash / NVRAM) and re-apply repair early in
+ * boot — the same flow FreeFault describes. These helpers provide that:
+ * a human-readable, versioned text format for FaultRecords, and a
+ * restore routine that replays them through a fresh controller
+ * (re-allocating remap lines and re-filling them through ECC).
+ */
+
+#ifndef RELAXFAULT_CORE_FAULT_LOG_H
+#define RELAXFAULT_CORE_FAULT_LOG_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/relaxfault_controller.h"
+
+namespace relaxfault {
+
+/** Serialize fault records as the durable fault log. */
+void writeFaultLog(const std::vector<FaultRecord> &faults,
+                   std::ostream &os);
+
+/**
+ * Parse a fault log. Malformed records are skipped and counted in
+ * @p malformed (if provided); the format is versioned and a mismatched
+ * version yields an empty result.
+ */
+std::vector<FaultRecord> readFaultLog(std::istream &is,
+                                      unsigned *malformed = nullptr);
+
+/** Outcome of replaying a fault log at boot. */
+struct RestoreReport
+{
+    unsigned faultsRestored = 0;
+    unsigned faultsRepaired = 0;
+};
+
+/**
+ * Replay a fault log through a (freshly constructed) controller:
+ * re-registers every fault and re-attempts repair, re-filling remap
+ * lines from ECC-corrected DRAM.
+ */
+RestoreReport restoreFaultLog(RelaxFaultController &controller,
+                              std::istream &is);
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_CORE_FAULT_LOG_H

@@ -1,0 +1,254 @@
+#include "core/relaxfault_controller.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+RelaxFaultController::RelaxFaultController(const ControllerConfig &config)
+    : config_(config),
+      addressMap_(config.geometry, config.bankXorHash),
+      dram_(config.geometry), faults_(config.geometry),
+      repair_(config.geometry, config.llc, config.budget, config.xorFold)
+{
+    if (config_.geometry.lineBytes != kLineBytes)
+        fatal("RelaxFaultController: only 64B lines are supported");
+    dram_.setFaultProbe(faults_.makeProbe());
+}
+
+unsigned
+RelaxFaultController::colBlocksPerUnit() const
+{
+    return config_.geometry.lineBytes /
+           config_.geometry.bytesPerDevicePerLine();
+}
+
+uint64_t
+RelaxFaultController::unitKey(const RemapUnit &unit) const
+{
+    return repair_.map().locate(unit).key(repair_.map().setBits());
+}
+
+EccStatus
+RelaxFaultController::fetchAndDecode(const LineCoord &coord,
+                                     uint8_t line[LineCodec::kLineBytes],
+                                     bool count_stats)
+{
+    dram_.readLine(coord, line);
+
+    const unsigned dimm = coord.dimm(config_.geometry);
+    if (repair_.bankFlagged(dimm, coord.bank)) {
+        if (count_stats)
+            ++stats_.bankFilterHits;
+        RemapUnit unit;
+        unit.dimm = dimm;
+        unit.bank = coord.bank;
+        unit.row = coord.row;
+        unit.colGroup =
+            static_cast<uint16_t>(coord.colBlock / colBlocksPerUnit());
+        const unsigned slice_bytes =
+            config_.geometry.bytesPerDevicePerLine();
+        const unsigned offset =
+            (coord.colBlock % colBlocksPerUnit()) * slice_bytes;
+        for (unsigned device = 0;
+             device < config_.geometry.devicesPerRank(); ++device) {
+            unit.device = device;
+            if (!repair_.unitRepaired(unit))
+                continue;
+            const RemapLine &remap = ensureFilled(unit);
+            std::memcpy(line + device * slice_bytes, remap.data() + offset,
+                        slice_bytes);
+            if (count_stats)
+                ++stats_.remapMerges;
+        }
+    }
+
+    // Optional extension: tracked unrepaired devices become erasures.
+    uint32_t erased_devices = 0;
+    if (config_.erasureDecoding) {
+        DeviceCoord probe_coord;
+        probe_coord.dimm = dimm;
+        probe_coord.bank = coord.bank;
+        probe_coord.row = coord.row;
+        probe_coord.colBlock = coord.colBlock;
+        for (unsigned device = 0;
+             device < config_.geometry.devicesPerRank(); ++device) {
+            probe_coord.device = device;
+            if (faults_.probe(probe_coord, false).mask != 0)
+                erased_devices |= 1u << device;
+        }
+        if (erased_devices != 0 && count_stats)
+            ++stats_.erasureDecodes;
+    }
+
+    const LineCodec::LineResult decoded =
+        LineCodec::decodeLineWithErasures(line, erased_devices);
+    if (count_stats) {
+        if (decoded.status == EccStatus::Corrected)
+            ++stats_.correctedReads;
+        else if (decoded.status == EccStatus::Uncorrectable)
+            ++stats_.uncorrectableReads;
+        if (decoded.status != EccStatus::Ok && errorObserver_)
+            errorObserver_(coord, decoded.correctedDeviceMask,
+                           decoded.status);
+    }
+    return decoded.status;
+}
+
+RelaxFaultController::RemapLine &
+RelaxFaultController::ensureFilled(const RemapUnit &unit)
+{
+    const uint64_t key = unitKey(unit);
+    const auto it = remapStore_.find(key);
+    if (it != remapStore_.end())
+        return it->second;
+
+    // First touch: the memory controller streams the unit's 16 column
+    // blocks from the (open) DRAM row, corrects each through ECC, and
+    // keeps only the faulty device's sub-blocks (paper Sec. 3.1). Other
+    // already-filled repaired devices are merged in; recursion is
+    // avoided by not filling new units during a fill.
+    RemapLine filled{};
+    const unsigned slice_bytes = config_.geometry.bytesPerDevicePerLine();
+    const unsigned blocks = colBlocksPerUnit();
+
+    LineCoord coord;
+    coord.channel = unit.dimm / config_.geometry.ranksPerChannel;
+    coord.rank = unit.dimm % config_.geometry.ranksPerChannel;
+    coord.bank = unit.bank;
+    coord.row = unit.row;
+
+    for (unsigned i = 0; i < blocks; ++i) {
+        coord.colBlock = unit.colGroup * blocks + i;
+        uint8_t line[LineCodec::kLineBytes];
+        dram_.readLine(coord, line);
+
+        RemapUnit other = unit;
+        for (unsigned device = 0;
+             device < config_.geometry.devicesPerRank(); ++device) {
+            if (device == unit.device)
+                continue;
+            other.device = device;
+            const auto filled_it = remapStore_.find(unitKey(other));
+            if (filled_it == remapStore_.end() ||
+                !repair_.unitRepaired(other))
+                continue;
+            std::memcpy(line + device * slice_bytes,
+                        filled_it->second.data() + i * slice_bytes,
+                        slice_bytes);
+        }
+        LineCodec::decodeLine(line);  // Best-effort correction.
+        std::memcpy(filled.data() + i * slice_bytes,
+                    line + unit.device * slice_bytes, slice_bytes);
+    }
+    ++stats_.remapFills;
+    return remapStore_.emplace(key, filled).first->second;
+}
+
+void
+RelaxFaultController::write(uint64_t pa, const uint8_t data[kLineBytes])
+{
+    ++stats_.writes;
+    const LineCoord coord = addressMap_.decode(pa);
+
+    uint8_t line[LineCodec::kLineBytes];
+    LineCodec::buildLine(data, line);
+    dram_.writeLine(coord, line);
+
+    // Masked writeback into any repaired sub-blocks (paper "LLC
+    // Writebacks"): keep the remap store coherent with the new data.
+    const unsigned dimm = coord.dimm(config_.geometry);
+    if (!repair_.bankFlagged(dimm, coord.bank))
+        return;
+    RemapUnit unit;
+    unit.dimm = dimm;
+    unit.bank = coord.bank;
+    unit.row = coord.row;
+    unit.colGroup =
+        static_cast<uint16_t>(coord.colBlock / colBlocksPerUnit());
+    const unsigned slice_bytes = config_.geometry.bytesPerDevicePerLine();
+    const unsigned offset =
+        (coord.colBlock % colBlocksPerUnit()) * slice_bytes;
+    for (unsigned device = 0; device < config_.geometry.devicesPerRank();
+         ++device) {
+        unit.device = device;
+        if (!repair_.unitRepaired(unit))
+            continue;
+        RemapLine &remap = ensureFilled(unit);
+        std::memcpy(remap.data() + offset, line + device * slice_bytes,
+                    slice_bytes);
+    }
+}
+
+EccStatus
+RelaxFaultController::read(uint64_t pa, uint8_t data[kLineBytes])
+{
+    ++stats_.reads;
+    const LineCoord coord = addressMap_.decode(pa);
+    uint8_t line[LineCodec::kLineBytes];
+    const EccStatus status = fetchAndDecode(coord, line, true);
+    LineCodec::extractData(line, data);
+    return status;
+}
+
+bool
+RelaxFaultController::requestRepair(const FaultRecord &fault)
+{
+    const bool repaired = repair_.tryRepair(fault);
+    if (!repaired)
+        return false;
+    ++stats_.faultsRepaired;
+    // Fill the remap lines now (paper Sec. 3.1: the controller streams
+    // the sub-blocks through ECC when repair is set up). Filling at
+    // repair time, before further faults accumulate, maximizes the
+    // chance every sub-block is still correctable.
+    for (const auto &part : fault.parts) {
+        RemapUnit unit;
+        unit.dimm = part.dimm;
+        unit.device = part.device;
+        part.region.forEachRemapUnit(
+            config_.geometry,
+            [&](unsigned bank, uint32_t row, uint16_t col_group) {
+                unit.bank = bank;
+                unit.row = row;
+                unit.colGroup = col_group;
+                ensureFilled(unit);
+            });
+    }
+    return true;
+}
+
+bool
+RelaxFaultController::reportFault(const FaultRecord &fault)
+{
+    ++stats_.faultsReported;
+    const size_t index = faults_.addFault(fault);
+    if (!fault.permanent())
+        return true;  // Transients need no repair; ECC absorbed them.
+    const bool repaired = requestRepair(fault);
+    if (repaired)
+        faults_.setRepaired(index, true);
+    return repaired;
+}
+
+void
+RelaxFaultController::setErrorObserver(ErrorObserver observer)
+{
+    errorObserver_ = std::move(observer);
+}
+
+StorageOverhead
+RelaxFaultController::storageOverhead(const ControllerConfig &config)
+{
+    StorageOverhead overhead;
+    overhead.faultyBankTableBytes =
+        config.geometry.dimmsPerNode() *
+        ((config.geometry.banksPerDevice + 7) / 8);
+    // Pre-computed merge bitmasks for the data coalescer (paper Table 1).
+    overhead.coalescerBytes = 128;
+    overhead.llcTagExtensionBytes = config.llc.lines() / 8;
+    return overhead;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Patrol scrubber and fault-record inference.
+ *
+ * RelaxFault (like FreeFault) assumes hardware "identifies and tracks
+ * memory faults" (paper Sec. 3). This is that hardware: a scrubbing
+ * engine walks DRAM through the controller's read path, collects the
+ * per-device ECC-correction log, clusters corrections into structured
+ * fault records (bit / row / column / bank extents, following the field
+ * studies' taxonomy), and hands them to the controller for repair.
+ *
+ * Inference is per (DIMM, device):
+ *  - a (bank,row) with corrections in several distinct column blocks is
+ *    promoted to a full-row fault;
+ *  - a (bank,column) with corrections in several distinct rows is
+ *    promoted to a column fault over the observed rows' subarray span;
+ *  - everything else is reported as the exact observed cells.
+ *
+ * Promotions matter: repairing only the observed cells would leave the
+ * rest of a dying row in place, and the next scrub would find it again.
+ */
+
+#ifndef RELAXFAULT_CORE_SCRUBBER_H
+#define RELAXFAULT_CORE_SCRUBBER_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/relaxfault_controller.h"
+
+namespace relaxfault {
+
+/** Clustering thresholds of the fault-inference pass. */
+struct ScrubberConfig
+{
+    /** Distinct column blocks in one row to call it a row fault. */
+    unsigned rowPromotionThreshold = 4;
+    /** Distinct rows on one column block to call it a column fault. */
+    unsigned columnPromotionThreshold = 3;
+};
+
+/** Patrol scrubber over a RelaxFaultController. */
+class FaultScrubber
+{
+  public:
+    /** Outcome of one infer-and-repair pass. */
+    struct Report
+    {
+        uint64_t linesScrubbed = 0;
+        uint64_t correctedLines = 0;    ///< Lines with >=1 correction.
+        uint64_t uncorrectableLines = 0;
+        unsigned faultsInferred = 0;
+        unsigned faultsRepaired = 0;
+    };
+
+    FaultScrubber(RelaxFaultController &controller,
+                  const ScrubberConfig &config = {});
+
+    /**
+     * Read every line of rows [row_begin, row_begin+row_count) in the
+     * given bank, logging ECC events. Can be called repeatedly over
+     * different regions before inferring.
+     */
+    void scrub(unsigned channel, unsigned rank, unsigned bank,
+               uint32_t row_begin, uint32_t row_count);
+
+    /**
+     * Cluster all logged corrections into fault records, report them to
+     * the controller (which attempts repair), and clear the log.
+     */
+    Report inferAndRepair();
+
+    /** Raw observation count (device-level corrected line slices). */
+    size_t observationCount() const;
+
+  private:
+    /** Key: dimm, device. Value: observed (bank,row,col) cells. */
+    struct DeviceLog
+    {
+        std::set<std::tuple<unsigned, uint32_t, uint16_t>> cells;
+    };
+
+    /** Build the inferred region for one device's observations. */
+    FaultRegion inferRegion(const DeviceLog &log) const;
+
+    RelaxFaultController &controller_;
+    ScrubberConfig config_;
+    std::map<std::pair<unsigned, unsigned>, DeviceLog> logs_;
+    Report pending_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_CORE_SCRUBBER_H

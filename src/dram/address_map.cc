@@ -1,0 +1,83 @@
+#include "dram/address_map.h"
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+DramAddressMap::DramAddressMap(const DramGeometry &geometry,
+                               bool bank_xor_hash, unsigned col_low_bits)
+    : geometry_(geometry), bankXorHash_(bank_xor_hash)
+{
+    const unsigned col_bits = geometry_.colBlockBits();
+    if (col_low_bits > col_bits)
+        col_low_bits = col_bits;
+    colLowBits_ = col_low_bits;
+    colHighBits_ = col_bits - col_low_bits;
+
+    // Assemble the field layout from LSB to MSB above the line offset.
+    unsigned lsb = geometry_.offsetBits();
+    channelLsb_ = lsb;
+    lsb += geometry_.channelBits();
+    colLowLsb_ = lsb;
+    lsb += colLowBits_;
+    bankLsb_ = lsb;
+    lsb += geometry_.bankBits();
+    colHighLsb_ = lsb;
+    lsb += colHighBits_;
+    rankLsb_ = lsb;
+    lsb += geometry_.rankBits();
+    rowLsb_ = lsb;
+    lsb += geometry_.rowBits();
+
+    if (lsb != geometry_.paBits())
+        panic("DramAddressMap: field layout does not cover the PA space");
+}
+
+unsigned
+DramAddressMap::permuteBank(unsigned bank, unsigned row) const
+{
+    if (!bankXorHash_)
+        return bank;
+    return bank ^ (row & maskBits(geometry_.bankBits()));
+}
+
+uint64_t
+DramAddressMap::encode(const LineCoord &coord) const
+{
+    // The permutation is an involution, so encode applies it as well:
+    // the stored logical bank field is physical-bank XOR row-low.
+    const unsigned bank_field = permuteBank(coord.bank, coord.row);
+    uint64_t pa = 0;
+    pa = depositBits(pa, channelLsb_, geometry_.channelBits(), coord.channel);
+    pa = depositBits(pa, colLowLsb_, colLowBits_,
+                     coord.colBlock & maskBits(colLowBits_));
+    pa = depositBits(pa, bankLsb_, geometry_.bankBits(), bank_field);
+    pa = depositBits(pa, rankLsb_, geometry_.rankBits(), coord.rank);
+    pa = depositBits(pa, colHighLsb_, colHighBits_,
+                     coord.colBlock >> colLowBits_);
+    pa = depositBits(pa, rowLsb_, geometry_.rowBits(), coord.row);
+    return pa;
+}
+
+LineCoord
+DramAddressMap::decode(uint64_t pa) const
+{
+    LineCoord coord;
+    coord.channel = static_cast<unsigned>(
+        extractBits(pa, channelLsb_, geometry_.channelBits()));
+    const auto col_low = static_cast<unsigned>(
+        extractBits(pa, colLowLsb_, colLowBits_));
+    const auto bank_field = static_cast<unsigned>(
+        extractBits(pa, bankLsb_, geometry_.bankBits()));
+    coord.rank = static_cast<unsigned>(
+        extractBits(pa, rankLsb_, geometry_.rankBits()));
+    const auto col_high = static_cast<unsigned>(
+        extractBits(pa, colHighLsb_, colHighBits_));
+    coord.row = static_cast<unsigned>(
+        extractBits(pa, rowLsb_, geometry_.rowBits()));
+    coord.colBlock = (col_high << colLowBits_) | col_low;
+    coord.bank = permuteBank(bank_field, coord.row);
+    return coord;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Physical-address <-> DRAM-coordinate mapping (paper Fig. 7a).
+ *
+ * Modern controllers swizzle physical-address bits so that consecutive
+ * lines rotate across channels and banks while staying in an open row as
+ * long as possible. We implement the Nehalem-style layout the paper uses
+ * as its running example, from LSB to MSB of the line address:
+ *
+ *   channel | column-low | bank | column-high | rank | row
+ *
+ * With an 8MiB 16-way LLC all column-block bits land inside the LLC set
+ * index, so the lines of one DRAM row occupy distinct sets even without
+ * LLC set hashing — while a column fault's lines (row bits vary, column
+ * bits fixed) pile up, which is exactly the asymmetry Fig. 8 shows for
+ * FreeFault.
+ *
+ * plus the optional permutation-based bank hash of Zhang et al. (bank XOR
+ * row-low), which the paper's memory controller enables (Table 3).
+ */
+
+#ifndef RELAXFAULT_DRAM_ADDRESS_MAP_H
+#define RELAXFAULT_DRAM_ADDRESS_MAP_H
+
+#include <cstdint>
+
+#include "dram/geometry.h"
+
+namespace relaxfault {
+
+/** Bidirectional physical-address/DRAM-coordinate translator. */
+class DramAddressMap
+{
+  public:
+    /**
+     * @param geometry Memory-system shape; field widths derive from it.
+     * @param bank_xor_hash Enable the bank XOR row-low permutation.
+     * @param col_low_bits How many column-block bits sit below the bank
+     *        field (the rest sit above rank); 6 of 8 in the example map.
+     */
+    explicit DramAddressMap(const DramGeometry &geometry,
+                            bool bank_xor_hash = true,
+                            unsigned col_low_bits = 6);
+
+    /** Translate DRAM coordinates to a full physical (byte) address. */
+    uint64_t encode(const LineCoord &coord) const;
+
+    /** Translate a physical address to DRAM coordinates. */
+    LineCoord decode(uint64_t pa) const;
+
+    const DramGeometry &geometry() const { return geometry_; }
+    bool bankXorHash() const { return bankXorHash_; }
+
+    /** LSB position of each field within the physical address. */
+    unsigned channelLsb() const { return channelLsb_; }
+    unsigned colLowLsb() const { return colLowLsb_; }
+    unsigned bankLsb() const { return bankLsb_; }
+    unsigned rankLsb() const { return rankLsb_; }
+    unsigned colHighLsb() const { return colHighLsb_; }
+    unsigned rowLsb() const { return rowLsb_; }
+    unsigned colLowBits() const { return colLowBits_; }
+    unsigned colHighBits() const { return colHighBits_; }
+
+  private:
+    /** Bank permutation: physical bank = bank XOR low row bits. */
+    unsigned permuteBank(unsigned bank, unsigned row) const;
+
+    DramGeometry geometry_;
+    bool bankXorHash_;
+    unsigned colLowBits_;
+    unsigned colHighBits_;
+    unsigned channelLsb_;
+    unsigned colLowLsb_;
+    unsigned bankLsb_;
+    unsigned rankLsb_;
+    unsigned colHighLsb_;
+    unsigned rowLsb_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_DRAM_ADDRESS_MAP_H

@@ -1,0 +1,86 @@
+#include "dram/functional_dram.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+FunctionalDram::FunctionalDram(const DramGeometry &geometry)
+    : geometry_(geometry)
+{
+}
+
+void
+FunctionalDram::setFaultProbe(FaultProbe probe)
+{
+    probe_ = std::move(probe);
+}
+
+unsigned
+FunctionalDram::storedLineBytes() const
+{
+    return geometry_.devicesPerRank() * geometry_.bytesPerDevicePerLine();
+}
+
+uint64_t
+FunctionalDram::lineKey(const LineCoord &coord) const
+{
+    uint64_t key = coord.dimm(geometry_);
+    key = key * geometry_.banksPerDevice + coord.bank;
+    key = key * geometry_.rowsPerBank + coord.row;
+    key = key * geometry_.colBlocksPerRow + coord.colBlock;
+    return key;
+}
+
+void
+FunctionalDram::writeLine(const LineCoord &coord, const uint8_t *bytes)
+{
+    auto &line = lines_[lineKey(coord)];
+    line.assign(bytes, bytes + storedLineBytes());
+}
+
+void
+FunctionalDram::fetch(const LineCoord &coord, uint8_t *out) const
+{
+    const auto it = lines_.find(lineKey(coord));
+    if (it == lines_.end())
+        std::memset(out, 0, storedLineBytes());
+    else
+        std::memcpy(out, it->second.data(), storedLineBytes());
+}
+
+void
+FunctionalDram::readLineRaw(const LineCoord &coord, uint8_t *out) const
+{
+    fetch(coord, out);
+}
+
+void
+FunctionalDram::readLine(const LineCoord &coord, uint8_t *out) const
+{
+    fetch(coord, out);
+    if (!probe_)
+        return;
+
+    DeviceCoord device_coord;
+    device_coord.dimm = coord.dimm(geometry_);
+    device_coord.bank = coord.bank;
+    device_coord.row = coord.row;
+    device_coord.colBlock = coord.colBlock;
+
+    const unsigned slice_bytes = geometry_.bytesPerDevicePerLine();
+    for (unsigned device = 0; device < geometry_.devicesPerRank();
+         ++device) {
+        device_coord.device = device;
+        const StuckBits stuck = probe_(device_coord);
+        if (stuck.mask == 0)
+            continue;
+        uint32_t slice = 0;
+        std::memcpy(&slice, out + device * slice_bytes, slice_bytes);
+        slice = (slice & ~stuck.mask) | (stuck.value & stuck.mask);
+        std::memcpy(out + device * slice_bytes, &slice, slice_bytes);
+    }
+}
+
+} // namespace relaxfault

@@ -1,0 +1,76 @@
+#include "dram/power.h"
+
+namespace relaxfault {
+
+DramOpCounts &
+DramOpCounts::operator+=(const DramOpCounts &other)
+{
+    activates += other.activates;
+    reads += other.reads;
+    writes += other.writes;
+    cycles += other.cycles;
+    return *this;
+}
+
+DramPowerModel::DramPowerModel(const DramPowerParams &params,
+                               const DramTiming &timing,
+                               unsigned devices_per_rank)
+    : params_(params), timing_(timing), devicesPerRank_(devices_per_rank)
+{
+}
+
+double
+DramPowerModel::activateEnergyNj() const
+{
+    // TN-41-01: the ACT/PRE pair costs IDD0 over tRC minus the standby
+    // current that would flow anyway (IDD3N while the row is open, IDD2N
+    // after precharge).
+    const double t_rc_ns = timing_.tRC * timing_.tCkNs;
+    const double t_ras_ns = timing_.tRAS * timing_.tCkNs;
+    const double charge_ma_ns = params_.idd0 * t_rc_ns -
+        (params_.idd3n * t_ras_ns + params_.idd2n * (t_rc_ns - t_ras_ns));
+    // mA*ns*V = pJ; divide by 1000 for nJ, then scale to the whole rank.
+    return charge_ma_ns * params_.vdd * devicesPerRank_ / 1000.0;
+}
+
+double
+DramPowerModel::readEnergyNj() const
+{
+    const double burst_ns = timing_.tBURST * timing_.tCkNs;
+    const double charge_ma_ns = (params_.idd4r - params_.idd3n) * burst_ns;
+    return charge_ma_ns * params_.vdd * devicesPerRank_ / 1000.0;
+}
+
+double
+DramPowerModel::writeEnergyNj() const
+{
+    const double burst_ns = timing_.tBURST * timing_.tCkNs;
+    const double charge_ma_ns = (params_.idd4w - params_.idd3n) * burst_ns;
+    return charge_ma_ns * params_.vdd * devicesPerRank_ / 1000.0;
+}
+
+double
+DramPowerModel::dynamicEnergyNj(const DramOpCounts &counts) const
+{
+    return counts.activates * activateEnergyNj() +
+           counts.reads * readEnergyNj() +
+           counts.writes * writeEnergyNj();
+}
+
+double
+DramPowerModel::dynamicPowerMw(const DramOpCounts &counts) const
+{
+    if (counts.cycles == 0)
+        return 0.0;
+    const double interval_ns = counts.cycles * timing_.tCkNs;
+    // nJ / ns = W; report mW.
+    return dynamicEnergyNj(counts) / interval_ns * 1000.0;
+}
+
+double
+DramPowerModel::backgroundPowerMw() const
+{
+    return params_.idd3n * params_.vdd * devicesPerRank_;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DRAM power model following Micron technical note TN-41-01 ("Calculating
+ * Memory System Power for DDR3"), the model the paper cites for its Fig. 16
+ * results. Dynamic power is computed from counted device operations
+ * (activate/precharge pairs, read bursts, write bursts); background power
+ * from time spent with banks open vs closed.
+ */
+
+#ifndef RELAXFAULT_DRAM_POWER_H
+#define RELAXFAULT_DRAM_POWER_H
+
+#include <cstdint>
+
+#include "dram/timing.h"
+
+namespace relaxfault {
+
+/** IDD currents (mA) and supply voltage for a DDR3-1600 4Gb device. */
+struct DramPowerParams
+{
+    double vdd = 1.5;       ///< Supply voltage (V).
+    double idd0 = 95.0;     ///< One-bank ACT-PRE current.
+    double idd2n = 42.0;    ///< Precharge standby.
+    double idd3n = 45.0;    ///< Active standby.
+    double idd4r = 180.0;   ///< Burst read.
+    double idd4w = 185.0;   ///< Burst write.
+    double idd5b = 215.0;   ///< Burst refresh.
+};
+
+/** Operation counts accumulated by a memory-controller model. */
+struct DramOpCounts
+{
+    uint64_t activates = 0;
+    uint64_t reads = 0;     ///< 64B read bursts.
+    uint64_t writes = 0;    ///< 64B write bursts.
+    uint64_t cycles = 0;    ///< Elapsed memory-clock cycles.
+
+    DramOpCounts &operator+=(const DramOpCounts &other);
+};
+
+/**
+ * Converts operation counts into per-rank power, per TN-41-01.
+ *
+ * Scope note: this reports device-level power of one rank; the Fig. 16
+ * bench compares *relative dynamic power* across repair configurations,
+ * which is insensitive to the absolute calibration.
+ */
+class DramPowerModel
+{
+  public:
+    DramPowerModel(const DramPowerParams &params, const DramTiming &timing,
+                   unsigned devices_per_rank);
+
+    /** Energy (nJ) consumed by one ACT/PRE pair across the rank. */
+    double activateEnergyNj() const;
+
+    /** Energy (nJ) of one 64B read burst across the rank. */
+    double readEnergyNj() const;
+
+    /** Energy (nJ) of one 64B write burst across the rank. */
+    double writeEnergyNj() const;
+
+    /** Dynamic (operation-driven) energy in nJ for the given counts. */
+    double dynamicEnergyNj(const DramOpCounts &counts) const;
+
+    /** Dynamic power in mW over the counted interval. */
+    double dynamicPowerMw(const DramOpCounts &counts) const;
+
+    /** Background (standby) power in mW, assuming all banks active. */
+    double backgroundPowerMw() const;
+
+  private:
+    DramPowerParams params_;
+    DramTiming timing_;
+    unsigned devicesPerRank_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_DRAM_POWER_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DDR3-1600 device timing parameters (Micron MT41J datasheet values, as
+ * configured in the paper's Table 3). All values are in memory-controller
+ * clock cycles at 800MHz (tCK = 1.25ns) unless noted.
+ */
+
+#ifndef RELAXFAULT_DRAM_TIMING_H
+#define RELAXFAULT_DRAM_TIMING_H
+
+#include <cstdint>
+
+namespace relaxfault {
+
+/** Timing constraints of one DDR3 device/channel. */
+struct DramTiming
+{
+    double tCkNs = 1.25;   ///< Clock period (DDR3-1600).
+
+    unsigned tRCD = 11;    ///< ACT to internal RD/WR (13.75ns).
+    unsigned tCL = 11;     ///< CAS latency.
+    unsigned tRP = 11;     ///< PRE to ACT.
+    unsigned tRAS = 28;    ///< ACT to PRE (35ns).
+    unsigned tRC = 39;     ///< ACT to ACT, same bank (tRAS + tRP).
+    unsigned tBURST = 4;   ///< Data burst occupancy (BL8, DDR).
+    unsigned tRRD = 5;     ///< ACT to ACT, different bank (6ns).
+    unsigned tFAW = 24;    ///< Four-activate window (30ns).
+    unsigned tWR = 12;     ///< Write recovery (15ns).
+    unsigned tWTR = 6;     ///< Write-to-read turnaround (7.5ns).
+    unsigned tRTP = 6;     ///< Read-to-precharge (7.5ns).
+    unsigned tCWL = 8;     ///< CAS write latency.
+    unsigned tRFC = 208;   ///< Refresh cycle time (260ns, 4Gb).
+    unsigned tREFI = 6240; ///< Refresh interval (7.8us).
+
+    /** Closed-bank access latency (ACT + CAS + burst) in cycles. */
+    unsigned rowMissLatency() const { return tRCD + tCL + tBURST; }
+
+    /** Open-row hit latency in cycles. */
+    unsigned rowHitLatency() const { return tCL + tBURST; }
+
+    /** Row-conflict latency (PRE + ACT + CAS + burst) in cycles. */
+    unsigned rowConflictLatency() const
+    {
+        return tRP + tRCD + tCL + tBURST;
+    }
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_DRAM_TIMING_H

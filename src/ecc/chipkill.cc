@@ -1,0 +1,201 @@
+#include "ecc/chipkill.h"
+
+#include <cstring>
+
+#include "ecc/gf256.h"
+
+namespace relaxfault {
+
+namespace {
+
+/** Syndromes S0 = sum c_i, S1 = sum c_i * alpha^i. */
+void
+syndromes(const uint8_t *codeword, uint8_t &s0, uint8_t &s1)
+{
+    s0 = 0;
+    s1 = 0;
+    for (unsigned i = 0; i < ChipkillCode::kTotalSymbols; ++i) {
+        s0 = Gf256::add(s0, codeword[i]);
+        s1 = Gf256::add(s1, Gf256::mul(codeword[i], Gf256::alphaPow(i)));
+    }
+}
+
+} // namespace
+
+void
+ChipkillCode::encode(uint8_t codeword[kTotalSymbols])
+{
+    // Choose check symbols c16, c17 such that S0 = S1 = 0:
+    //   c16 + c17 = A            (A = sum of data symbols)
+    //   c16*a^16 + c17*a^17 = B  (B = sum of data * a^i)
+    uint8_t a = 0;
+    uint8_t b = 0;
+    for (unsigned i = 0; i < kDataSymbols; ++i) {
+        a = Gf256::add(a, codeword[i]);
+        b = Gf256::add(b, Gf256::mul(codeword[i], Gf256::alphaPow(i)));
+    }
+    const uint8_t alpha16 = Gf256::alphaPow(16);
+    const uint8_t alpha17 = Gf256::alphaPow(17);
+    const uint8_t denom = Gf256::add(alpha16, alpha17);
+    // c16 = (B + A*a^17) / (a^16 + a^17); c17 = A + c16.
+    const uint8_t c16 =
+        Gf256::div(Gf256::add(b, Gf256::mul(a, alpha17)), denom);
+    codeword[16] = c16;
+    codeword[17] = Gf256::add(a, c16);
+}
+
+ChipkillCode::DecodeResult
+ChipkillCode::decode(uint8_t codeword[kTotalSymbols])
+{
+    DecodeResult result;
+    uint8_t s0;
+    uint8_t s1;
+    syndromes(codeword, s0, s1);
+    if (s0 == 0 && s1 == 0)
+        return result;
+
+    if (s0 == 0 || s1 == 0) {
+        // A single error at position i gives S0 = e != 0 and
+        // S1 = e*a^i != 0; one zero syndrome means >= 2 errors.
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+
+    const unsigned position =
+        (Gf256::logAlpha(s1) + 255 - Gf256::logAlpha(s0)) % 255;
+    if (position >= kTotalSymbols) {
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+    codeword[position] = Gf256::add(codeword[position], s0);
+    result.status = EccStatus::Corrected;
+    result.correctedSymbol = position;
+    return result;
+}
+
+ChipkillCode::DecodeResult
+ChipkillCode::decodeWithErasures(uint8_t codeword[kTotalSymbols],
+                                 uint32_t erasure_mask)
+{
+    DecodeResult result;
+    unsigned positions[2];
+    unsigned erasures = 0;
+    for (unsigned i = 0; i < kTotalSymbols && erasures <= 2; ++i) {
+        if (erasure_mask & (1u << i)) {
+            if (erasures < 2)
+                positions[erasures] = i;
+            ++erasures;
+        }
+    }
+    if (erasures == 0)
+        return decode(codeword);
+    if (erasures > 2) {
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+
+    uint8_t s0;
+    uint8_t s1;
+    syndromes(codeword, s0, s1);
+    if (s0 == 0 && s1 == 0)
+        return result;  // The erased symbols happen to be consistent.
+
+    if (erasures == 1) {
+        // One erasure e at position p: S0 = e, S1 = e * a^p. If the
+        // syndromes disagree with that, something else is also wrong.
+        const unsigned p = positions[0];
+        if (s0 != 0 &&
+            Gf256::mul(s0, Gf256::alphaPow(p)) == s1) {
+            codeword[p] = Gf256::add(codeword[p], s0);
+            result.status = EccStatus::Corrected;
+            result.correctedSymbol = p;
+            return result;
+        }
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+
+    // Two erasures e1@p1, e2@p2: solve
+    //   e1 + e2           = S0
+    //   e1*a^p1 + e2*a^p2 = S1
+    const uint8_t a1 = Gf256::alphaPow(positions[0]);
+    const uint8_t a2 = Gf256::alphaPow(positions[1]);
+    const uint8_t denom = Gf256::add(a1, a2);  // Nonzero: p1 != p2.
+    const uint8_t e1 =
+        Gf256::div(Gf256::add(s1, Gf256::mul(s0, a2)), denom);
+    const uint8_t e2 = Gf256::add(s0, e1);
+    codeword[positions[0]] = Gf256::add(codeword[positions[0]], e1);
+    codeword[positions[1]] = Gf256::add(codeword[positions[1]], e2);
+    result.status = EccStatus::Corrected;
+    result.correctedSymbol = positions[0];
+    return result;
+}
+
+void
+LineCodec::encodeLine(uint8_t line[kLineBytes])
+{
+    uint8_t codeword[ChipkillCode::kTotalSymbols];
+    for (unsigned w = 0; w < kCodewordsPerLine; ++w) {
+        for (unsigned d = 0; d < ChipkillCode::kTotalSymbols; ++d)
+            codeword[d] = line[4 * d + w];
+        ChipkillCode::encode(codeword);
+        line[4 * 16 + w] = codeword[16];
+        line[4 * 17 + w] = codeword[17];
+    }
+}
+
+LineCodec::LineResult
+LineCodec::decodeLine(uint8_t line[kLineBytes])
+{
+    return decodeLineWithErasures(line, 0);
+}
+
+LineCodec::LineResult
+LineCodec::decodeLineWithErasures(uint8_t line[kLineBytes],
+                                  uint32_t erased_device_mask)
+{
+    LineResult result;
+    uint8_t codeword[ChipkillCode::kTotalSymbols];
+    for (unsigned w = 0; w < kCodewordsPerLine; ++w) {
+        for (unsigned d = 0; d < ChipkillCode::kTotalSymbols; ++d)
+            codeword[d] = line[4 * d + w];
+        const auto decoded = erased_device_mask == 0
+            ? ChipkillCode::decode(codeword)
+            : ChipkillCode::decodeWithErasures(codeword,
+                                               erased_device_mask);
+        switch (decoded.status) {
+          case EccStatus::Ok:
+            break;
+          case EccStatus::Corrected:
+            ++result.correctedCodewords;
+            result.correctedDeviceMask |= 1u << decoded.correctedSymbol;
+            if (result.status == EccStatus::Ok)
+                result.status = EccStatus::Corrected;
+            for (unsigned d = 0; d < ChipkillCode::kTotalSymbols; ++d)
+                line[4 * d + w] = codeword[d];
+            break;
+          case EccStatus::Uncorrectable:
+            result.status = EccStatus::Uncorrectable;
+            break;
+        }
+    }
+    return result;
+}
+
+void
+LineCodec::extractData(const uint8_t line[kLineBytes],
+                       uint8_t data[kDataBytes])
+{
+    std::memcpy(data, line, kDataBytes);
+}
+
+void
+LineCodec::buildLine(const uint8_t data[kDataBytes],
+                     uint8_t line[kLineBytes])
+{
+    std::memcpy(line, data, kDataBytes);
+    std::memset(line + kDataBytes, 0, kLineBytes - kDataBytes);
+    encodeLine(line);
+}
+
+} // namespace relaxfault

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Chipkill-level ECC for a rank of 16 data + 2 check x4 devices.
+ *
+ * Each device contributes 4 bits per beat; pairing two beats yields one
+ * 8-bit symbol per device, so a 64B (8-beat) line forms four RS(18,16)
+ * codewords over GF(2^8), one per beat pair. Two parity symbols give
+ * minimum distance 3: any single faulty device (one symbol per codeword)
+ * is corrected, and a second faulty symbol is detected in the large
+ * majority of cases (a double error miscorrects — silent corruption —
+ * when its syndrome aliases a single-error syndrome, measured at roughly
+ * 7% for this code; production chipkill adds further checks to push that
+ * down, which the statistical reliability model accounts for separately).
+ */
+
+#ifndef RELAXFAULT_ECC_CHIPKILL_H
+#define RELAXFAULT_ECC_CHIPKILL_H
+
+#include <cstdint>
+
+namespace relaxfault {
+
+/** Decode outcome of one codeword or one full line. */
+enum class EccStatus : uint8_t
+{
+    Ok,             ///< No error.
+    Corrected,      ///< Single-symbol error(s) corrected.
+    Uncorrectable,  ///< Detected uncorrectable error (DUE).
+};
+
+/** RS(18,16) single-symbol-correct codec over GF(2^8). */
+class ChipkillCode
+{
+  public:
+    static constexpr unsigned kDataSymbols = 16;
+    static constexpr unsigned kCheckSymbols = 2;
+    static constexpr unsigned kTotalSymbols = kDataSymbols + kCheckSymbols;
+
+    /** Result of decoding one codeword. */
+    struct DecodeResult
+    {
+        EccStatus status = EccStatus::Ok;
+        unsigned correctedSymbol = 0;  ///< Valid when status==Corrected.
+    };
+
+    /**
+     * Fill the two check symbols (positions 16, 17) of @p codeword from
+     * its 16 data symbols.
+     */
+    static void encode(uint8_t codeword[kTotalSymbols]);
+
+    /**
+     * Decode @p codeword in place: corrects one bad symbol, flags wider
+     * damage as Uncorrectable. A double error can alias a valid
+     * single-error syndrome and miscorrect (returned as Corrected) —
+     * that is precisely an SDC and the tests measure its rate.
+     */
+    static DecodeResult decode(uint8_t codeword[kTotalSymbols]);
+
+    /**
+     * Erasure decoding: when the fault map already names the bad
+     * devices, their symbol positions are erasures with *known*
+     * locations, and a distance-3 code corrects two of them (vs one
+     * error of unknown location). This is how a controller can ride out
+     * two known-faulty devices in one rank — at the price of losing all
+     * detection margin while doing so.
+     *
+     * @param erasure_mask Bit i set: symbol i's location is known-bad.
+     *        Population must be 1 or 2; with 0 this falls back to
+     *        decode().
+     */
+    static DecodeResult decodeWithErasures(
+        uint8_t codeword[kTotalSymbols], uint32_t erasure_mask);
+};
+
+/**
+ * Line-level wrapper: a stored line is devicesPerRank*4 = 72 bytes where
+ * byte 4*d+w is device d's symbol of codeword w.
+ */
+class LineCodec
+{
+  public:
+    static constexpr unsigned kCodewordsPerLine = 4;
+    static constexpr unsigned kLineBytes =
+        ChipkillCode::kTotalSymbols * kCodewordsPerLine;
+    static constexpr unsigned kDataBytes =
+        ChipkillCode::kDataSymbols * kCodewordsPerLine;
+
+    /** Result of decoding a full line. */
+    struct LineResult
+    {
+        EccStatus status = EccStatus::Ok;
+        unsigned correctedCodewords = 0;
+        /** Bit d set: device d had a symbol corrected in some codeword.
+         *  This is the error-logging signal a scrubber clusters into
+         *  fault records. */
+        uint32_t correctedDeviceMask = 0;
+    };
+
+    /** Compute check-device bytes (devices 16, 17) of a 72B line. */
+    static void encodeLine(uint8_t line[kLineBytes]);
+
+    /** Decode all four codewords of a 72B line in place. */
+    static LineResult decodeLine(uint8_t line[kLineBytes]);
+
+    /**
+     * Decode with up to two known-bad devices treated as erasures
+     * (@p erased_device_mask, bit per device).
+     */
+    static LineResult decodeLineWithErasures(uint8_t line[kLineBytes],
+                                             uint32_t erased_device_mask);
+
+    /** Copy the 64 data bytes out of a 72B stored line. */
+    static void extractData(const uint8_t line[kLineBytes],
+                            uint8_t data[kDataBytes]);
+
+    /** Build a 72B stored line from 64 data bytes (check bytes encoded).*/
+    static void buildLine(const uint8_t data[kDataBytes],
+                          uint8_t line[kLineBytes]);
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_ECC_CHIPKILL_H

@@ -1,0 +1,87 @@
+#include "ecc/gf256.h"
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+struct Gf256::Tables
+{
+    uint8_t exp[512];
+    unsigned log[256];
+
+    Tables()
+    {
+        unsigned value = 1;
+        for (unsigned e = 0; e < 255; ++e) {
+            exp[e] = static_cast<uint8_t>(value);
+            log[value] = e;
+            value <<= 1;
+            if (value & 0x100)
+                value ^= 0x11d;
+        }
+        for (unsigned e = 255; e < 512; ++e)
+            exp[e] = exp[e - 255];
+        log[0] = 0;  // Unused; guarded by callers.
+    }
+};
+
+const Gf256::Tables &
+Gf256::tables()
+{
+    static const Tables instance;
+    return instance;
+}
+
+uint8_t
+Gf256::mul(uint8_t a, uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const auto &t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t
+Gf256::div(uint8_t a, uint8_t b)
+{
+    if (b == 0)
+        panic("Gf256: division by zero");
+    if (a == 0)
+        return 0;
+    const auto &t = tables();
+    return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t
+Gf256::inv(uint8_t a)
+{
+    if (a == 0)
+        panic("Gf256: inverse of zero");
+    const auto &t = tables();
+    return t.exp[255 - t.log[a]];
+}
+
+uint8_t
+Gf256::pow(uint8_t base, unsigned exponent)
+{
+    if (base == 0)
+        return exponent == 0 ? 1 : 0;
+    const auto &t = tables();
+    return t.exp[(t.log[base] * exponent) % 255];
+}
+
+uint8_t
+Gf256::alphaPow(unsigned exponent)
+{
+    return tables().exp[exponent % 255];
+}
+
+unsigned
+Gf256::logAlpha(uint8_t a)
+{
+    if (a == 0)
+        panic("Gf256: log of zero");
+    return tables().log[a];
+}
+
+} // namespace relaxfault

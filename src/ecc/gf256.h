@@ -1,0 +1,40 @@
+/**
+ * @file
+ * GF(2^8) arithmetic for the chipkill Reed-Solomon code.
+ *
+ * Field: polynomial basis over x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the
+ * conventional choice. Multiplication and division go through log/exp
+ * tables built once at startup.
+ */
+
+#ifndef RELAXFAULT_ECC_GF256_H
+#define RELAXFAULT_ECC_GF256_H
+
+#include <cstdint>
+
+namespace relaxfault {
+
+/** GF(2^8) element operations (all static; tables are process-global). */
+class Gf256
+{
+  public:
+    static uint8_t add(uint8_t a, uint8_t b) { return a ^ b; }
+    static uint8_t mul(uint8_t a, uint8_t b);
+    static uint8_t div(uint8_t a, uint8_t b);  ///< b must be nonzero.
+    static uint8_t inv(uint8_t a);             ///< a must be nonzero.
+    static uint8_t pow(uint8_t base, unsigned exponent);
+
+    /** alpha^e for the primitive element alpha = 0x02. */
+    static uint8_t alphaPow(unsigned exponent);
+
+    /** Discrete log base alpha of a nonzero element. */
+    static unsigned logAlpha(uint8_t a);
+
+  private:
+    struct Tables;
+    static const Tables &tables();
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_ECC_GF256_H

@@ -1,0 +1,77 @@
+#include "faults/fault_set.h"
+
+namespace relaxfault {
+
+namespace {
+
+/** Deterministic 32-bit mix of a slice's coordinates (stuck values). */
+uint32_t
+stuckValueFor(const DeviceCoord &coord)
+{
+    uint64_t x = coord.dimm;
+    x = x * 31 + coord.device;
+    x = x * 131 + coord.bank;
+    x = x * 65599 + coord.row;
+    x = x * 131071 + coord.colBlock;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return static_cast<uint32_t>(x);
+}
+
+} // namespace
+
+FaultSet::FaultSet(const DramGeometry &geometry) : geometry_(geometry)
+{
+}
+
+size_t
+FaultSet::addFault(FaultRecord fault)
+{
+    faults_.push_back(std::move(fault));
+    repaired_.push_back(false);
+    return faults_.size() - 1;
+}
+
+void
+FaultSet::setRepaired(size_t index, bool repaired)
+{
+    repaired_[index] = repaired;
+}
+
+void
+FaultSet::clear()
+{
+    faults_.clear();
+    repaired_.clear();
+}
+
+StuckBits
+FaultSet::probe(const DeviceCoord &coord, bool include_repaired) const
+{
+    StuckBits stuck;
+    for (size_t index = 0; index < faults_.size(); ++index) {
+        const FaultRecord &fault = faults_[index];
+        if (!fault.permanent())
+            continue;
+        if (!include_repaired && repaired_[index])
+            continue;
+        for (const auto &part : fault.parts) {
+            if (part.dimm != coord.dimm || part.device != coord.device)
+                continue;
+            stuck.mask |= part.region.sliceMask(coord.bank, coord.row,
+                                                coord.colBlock);
+        }
+    }
+    if (stuck.mask != 0)
+        stuck.value = stuckValueFor(coord);
+    return stuck;
+}
+
+FunctionalDram::FaultProbe
+FaultSet::makeProbe() const
+{
+    return [this](const DeviceCoord &coord) { return probe(coord); };
+}
+
+} // namespace relaxfault

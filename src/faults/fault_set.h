@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-node collection of active faults.
+ *
+ * The lifetime simulator and the functional datapath both need "what is
+ * broken right now": the former to classify new faults against existing
+ * ones, the latter to corrupt reads. Repair does not heal cells — a
+ * repaired fault still corrupts its DRAM locations; it is the controller
+ * that stops *using* them — so the FunctionalDram probe exposes every
+ * permanent fault regardless of repair state.
+ */
+
+#ifndef RELAXFAULT_FAULTS_FAULT_SET_H
+#define RELAXFAULT_FAULTS_FAULT_SET_H
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/functional_dram.h"
+#include "faults/fault.h"
+
+namespace relaxfault {
+
+/** Active faults of one node, with repair bookkeeping. */
+class FaultSet
+{
+  public:
+    explicit FaultSet(const DramGeometry &geometry);
+
+    /** Add a fault; returns its index. */
+    size_t addFault(FaultRecord fault);
+
+    /** Mark/unmark a fault as repaired (remapped away from DRAM). */
+    void setRepaired(size_t index, bool repaired);
+
+    bool repaired(size_t index) const { return repaired_[index]; }
+
+    const std::vector<FaultRecord> &faults() const { return faults_; }
+
+    /** Drop all faults (e.g., the DIMM was replaced). */
+    void clear();
+
+    /**
+     * Stuck bits of one device slice, unioned over all permanent faults.
+     * The stuck *values* are a deterministic hash of the coordinates so
+     * that repeated reads of a faulty location misbehave consistently.
+     *
+     * @param include_repaired When false, repaired faults are skipped —
+     *        this is the *tracked unrepaired* damage a controller may
+     *        legitimately treat as ECC erasures.
+     */
+    StuckBits probe(const DeviceCoord &coord,
+                    bool include_repaired = true) const;
+
+    /** Adapter binding probe() for FunctionalDram. */
+    FunctionalDram::FaultProbe makeProbe() const;
+
+  private:
+    DramGeometry geometry_;
+    std::vector<FaultRecord> faults_;
+    std::vector<bool> repaired_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_FAULTS_FAULT_SET_H

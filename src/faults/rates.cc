@@ -1,0 +1,61 @@
+#include "faults/rates.h"
+
+#include <numeric>
+
+namespace relaxfault {
+
+const char *
+faultModeName(FaultMode mode)
+{
+    switch (mode) {
+      case FaultMode::SingleBit:
+        return "single-bit/word";
+      case FaultMode::SingleRow:
+        return "single-row";
+      case FaultMode::SingleColumn:
+        return "single-column";
+      case FaultMode::SingleBank:
+        return "single-bank";
+      case FaultMode::MultiBank:
+        return "multi-bank";
+      case FaultMode::MultiRank:
+        return "multi-rank";
+    }
+    return "unknown";
+}
+
+double
+FitRates::totalTransient() const
+{
+    return std::accumulate(transientFit.begin(), transientFit.end(), 0.0);
+}
+
+double
+FitRates::totalPermanent() const
+{
+    return std::accumulate(permanentFit.begin(), permanentFit.end(), 0.0);
+}
+
+FitRates
+FitRates::cielo()
+{
+    FitRates rates;
+    // Order: SingleBit, SingleRow, SingleColumn, SingleBank, MultiBank,
+    // MultiRank (paper Table 2).
+    rates.transientFit = {14.5, 2.3, 1.6, 1.6, 0.1, 0.2};
+    rates.permanentFit = {13.0, 2.4, 1.9, 2.2, 0.3, 0.2};
+    return rates;
+}
+
+FitRates
+FitRates::hopper()
+{
+    // Hopper exhibits a similar shape with somewhat higher single-bit and
+    // bank rates (Fig. 2 of the paper; Sridharan et al., ASPLOS'15).
+    FitRates rates;
+    rates.transientFit = {11.2, 1.8, 1.4, 2.0, 0.2, 0.3};
+    rates.permanentFit = {10.3, 3.0, 2.2, 3.1, 0.5, 0.4};
+    return rates;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Published DRAM fault rates (FIT per device) from the large-scale field
+ * studies the paper uses: Cielo (LANL) and Hopper (NERSC), DDR3. The
+ * Cielo rates are the paper's Table 2 and drive every evaluation; the
+ * Hopper rates are reprinted by the Fig. 2 bench.
+ */
+
+#ifndef RELAXFAULT_FAULTS_RATES_H
+#define RELAXFAULT_FAULTS_RATES_H
+
+#include <array>
+
+#include "faults/fault.h"
+
+namespace relaxfault {
+
+/** FIT rates per fault mode, split by persistence. 1 FIT = 1e-9/hour. */
+struct FitRates
+{
+    std::array<double, kFaultModeCount> transientFit{};
+    std::array<double, kFaultModeCount> permanentFit{};
+
+    double transient(FaultMode mode) const
+    {
+        return transientFit[static_cast<unsigned>(mode)];
+    }
+    double permanent(FaultMode mode) const
+    {
+        return permanentFit[static_cast<unsigned>(mode)];
+    }
+    double rate(FaultMode mode, Persistence persistence) const
+    {
+        return persistence == Persistence::Transient ? transient(mode)
+                                                     : permanent(mode);
+    }
+
+    double totalTransient() const;
+    double totalPermanent() const;
+    double total() const { return totalTransient() + totalPermanent(); }
+
+    /** Paper Table 2 (Cielo). */
+    static FitRates cielo();
+
+    /** Hopper rates (Sridharan et al., ASPLOS'15), used in Fig. 2. */
+    static FitRates hopper();
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_FAULTS_RATES_H

@@ -1,0 +1,379 @@
+#include "faults/region.h"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+
+namespace relaxfault {
+
+RowSet
+RowSet::of(std::vector<uint32_t> list)
+{
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return RowSet{false, std::move(list)};
+}
+
+uint64_t
+RowSet::count(const DramGeometry &geometry) const
+{
+    return all ? geometry.rowsPerBank : rows.size();
+}
+
+bool
+RowSet::contains(uint32_t row) const
+{
+    if (all)
+        return true;
+    return std::binary_search(rows.begin(), rows.end(), row);
+}
+
+uint64_t
+RowSet::intersectCount(const RowSet &a, const RowSet &b,
+                       const DramGeometry &geometry)
+{
+    if (a.all)
+        return b.count(geometry);
+    if (b.all)
+        return a.count(geometry);
+    uint64_t overlap = 0;
+    auto it_a = a.rows.begin();
+    auto it_b = b.rows.begin();
+    while (it_a != a.rows.end() && it_b != b.rows.end()) {
+        if (*it_a < *it_b) {
+            ++it_a;
+        } else if (*it_b < *it_a) {
+            ++it_b;
+        } else {
+            ++overlap;
+            ++it_a;
+            ++it_b;
+        }
+    }
+    return overlap;
+}
+
+ColSet
+ColSet::of(std::vector<uint16_t> list)
+{
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return ColSet{false, std::move(list)};
+}
+
+uint64_t
+ColSet::count(const DramGeometry &geometry) const
+{
+    return all ? geometry.colBlocksPerRow : cols.size();
+}
+
+bool
+ColSet::contains(uint16_t col) const
+{
+    if (all)
+        return true;
+    return std::binary_search(cols.begin(), cols.end(), col);
+}
+
+uint64_t
+ColSet::intersectCount(const ColSet &a, const ColSet &b,
+                       const DramGeometry &geometry)
+{
+    if (a.all)
+        return b.count(geometry);
+    if (b.all)
+        return a.count(geometry);
+    uint64_t overlap = 0;
+    auto it_a = a.cols.begin();
+    auto it_b = b.cols.begin();
+    while (it_a != a.cols.end() && it_b != b.cols.end()) {
+        if (*it_a < *it_b) {
+            ++it_a;
+        } else if (*it_b < *it_a) {
+            ++it_b;
+        } else {
+            ++overlap;
+            ++it_a;
+            ++it_b;
+        }
+    }
+    return overlap;
+}
+
+FaultRegion::FaultRegion(std::vector<RegionCluster> clusters)
+    : clusters_(std::move(clusters))
+{
+}
+
+bool
+FaultRegion::massive() const
+{
+    for (const auto &cluster : clusters_) {
+        if (cluster.rows.all)
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+FaultRegion::lineSliceCount(const DramGeometry &geometry) const
+{
+    uint64_t total = 0;
+    for (const auto &cluster : clusters_) {
+        total += static_cast<uint64_t>(std::popcount(cluster.bankMask)) *
+                 cluster.rows.count(geometry) * cluster.cols.count(geometry);
+    }
+    return total;
+}
+
+uint64_t
+FaultRegion::remapUnitCount(const DramGeometry &geometry) const
+{
+    const unsigned cols_per_unit =
+        geometry.lineBytes / geometry.bytesPerDevicePerLine();
+    uint64_t total = 0;
+    for (const auto &cluster : clusters_) {
+        uint64_t groups;
+        if (cluster.cols.all) {
+            groups = (geometry.colBlocksPerRow + cols_per_unit - 1) /
+                     cols_per_unit;
+        } else {
+            // Distinct colBlock / 16 values in the sorted column list.
+            groups = 0;
+            uint32_t last_group = ~0u;
+            for (const auto col : cluster.cols.cols) {
+                const uint32_t group = col / cols_per_unit;
+                if (group != last_group) {
+                    ++groups;
+                    last_group = group;
+                }
+            }
+        }
+        total += static_cast<uint64_t>(std::popcount(cluster.bankMask)) *
+                 cluster.rows.count(geometry) * groups;
+    }
+    return total;
+}
+
+void
+FaultRegion::forEachSlice(
+    const DramGeometry &geometry,
+    const std::function<void(unsigned, uint32_t, uint16_t)> &visit) const
+{
+    for (const auto &cluster : clusters_) {
+        for (unsigned bank = 0; bank < geometry.banksPerDevice; ++bank) {
+            if (!(cluster.bankMask & (1u << bank)))
+                continue;
+            const uint64_t row_count = cluster.rows.count(geometry);
+            for (uint64_t ri = 0; ri < row_count; ++ri) {
+                const uint32_t row = cluster.rows.all
+                    ? static_cast<uint32_t>(ri) : cluster.rows.rows[ri];
+                const uint64_t col_count = cluster.cols.count(geometry);
+                for (uint64_t ci = 0; ci < col_count; ++ci) {
+                    const uint16_t col = cluster.cols.all
+                        ? static_cast<uint16_t>(ci) : cluster.cols.cols[ci];
+                    visit(bank, row, col);
+                }
+            }
+        }
+    }
+}
+
+void
+FaultRegion::forEachRemapUnit(
+    const DramGeometry &geometry,
+    const std::function<void(unsigned, uint32_t, uint16_t)> &visit) const
+{
+    const unsigned cols_per_unit =
+        geometry.lineBytes / geometry.bytesPerDevicePerLine();
+    const unsigned all_groups =
+        (geometry.colBlocksPerRow + cols_per_unit - 1) / cols_per_unit;
+    for (const auto &cluster : clusters_) {
+        // Distinct column groups of this cluster.
+        std::vector<uint16_t> groups;
+        if (cluster.cols.all) {
+            groups.resize(all_groups);
+            for (unsigned g = 0; g < all_groups; ++g)
+                groups[g] = static_cast<uint16_t>(g);
+        } else {
+            uint32_t last_group = ~0u;
+            for (const auto col : cluster.cols.cols) {
+                const uint32_t group = col / cols_per_unit;
+                if (group != last_group) {
+                    groups.push_back(static_cast<uint16_t>(group));
+                    last_group = group;
+                }
+            }
+        }
+        for (unsigned bank = 0; bank < geometry.banksPerDevice; ++bank) {
+            if (!(cluster.bankMask & (1u << bank)))
+                continue;
+            const uint64_t row_count = cluster.rows.count(geometry);
+            for (uint64_t ri = 0; ri < row_count; ++ri) {
+                const uint32_t row = cluster.rows.all
+                    ? static_cast<uint32_t>(ri) : cluster.rows.rows[ri];
+                for (const auto group : groups)
+                    visit(bank, row, group);
+            }
+        }
+    }
+}
+
+uint32_t
+FaultRegion::sliceMask(unsigned bank, uint32_t row, uint16_t col_block)
+    const
+{
+    uint32_t mask = 0;
+    for (const auto &cluster : clusters_) {
+        if (!(cluster.bankMask & (1u << bank)))
+            continue;
+        if (!cluster.rows.contains(row))
+            continue;
+        if (!cluster.cols.contains(col_block))
+            continue;
+        mask |= cluster.bitMask;
+    }
+    return mask;
+}
+
+double
+FaultRegion::symbolFraction() const
+{
+    // An 8-bit chipkill symbol pairs two 4-bit beats; the 32-bit slice is
+    // beats 0..7, so symbol s covers bits [8s, 8s+8).
+    uint32_t united = 0;
+    for (const auto &cluster : clusters_)
+        united |= cluster.bitMask;
+    unsigned symbols = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        if (united & (0xffu << (8 * s)))
+            ++symbols;
+    }
+    return symbols / 4.0;
+}
+
+uint64_t
+FaultRegion::distinctRowCount(const DramGeometry &geometry) const
+{
+    // Clusters produced by the samplers use disjoint banks or disjoint
+    // rows, so summing per cluster is exact for sampled faults.
+    uint64_t total = 0;
+    for (const auto &cluster : clusters_) {
+        total += static_cast<uint64_t>(std::popcount(cluster.bankMask)) *
+                 cluster.rows.count(geometry);
+    }
+    return total;
+}
+
+unsigned
+FaultRegion::bankCount() const
+{
+    uint32_t mask = 0;
+    for (const auto &cluster : clusters_)
+        mask |= cluster.bankMask;
+    return static_cast<unsigned>(std::popcount(mask));
+}
+
+namespace {
+
+/** Intersection of two row sets as a new RowSet. */
+RowSet
+intersectRowSets(const RowSet &a, const RowSet &b)
+{
+    if (a.all)
+        return b;
+    if (b.all)
+        return a;
+    std::vector<uint32_t> rows;
+    std::set_intersection(a.rows.begin(), a.rows.end(), b.rows.begin(),
+                          b.rows.end(), std::back_inserter(rows));
+    return RowSet{false, std::move(rows)};
+}
+
+/** Intersection of two column sets as a new ColSet. */
+ColSet
+intersectColSets(const ColSet &a, const ColSet &b)
+{
+    if (a.all)
+        return b;
+    if (b.all)
+        return a;
+    std::vector<uint16_t> cols;
+    std::set_intersection(a.cols.begin(), a.cols.end(), b.cols.begin(),
+                          b.cols.end(), std::back_inserter(cols));
+    return ColSet{false, std::move(cols)};
+}
+
+/** Expand each covered ECC symbol (byte lane) of @p mask to 0xff. */
+uint32_t
+symbolExpand(uint32_t mask)
+{
+    uint32_t expanded = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        if (mask & (0xffu << (8 * s)))
+            expanded |= 0xffu << (8 * s);
+    }
+    return expanded;
+}
+
+} // namespace
+
+bool
+FaultRegion::sharesSymbol(uint32_t mask_a, uint32_t mask_b)
+{
+    return (symbolExpand(mask_a) & symbolExpand(mask_b)) != 0;
+}
+
+FaultRegion
+FaultRegion::codewordIntersect(const FaultRegion &a, const FaultRegion &b,
+                               const DramGeometry &geometry)
+{
+    (void)geometry;
+    std::vector<RegionCluster> clusters;
+    for (const auto &ca : a.clusters_) {
+        for (const auto &cb : b.clusters_) {
+            const uint32_t shared =
+                symbolExpand(ca.bitMask) & symbolExpand(cb.bitMask);
+            if (shared == 0)
+                continue;
+            RegionCluster cluster;
+            cluster.bankMask = ca.bankMask & cb.bankMask;
+            if (cluster.bankMask == 0)
+                continue;
+            cluster.rows = intersectRowSets(ca.rows, cb.rows);
+            if (!cluster.rows.all && cluster.rows.rows.empty())
+                continue;
+            cluster.cols = intersectColSets(ca.cols, cb.cols);
+            if (!cluster.cols.all && cluster.cols.cols.empty())
+                continue;
+            cluster.bitMask = shared;
+            clusters.push_back(std::move(cluster));
+        }
+    }
+    return FaultRegion(std::move(clusters));
+}
+
+uint64_t
+FaultRegion::intersectLineCount(const FaultRegion &a, const FaultRegion &b,
+                                const DramGeometry &geometry)
+{
+    uint64_t total = 0;
+    for (const auto &ca : a.clusters_) {
+        for (const auto &cb : b.clusters_) {
+            const auto banks = static_cast<uint64_t>(
+                std::popcount(ca.bankMask & cb.bankMask));
+            if (banks == 0)
+                continue;
+            const uint64_t rows =
+                RowSet::intersectCount(ca.rows, cb.rows, geometry);
+            if (rows == 0)
+                continue;
+            const uint64_t cols =
+                ColSet::intersectCount(ca.cols, cb.cols, geometry);
+            total += banks * rows * cols;
+        }
+    }
+    return total;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Algebraic representation of the DRAM cells a fault disables.
+ *
+ * A region is a union of clusters; each cluster is a cross product of a
+ * bank set, a row set, a column-block set, and a per-slice bit mask (which
+ * of the 32 bits a device contributes to a line are bad). This supports
+ * the three operations the evaluation needs without materializing cell
+ * lists: counting repair units, enumerating repair units when the count is
+ * small enough to matter, and intersecting two regions to find codewords
+ * where two devices fail together.
+ */
+
+#ifndef RELAXFAULT_FAULTS_REGION_H
+#define RELAXFAULT_FAULTS_REGION_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dram/geometry.h"
+
+namespace relaxfault {
+
+/** Set of row indices: either every row of a bank or an explicit list. */
+struct RowSet
+{
+    bool all = false;
+    std::vector<uint32_t> rows;  ///< Sorted, unique; used when !all.
+
+    static RowSet allRows() { return RowSet{true, {}}; }
+    static RowSet of(std::vector<uint32_t> list);
+
+    uint64_t count(const DramGeometry &geometry) const;
+    bool contains(uint32_t row) const;
+    /** Size of the intersection of two row sets. */
+    static uint64_t intersectCount(const RowSet &a, const RowSet &b,
+                                   const DramGeometry &geometry);
+};
+
+/** Set of column-block indices, same structure as RowSet. */
+struct ColSet
+{
+    bool all = false;
+    std::vector<uint16_t> cols;
+
+    static ColSet allCols() { return ColSet{true, {}}; }
+    static ColSet of(std::vector<uint16_t> list);
+
+    uint64_t count(const DramGeometry &geometry) const;
+    bool contains(uint16_t col) const;
+    static uint64_t intersectCount(const ColSet &a, const ColSet &b,
+                                   const DramGeometry &geometry);
+};
+
+/** One cross-product cluster of faulty cells within a device. */
+struct RegionCluster
+{
+    uint32_t bankMask = 0;         ///< Bit i set => bank i affected.
+    RowSet rows;
+    ColSet cols;
+    uint32_t bitMask = 0xffffffffu; ///< Faulty bits within each slice.
+};
+
+/** Union of clusters describing all cells a fault disables in a device. */
+class FaultRegion
+{
+  public:
+    FaultRegion() = default;
+    explicit FaultRegion(std::vector<RegionCluster> clusters);
+
+    const std::vector<RegionCluster> &clusters() const { return clusters_; }
+    bool empty() const { return clusters_.empty(); }
+
+    /**
+     * True if any cluster spans every row of a bank ("massive": bank-scale
+     * or larger). Massive regions exceed any LLC repair budget and are
+     * rejected without enumeration.
+     */
+    bool massive() const;
+
+    /** Number of affected (bank,row,colBlock) line slices. */
+    uint64_t lineSliceCount(const DramGeometry &geometry) const;
+
+    /**
+     * Number of affected RelaxFault remap units. A remap unit is 64B of a
+     * single device's data: one (bank,row,colGroup) triple where colGroup
+     * = colBlock / 16 (16 column blocks x 4B).
+     */
+    uint64_t remapUnitCount(const DramGeometry &geometry) const;
+
+    /** Visit every affected (bank, row, colBlock). */
+    void forEachSlice(
+        const DramGeometry &geometry,
+        const std::function<void(unsigned bank, uint32_t row,
+                                 uint16_t colBlock)> &visit) const;
+
+    /** Visit every affected remap unit (bank, row, colGroup). */
+    void forEachRemapUnit(
+        const DramGeometry &geometry,
+        const std::function<void(unsigned bank, uint32_t row,
+                                 uint16_t colGroup)> &visit) const;
+
+    /** Faulty-bit mask of one slice (0 if the slice is healthy). */
+    uint32_t sliceMask(unsigned bank, uint32_t row, uint16_t col_block)
+        const;
+
+    /**
+     * Fraction of a line's ECC symbols a faulty slice touches, from the
+     * union of cluster bit masks (each 8-bit symbol pairs two 4-bit
+     * beats; 4 symbols per 32-bit slice).
+     */
+    double symbolFraction() const;
+
+    /** Distinct rows used, at (bank,row) granularity. */
+    uint64_t distinctRowCount(const DramGeometry &geometry) const;
+
+    /** Number of banks touched by any cluster. */
+    unsigned bankCount() const;
+
+    /**
+     * Number of (bank,row,colBlock) line slices where both regions are
+     * faulty. Two devices of a rank failing in the same slice put two bad
+     * symbols into the same 64B line, which is what defeats chipkill.
+     */
+    static uint64_t intersectLineCount(const FaultRegion &a,
+                                       const FaultRegion &b,
+                                       const DramGeometry &geometry);
+
+    /**
+     * Codeword-level intersection of two regions (on *different* devices
+     * of the same rank): the slices where both are faulty AND both touch
+     * at least one common ECC symbol (beat pair). The result's bit masks
+     * are symbol-expanded (a shared symbol covers its whole byte), so the
+     * operation composes: intersecting the result with a third device's
+     * region yields triple-symbol codeword collisions.
+     */
+    static FaultRegion codewordIntersect(const FaultRegion &a,
+                                         const FaultRegion &b,
+                                         const DramGeometry &geometry);
+
+    /** True if two slice masks err in at least one common ECC symbol. */
+    static bool sharesSymbol(uint32_t mask_a, uint32_t mask_b);
+
+  private:
+    std::vector<RegionCluster> clusters_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_FAULTS_REGION_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Abstract memory-access stream driving the performance simulator.
+ *
+ * The built-in SyntheticWorkload generates parameterized streams; a
+ * TraceWorkload replays recorded ones. Both expose the effective
+ * memory-level parallelism the core model uses to overlap miss latency.
+ */
+
+#ifndef RELAXFAULT_PERF_ACCESS_STREAM_H
+#define RELAXFAULT_PERF_ACCESS_STREAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace relaxfault {
+
+/** One memory operation, preceded by compute. */
+struct MemAccess
+{
+    uint64_t pa = 0;
+    bool write = false;
+    unsigned gapInstructions = 0;  ///< Non-memory work before it.
+};
+
+/** Source of memory operations for one core. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /** Generate/replay the next memory operation. */
+    virtual MemAccess next() = 0;
+
+    /** Latency-hiding divisor the core model applies to misses. */
+    virtual double mlpFactor() const = 0;
+
+    /** Label for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_PERF_ACCESS_STREAM_H

@@ -1,0 +1,99 @@
+#include "perf/dram_channel.h"
+
+#include <algorithm>
+
+namespace relaxfault {
+
+DramChannelTiming::DramChannelTiming(const DramGeometry &geometry,
+                                     const DramTiming &timing,
+                                     unsigned cpu_cycles_per_dram_cycle)
+    : geometry_(geometry), timing_(timing),
+      ratio_(cpu_cycles_per_dram_cycle),
+      banks_(geometry.ranksPerChannel * geometry.banksPerDevice),
+      rankRefreshEpoch_(geometry.ranksPerChannel, 0)
+{
+}
+
+uint64_t
+DramChannelTiming::applyRefresh(unsigned rank, uint64_t cycle,
+                                BankState &bank)
+{
+    // All-bank refresh every tREFI: if epochs elapsed since this rank
+    // was last refreshed, the bank is unavailable for tRFC after each
+    // missed epoch boundary (we charge only the most recent one — the
+    // earlier ones completed long before this request).
+    if (!refreshEnabled_)
+        return cycle;
+    const uint64_t interval = uint64_t{timing_.tREFI} * ratio_;
+    const uint64_t epoch = cycle / interval;
+    if (epoch > rankRefreshEpoch_[rank]) {
+        // Rank-level count (each epoch refreshes the whole rank once).
+        refreshes_ += epoch - rankRefreshEpoch_[rank];
+        rankRefreshEpoch_[rank] = epoch;
+    }
+    if (epoch > bank.refreshEpoch) {
+        bank.refreshEpoch = epoch;
+        const uint64_t refresh_end =
+            epoch * interval + uint64_t{timing_.tRFC} * ratio_;
+        // Refresh closes every row of the bank.
+        bank.openRows = 0;
+        if (refresh_end > cycle)
+            return refresh_end;
+    }
+    return cycle;
+}
+
+uint64_t
+DramChannelTiming::access(unsigned rank, unsigned bank, uint32_t row,
+                          bool write, uint64_t request_cycle)
+{
+    BankState &state = banks_[rank * geometry_.banksPerDevice + bank];
+
+    uint64_t start = std::max(request_cycle, state.readyCycle);
+    start = applyRefresh(rank, start, state);
+    unsigned dram_cycles;
+    if (state.openRows > 0 && state.recentRows[0] == row) {
+        dram_cycles = timing_.rowHitLatency();
+    } else if (state.openRows > 1 && state.recentRows[1] == row) {
+        // FR-FCFS batching credit: same-row requests queued behind an
+        // interleaved conflict are serviced as row hits.
+        dram_cycles = timing_.rowHitLatency();
+        state.recentRows[1] = state.recentRows[0];
+    } else if (state.openRows > 0) {
+        dram_cycles = timing_.rowConflictLatency();
+        ++counts_.activates;
+        state.recentRows[1] = state.recentRows[0];
+        state.openRows = std::min(2u, state.openRows + 1);
+    } else {
+        dram_cycles = timing_.rowMissLatency();
+        ++counts_.activates;
+        state.openRows = 1;
+    }
+    state.recentRows[0] = row;
+
+    // The data burst needs the shared bus; serialize bursts.
+    const uint64_t burst_cpu = uint64_t{timing_.tBURST} * ratio_;
+    const uint64_t latency_cpu = uint64_t{dram_cycles} * ratio_;
+    const uint64_t burst_start =
+        std::max(start + latency_cpu - burst_cpu, busFreeCycle_);
+    const uint64_t completion = burst_start + burst_cpu;
+    busFreeCycle_ = completion;
+
+    // Bank busy until the access (plus write recovery) finishes.
+    state.readyCycle = completion;
+    if (write) {
+        state.readyCycle += uint64_t{timing_.tWR} * ratio_;
+        ++counts_.writes;
+    } else {
+        ++counts_.reads;
+    }
+    return completion;
+}
+
+void
+DramChannelTiming::finalize(uint64_t elapsed_cpu_cycles)
+{
+    counts_.cycles = elapsed_cpu_cycles / ratio_;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-channel DDR3 timing model with open-page policy and per-bank state.
+ *
+ * The model tracks the open row and ready time of every bank and the data
+ * bus occupancy of the channel, in CPU cycles. Requests are serviced in
+ * arrival order per bank (FR-FCFS's row-hit preference is approximated by
+ * the open-page policy itself: consecutive hits to the open row do not
+ * pay activation). Counts activates/reads/writes for the TN-41-01 power
+ * model.
+ */
+
+#ifndef RELAXFAULT_PERF_DRAM_CHANNEL_H
+#define RELAXFAULT_PERF_DRAM_CHANNEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.h"
+#include "dram/power.h"
+#include "dram/timing.h"
+
+namespace relaxfault {
+
+/** Timing/occupancy model of one memory channel. */
+class DramChannelTiming
+{
+  public:
+    /**
+     * @param geometry Memory geometry (ranks/banks of this channel).
+     * @param timing Device timing in DRAM cycles.
+     * @param cpu_cycles_per_dram_cycle Clock ratio (4GHz / 800MHz = 5).
+     */
+    DramChannelTiming(const DramGeometry &geometry,
+                      const DramTiming &timing,
+                      unsigned cpu_cycles_per_dram_cycle = 5);
+
+    /**
+     * Issue one 64B access and return its completion time (CPU cycles).
+     * @p request_cycle is when the request reaches the controller.
+     */
+    uint64_t access(unsigned rank, unsigned bank, uint32_t row, bool write,
+                    uint64_t request_cycle);
+
+    /** Operation counters (cycles field is set by finalize()). */
+    const DramOpCounts &counts() const { return counts_; }
+
+    /** Record the elapsed simulation length for power reporting. */
+    void finalize(uint64_t elapsed_cpu_cycles);
+
+    /** Enable/disable periodic refresh (tREFI/tRFC); on by default. */
+    void setRefreshEnabled(bool enabled) { refreshEnabled_ = enabled; }
+
+    /** All-bank refreshes issued so far (per rank, summed). */
+    uint64_t refreshesIssued() const { return refreshes_; }
+
+  private:
+    /**
+     * Per-bank state. Two recently-open-row slots approximate FR-FCFS
+     * batching: the scheduler services queued same-row requests before
+     * honoring an interleaved conflicting one, so a single stray access
+     * does not destroy a streaming row's locality. Requests are still
+     * processed in arrival order (this model issues one request at a
+     * time), but a request matching either recent row is a row hit.
+     */
+    struct BankState
+    {
+        unsigned openRows = 0;
+        uint32_t recentRows[2] = {0, 0};  ///< MRU first.
+        uint64_t readyCycle = 0;
+        uint64_t refreshEpoch = 0;  ///< Last tREFI epoch applied.
+    };
+
+    /** Apply any refresh epochs that elapsed before @p cycle. */
+    uint64_t applyRefresh(unsigned rank, uint64_t cycle,
+                          BankState &bank);
+
+    DramGeometry geometry_;
+    DramTiming timing_;
+    unsigned ratio_;
+    std::vector<BankState> banks_;
+    std::vector<uint64_t> rankRefreshEpoch_;
+    uint64_t busFreeCycle_ = 0;
+    DramOpCounts counts_;
+    bool refreshEnabled_ = true;
+    uint64_t refreshes_ = 0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_PERF_DRAM_CHANNEL_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multicore performance simulator (paper Table 3 system, Sec. 4.2).
+ *
+ * Eight cores with private L1/L2, a shared 16-way 8MiB LLC, and dual
+ * DDR3-1600 channels. Cores issue synthetic-workload memory operations in
+ * global time order (a priority queue keeps inter-core memory contention
+ * honest); an access walks L1 -> L2 -> LLC -> DRAM, and miss latency is
+ * charged divided by the workload's memory-level parallelism. The LLC can
+ * lose capacity to repair three ways, matching the paper's methodology:
+ * whole locked ways, or a byte budget of randomly-placed locked lines.
+ */
+
+#ifndef RELAXFAULT_PERF_PERF_SIM_H
+#define RELAXFAULT_PERF_PERF_SIM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.h"
+#include "dram/address_map.h"
+#include "perf/dram_channel.h"
+#include "perf/workload.h"
+
+namespace relaxfault {
+
+/** How much LLC is taken from normal data for repair. */
+struct LlcRepairConfig
+{
+    enum class Kind : uint8_t
+    {
+        None,         ///< Full LLC available.
+        LockedWays,   ///< N ways locked in every set (paper "N-way").
+        RandomLines,  ///< A byte budget of randomly placed lines.
+    };
+
+    Kind kind = Kind::None;
+    unsigned lockedWays = 0;
+    uint64_t lockedBytes = 0;
+    uint64_t placementSeed = 1;
+
+    static LlcRepairConfig none() { return {}; }
+    static LlcRepairConfig ways(unsigned n);
+    static LlcRepairConfig randomBytes(uint64_t bytes, uint64_t seed);
+
+    std::string label() const;
+};
+
+/** System parameters (defaults = paper Table 3). */
+struct PerfConfig
+{
+    unsigned cores = 8;
+    unsigned issueWidth = 4;
+    unsigned l1LatencyCycles = 3;
+    unsigned l2LatencyCycles = 8;
+    unsigned llcLatencyCycles = 30;
+    CacheGeometry l1{32 * 1024, 8, 64};
+    CacheGeometry l2{128 * 1024, 8, 64};
+    CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+    bool llcXorHash = true;
+    DramTiming dramTiming;
+    unsigned cpuCyclesPerDramCycle = 5;  ///< 4GHz CPU / 800MHz bus.
+    /// Long enough to cycle the LLC several times; short runs make the
+    /// locked-way comparison a turnover artifact (deferred writebacks).
+    uint64_t instructionsPerCore = 1'000'000;
+    uint64_t warmupAccessesPerCore = 120'000;
+
+    /** Dual-channel memory system of Table 3. */
+    static DramGeometry dramGeometry();
+};
+
+/** Per-core outcome. */
+struct CoreResult
+{
+    std::string workload;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/** Whole-run outcome. */
+struct PerfResult
+{
+    std::vector<CoreResult> cores;
+    DramOpCounts dram;          ///< Summed over channels.
+    uint64_t llcHits = 0;
+    uint64_t llcMisses = 0;
+    uint64_t elapsedCycles = 0;
+
+    double llcMissRate() const;
+};
+
+/** Weighted speedup (paper Eq. 2) of a shared run vs alone-run IPCs. */
+double weightedSpeedup(const PerfResult &shared,
+                       const std::vector<double> &alone_ipc);
+
+/** The simulator. One instance per run (state is per-run). */
+class PerfSimulator
+{
+  public:
+    explicit PerfSimulator(const PerfConfig &config);
+
+    /**
+     * Run all cores with the given per-core workloads (size <= cores;
+     * missing entries idle the core) under an LLC repair configuration.
+     */
+    PerfResult run(const std::vector<WorkloadParams> &core_workloads,
+                   const LlcRepairConfig &repair, uint64_t seed) const;
+
+    /**
+     * Run with arbitrary per-core access streams (e.g., replayed
+     * traces). Null entries idle the core. Streams are consumed.
+     */
+    PerfResult runStreams(
+        std::vector<std::unique_ptr<AccessStream>> streams,
+        const LlcRepairConfig &repair) const;
+
+    /** Alone-run IPC of one workload on core 0 with the full LLC. */
+    double aloneIpc(const WorkloadParams &workload, uint64_t seed) const;
+
+    const PerfConfig &config() const { return config_; }
+
+  private:
+    PerfConfig config_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_PERF_PERF_SIM_H

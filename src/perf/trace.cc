@@ -1,0 +1,68 @@
+#include "perf/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+TraceWriter::TraceWriter(std::ostream &os) : os_(os)
+{
+}
+
+void
+TraceWriter::record(const MemAccess &access)
+{
+    os_ << (access.write ? 'W' : 'R') << ' ' << std::hex << access.pa
+        << std::dec << ' ' << access.gapInstructions << '\n';
+    ++count_;
+}
+
+std::vector<MemAccess>
+TraceReader::readAll(std::istream &is, uint64_t *malformed_lines)
+{
+    std::vector<MemAccess> accesses;
+    uint64_t malformed = 0;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        char kind = 0;
+        uint64_t pa = 0;
+        unsigned gap = 0;
+        fields >> kind >> std::hex >> pa >> std::dec >> gap;
+        if (fields.fail() || (kind != 'R' && kind != 'W')) {
+            ++malformed;
+            continue;
+        }
+        MemAccess access;
+        access.pa = pa;
+        access.write = kind == 'W';
+        access.gapInstructions = gap;
+        accesses.push_back(access);
+    }
+    if (malformed_lines != nullptr)
+        *malformed_lines = malformed;
+    return accesses;
+}
+
+TraceWorkload::TraceWorkload(std::vector<MemAccess> accesses, double mlp,
+                             std::string label)
+    : accesses_(std::move(accesses)), mlp_(mlp), label_(std::move(label))
+{
+    if (accesses_.empty())
+        fatal("TraceWorkload: empty trace");
+}
+
+MemAccess
+TraceWorkload::next()
+{
+    const MemAccess access = accesses_[position_];
+    position_ = (position_ + 1) % accesses_.size();
+    return access;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory-trace recording and replay.
+ *
+ * Format: one operation per line, `R <hex-pa> <gap>` or `W <hex-pa>
+ * <gap>`; `#` starts a comment. Traces recorded from the synthetic
+ * generators (or converted from external tools) can be replayed through
+ * the performance simulator, making experiments reproducible across
+ * machines and lettings users drive the Table 3 system with real
+ * application traces.
+ */
+
+#ifndef RELAXFAULT_PERF_TRACE_H
+#define RELAXFAULT_PERF_TRACE_H
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "perf/access_stream.h"
+
+namespace relaxfault {
+
+/** Writes a stream of accesses as a text trace. */
+class TraceWriter
+{
+  public:
+    /** @param os Destination; the caller keeps it alive. */
+    explicit TraceWriter(std::ostream &os);
+
+    /** Append one access. */
+    void record(const MemAccess &access);
+
+    uint64_t recordCount() const { return count_; }
+
+  private:
+    std::ostream &os_;
+    uint64_t count_ = 0;
+};
+
+/** Parses a text trace; throws nothing, reports malformed lines. */
+class TraceReader
+{
+  public:
+    /**
+     * Parse all accesses from @p is.
+     * @param malformed_lines Optional out-counter of skipped lines.
+     */
+    static std::vector<MemAccess> readAll(std::istream &is,
+                                          uint64_t *malformed_lines =
+                                              nullptr);
+};
+
+/** Replays a recorded trace, looping when it runs out. */
+class TraceWorkload : public AccessStream
+{
+  public:
+    /**
+     * @param accesses Recorded operations (must be non-empty).
+     * @param mlp Latency-hiding divisor to model the traced core.
+     * @param label Name for reports.
+     */
+    TraceWorkload(std::vector<MemAccess> accesses, double mlp,
+                  std::string label);
+
+    MemAccess next() override;
+    double mlpFactor() const override { return mlp_; }
+    std::string name() const override { return label_; }
+
+    size_t length() const { return accesses_.size(); }
+
+  private:
+    std::vector<MemAccess> accesses_;
+    double mlp_;
+    std::string label_;
+    size_t position_ = 0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_PERF_TRACE_H

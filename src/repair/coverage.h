@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Repair-coverage Monte Carlo (paper Figs. 8, 10, 11).
+ *
+ * Samples node lifetimes, feeds each faulty node's permanent faults, in
+ * arrival order, to a repair mechanism, and builds the cumulative
+ * coverage-vs-required-LLC-capacity curve: coverage(c) is the fraction of
+ * faulty nodes whose faults are all repaired using at most c bytes of LLC
+ * (and within the mechanism's way ceiling).
+ */
+
+#ifndef RELAXFAULT_REPAIR_COVERAGE_H
+#define RELAXFAULT_REPAIR_COVERAGE_H
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "faults/fault_model.h"
+#include "repair/repair_mechanism.h"
+
+namespace relaxfault {
+
+/** Parameters of one coverage experiment. */
+struct CoverageConfig
+{
+    FaultModelConfig faultModel;
+    /** Stop after this many faulty nodes have been evaluated. */
+    uint64_t faultyNodeTarget = 20000;
+    /** Hard cap on total node samples (guards tiny FIT configs). */
+    uint64_t maxNodeSamples = 50'000'000;
+    /** Capacity histogram resolution and range. */
+    uint64_t capacityBinBytes = 4096;
+    uint64_t capacityMaxBytes = 2 * 1024 * 1024;
+};
+
+/** Result of one coverage experiment. */
+struct CoverageResult
+{
+    uint64_t nodesSampled = 0;
+    uint64_t faultyNodes = 0;
+    uint64_t repairedNodes = 0;
+
+    /** Repaired-node capacity distribution (bytes). */
+    Histogram capacityHistogram{4096, 512};
+
+    /** Fraction of sampled nodes with >= 1 permanent fault. */
+    double faultyFraction() const;
+
+    /** Final coverage: repaired / faulty. */
+    double coverage() const;
+
+    /** Coverage achievable with at most @p capacity_bytes of LLC. */
+    double coverageAtCapacity(uint64_t capacity_bytes) const;
+
+    /** Smallest capacity (bytes) achieving fraction @p target of the
+     *  final coverage==1 scale (e.g. 0.999 of repaired nodes). */
+    uint64_t capacityForQuantile(double target) const;
+};
+
+/** Runs coverage experiments for any mechanism. */
+class CoverageEvaluator
+{
+  public:
+    using MechanismFactory =
+        std::function<std::unique_ptr<RepairMechanism>()>;
+
+    explicit CoverageEvaluator(const CoverageConfig &config);
+
+    /**
+     * Evaluate @p factory's mechanism. A fresh mechanism state (via
+     * reset()) is used per node; faults are attempted in arrival order
+     * and, per the paper's repair policy, a fault that cannot be
+     * repaired leaves the node unrepaired (but earlier repairs stand).
+     */
+    CoverageResult run(const MechanismFactory &factory, Rng &rng) const;
+
+    const CoverageConfig &config() const { return config_; }
+
+  private:
+    CoverageConfig config_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_COVERAGE_H

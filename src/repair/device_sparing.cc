@@ -1,0 +1,65 @@
+#include "repair/device_sparing.h"
+
+#include <vector>
+
+namespace relaxfault {
+
+DeviceSparing::DeviceSparing(const DramGeometry &geometry,
+                             unsigned spares_per_rank)
+    : geometry_(geometry), sparesPerRank_(spares_per_rank)
+{
+}
+
+bool
+DeviceSparing::tryRepair(const FaultRecord &fault)
+{
+    // Collect the devices this fault needs retired; check every rank's
+    // spare budget before committing (all-or-nothing).
+    std::vector<uint64_t> new_devices;
+    std::unordered_map<unsigned, unsigned> need;
+    for (const auto &part : fault.parts) {
+        const uint64_t device_key = key(part.dimm, part.device);
+        if (spared_.count(device_key))
+            continue;
+        bool pending = false;
+        for (const auto existing : new_devices)
+            pending |= existing == device_key;
+        if (pending)
+            continue;
+        new_devices.push_back(device_key);
+        ++need[part.dimm];
+    }
+    for (const auto &[dimm, count] : need) {
+        const auto it = rankUse_.find(dimm);
+        const unsigned used = it == rankUse_.end() ? 0 : it->second;
+        if (used + count > sparesPerRank_)
+            return false;
+    }
+    for (const auto &part : fault.parts) {
+        const uint64_t device_key = key(part.dimm, part.device);
+        if (spared_.insert(device_key).second)
+            ++rankUse_[part.dimm];
+    }
+    return true;
+}
+
+void
+DeviceSparing::reset()
+{
+    spared_.clear();
+    rankUse_.clear();
+}
+
+bool
+DeviceSparing::deviceSpared(unsigned dimm, unsigned device) const
+{
+    return spared_.count(key(dimm, device)) != 0;
+}
+
+unsigned
+DeviceSparing::degradedRanks() const
+{
+    return static_cast<unsigned>(rankUse_.size());
+}
+
+} // namespace relaxfault

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Device-sparing baseline: bit-steering / DDDC (paper Sec. 6).
+ *
+ * IBM's Memory ProteXion and Intel's Double Device Data Correction
+ * retire a whole faulty DRAM *device* by steering its data into the
+ * rank's redundant (check) device. No capacity is lost and even massive
+ * per-device faults are absorbed — but each steering consumes one of
+ * the rank's check devices, degrading the ECC from chipkill-correct to
+ * detect-only (and a second sparing in the same rank is impossible),
+ * which is exactly the resilience-degradation trade the paper calls
+ * out.
+ */
+
+#ifndef RELAXFAULT_REPAIR_DEVICE_SPARING_H
+#define RELAXFAULT_REPAIR_DEVICE_SPARING_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dram/geometry.h"
+#include "repair/repair_mechanism.h"
+
+namespace relaxfault {
+
+/** Whole-device retirement into the rank's redundant device. */
+class DeviceSparing : public RepairMechanism
+{
+  public:
+    /**
+     * @param geometry Node memory geometry.
+     * @param spares_per_rank How many devices a rank can steer around
+     *        (1 leaves single-device-detect ECC; the x4 chipkill DIMM
+     *        has 2 check devices but spending both forfeits all
+     *        correction, so 1 is the realistic ceiling).
+     */
+    explicit DeviceSparing(const DramGeometry &geometry,
+                           unsigned spares_per_rank = 1);
+
+    std::string name() const override { return "DeviceSparing"; }
+    bool tryRepair(const FaultRecord &fault) override;
+    uint64_t usedLines() const override { return 0; }
+    unsigned maxWaysUsed() const override { return 0; }
+    void reset() override;
+
+    /** Devices spared so far across the node. */
+    uint64_t sparedDevices() const { return spared_.size(); }
+
+    /** Whether (dimm, device) has been steered to the spare. */
+    bool deviceSpared(unsigned dimm, unsigned device) const;
+
+    /** Ranks whose ECC is degraded by at least one sparing. */
+    unsigned degradedRanks() const;
+
+  private:
+    uint64_t key(unsigned dimm, unsigned device) const
+    {
+        return uint64_t{dimm} * geometry_.devicesPerRank() + device;
+    }
+
+    DramGeometry geometry_;
+    unsigned sparesPerRank_;
+    std::unordered_set<uint64_t> spared_;
+    std::unordered_map<unsigned, unsigned> rankUse_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_DEVICE_SPARING_H

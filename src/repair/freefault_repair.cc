@@ -1,0 +1,63 @@
+#include "repair/freefault_repair.h"
+
+namespace relaxfault {
+
+FreeFaultRepair::FreeFaultRepair(const DramAddressMap &map,
+                                 const CacheGeometry &llc,
+                                 const RepairBudget &budget, bool xor_hash)
+    : map_(map), indexer_(llc, xor_hash), tracker_(llc.sets(), budget)
+{
+}
+
+std::string
+FreeFaultRepair::name() const
+{
+    return indexer_.xorHash() ? "FreeFault" : "FreeFault-nohash";
+}
+
+bool
+FreeFaultRepair::tryRepair(const FaultRecord &fault)
+{
+    const DramGeometry &geometry = map_.geometry();
+    uint64_t total_lines = 0;
+    for (const auto &part : fault.parts) {
+        if (part.region.massive())
+            return false;
+        total_lines += part.region.lineSliceCount(geometry);
+    }
+    if (total_lines > tracker_.budget().maxLines)
+        return false;
+
+    std::vector<std::pair<uint64_t, uint64_t>> lines;
+    lines.reserve(total_lines);
+    for (const auto &part : fault.parts) {
+        LineCoord coord;
+        coord.channel = part.dimm / geometry.ranksPerChannel;
+        coord.rank = part.dimm % geometry.ranksPerChannel;
+        part.region.forEachSlice(
+            geometry,
+            [&](unsigned bank, uint32_t row, uint16_t col_block) {
+                coord.bank = bank;
+                coord.row = row;
+                coord.colBlock = col_block;
+                const uint64_t pa = map_.encode(coord);
+                lines.emplace_back(indexer_.setIndex(pa),
+                                   pa >> geometry.offsetBits());
+            });
+    }
+    return tracker_.tryAdd(lines);
+}
+
+void
+FreeFaultRepair::reset()
+{
+    tracker_.reset();
+}
+
+bool
+FreeFaultRepair::lineRepaired(uint64_t pa) const
+{
+    return tracker_.contains(pa >> map_.geometry().offsetBits());
+}
+
+} // namespace relaxfault

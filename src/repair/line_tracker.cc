@@ -1,0 +1,56 @@
+#include "repair/line_tracker.h"
+
+#include <algorithm>
+
+namespace relaxfault {
+
+RepairLineTracker::RepairLineTracker(uint64_t sets,
+                                     const RepairBudget &budget)
+    : budget_(budget), load_(sets, 0)
+{
+}
+
+bool
+RepairLineTracker::tryAdd(
+    const std::vector<std::pair<uint64_t, uint64_t>> &lines)
+{
+    // Stage: find genuinely new keys and prospective per-set loads.
+    std::unordered_map<uint64_t, unsigned> set_increase;
+    std::unordered_set<uint64_t> new_keys;
+    for (const auto &[set, key] : lines) {
+        if (allocated_.count(key) || new_keys.count(key))
+            continue;
+        new_keys.insert(key);
+        ++set_increase[set];
+    }
+
+    if (usedLines_ + new_keys.size() > budget_.maxLines)
+        return false;
+    for (const auto &[set, increase] : set_increase) {
+        if (load_[set] + increase > budget_.maxWaysPerSet)
+            return false;
+    }
+
+    // Commit.
+    for (const auto &[set, key] : lines) {
+        if (!new_keys.count(key))
+            continue;
+        new_keys.erase(key);
+        allocated_.insert(key);
+        ++load_[set];
+        maxWaysUsed_ = std::max<unsigned>(maxWaysUsed_, load_[set]);
+        ++usedLines_;
+    }
+    return true;
+}
+
+void
+RepairLineTracker::reset()
+{
+    std::fill(load_.begin(), load_.end(), 0);
+    allocated_.clear();
+    usedLines_ = 0;
+    maxWaysUsed_ = 0;
+}
+
+} // namespace relaxfault

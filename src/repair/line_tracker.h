@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared LLC-line allocation bookkeeping for RelaxFault and FreeFault.
+ *
+ * Tracks which (set, tag) repair lines are locked, enforces the per-set
+ * way ceiling and the total-capacity cap, and supports all-or-nothing
+ * allocation of the lines one fault needs.
+ */
+
+#ifndef RELAXFAULT_REPAIR_LINE_TRACKER_H
+#define RELAXFAULT_REPAIR_LINE_TRACKER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "repair/repair_mechanism.h"
+
+namespace relaxfault {
+
+/** Per-set locked-line accounting with transactional adds. */
+class RepairLineTracker
+{
+  public:
+    RepairLineTracker(uint64_t sets, const RepairBudget &budget);
+
+    /**
+     * Atomically allocate the given (set, unique key) lines. Keys that
+     * are already allocated are shared, not duplicated. Returns false —
+     * with no state change — if the per-set or capacity limits would be
+     * exceeded.
+     */
+    bool tryAdd(const std::vector<std::pair<uint64_t, uint64_t>> &lines);
+
+    /** True if @p key is already locked. */
+    bool contains(uint64_t key) const { return allocated_.count(key) != 0; }
+
+    uint64_t usedLines() const { return usedLines_; }
+    unsigned maxWaysUsed() const { return maxWaysUsed_; }
+    const RepairBudget &budget() const { return budget_; }
+
+    /** Locked lines in one set. */
+    unsigned setLoad(uint64_t set) const { return load_[set]; }
+
+    void reset();
+
+  private:
+    RepairBudget budget_;
+    std::vector<uint16_t> load_;
+    std::unordered_set<uint64_t> allocated_;
+    uint64_t usedLines_ = 0;
+    unsigned maxWaysUsed_ = 0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_LINE_TRACKER_H

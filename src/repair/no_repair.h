@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The no-repair baseline: every repair attempt fails, so faults stay
+ * active until a DIMM replacement removes them.
+ */
+
+#ifndef RELAXFAULT_REPAIR_NO_REPAIR_H
+#define RELAXFAULT_REPAIR_NO_REPAIR_H
+
+#include "repair/repair_mechanism.h"
+
+namespace relaxfault {
+
+/** Baseline mechanism that never repairs anything. */
+class NoRepair : public RepairMechanism
+{
+  public:
+    std::string name() const override { return "NoRepair"; }
+    bool tryRepair(const FaultRecord &) override { return false; }
+    uint64_t usedLines() const override { return 0; }
+    unsigned maxWaysUsed() const override { return 0; }
+    void reset() override {}
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_NO_REPAIR_H

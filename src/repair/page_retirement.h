@@ -1,0 +1,62 @@
+/**
+ * @file
+ * OS page-retirement baseline (paper Sec. 6).
+ *
+ * Operating systems (AIX, Solaris, NVIDIA's driver) retire faulty memory
+ * by unmapping the physical frames that contain faulty cells. Because
+ * the performance-oriented DRAM mapping scatters one device structure
+ * across the physical address space, retiring even one device row costs
+ * hundreds of frames — the paper's argument for microarchitectural
+ * repair. This mechanism quantifies that: it "repairs" by retiring
+ * frames, up to a capacity budget.
+ */
+
+#ifndef RELAXFAULT_REPAIR_PAGE_RETIREMENT_H
+#define RELAXFAULT_REPAIR_PAGE_RETIREMENT_H
+
+#include <unordered_set>
+
+#include "dram/address_map.h"
+#include "repair/repair_mechanism.h"
+
+namespace relaxfault {
+
+/** Frame-granularity retirement through the OS memory map. */
+class PageRetirement : public RepairMechanism
+{
+  public:
+    /**
+     * @param map Physical-address translation of the node.
+     * @param page_bytes OS frame size (4KiB default; huge pages make
+     *        the waste proportionally worse).
+     * @param max_retired_bytes Retirement budget: OSes cap retired
+     *        memory (e.g., a fraction of a percent of capacity).
+     */
+    PageRetirement(const DramAddressMap &map, uint64_t page_bytes,
+                   uint64_t max_retired_bytes);
+
+    std::string name() const override { return "PageRetirement"; }
+    bool tryRepair(const FaultRecord &fault) override;
+    uint64_t usedLines() const override { return 0; }  ///< No LLC cost.
+    unsigned maxWaysUsed() const override { return 0; }
+    void reset() override;
+
+    /** Frames retired so far. */
+    uint64_t retiredPages() const { return retired_.size(); }
+
+    /** DRAM capacity lost to retirement. */
+    uint64_t retiredBytes() const { return retiredPages() * pageBytes_; }
+
+    /** Whether the frame containing @p pa has been retired. */
+    bool pageRetired(uint64_t pa) const;
+
+  private:
+    DramAddressMap map_;
+    uint64_t pageBytes_;
+    uint64_t maxRetiredBytes_;
+    std::unordered_set<uint64_t> retired_;  ///< Frame numbers.
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_PAGE_RETIREMENT_H

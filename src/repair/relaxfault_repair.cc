@@ -1,0 +1,99 @@
+#include "repair/relaxfault_repair.h"
+
+namespace relaxfault {
+
+RelaxFaultRepair::RelaxFaultRepair(const DramGeometry &dram,
+                                   const CacheGeometry &llc,
+                                   const RepairBudget &budget,
+                                   bool xor_fold)
+    : dram_(dram), map_(dram, llc, xor_fold),
+      tracker_(llc.sets(), budget),
+      faultyBankTable_(dram.dimmsPerNode(), 0)
+{
+}
+
+RelaxFaultRepair::RelaxFaultRepair(const DramGeometry &dram,
+                                   const CacheGeometry &llc,
+                                   const RepairBudget &budget,
+                                   RelaxFaultMap::IndexMode mode)
+    : dram_(dram), map_(dram, llc, mode), tracker_(llc.sets(), budget),
+      faultyBankTable_(dram.dimmsPerNode(), 0)
+{
+}
+
+std::string
+RelaxFaultRepair::name() const
+{
+    switch (map_.indexMode()) {
+      case RelaxFaultMap::IndexMode::StructuredFolded:
+        return "RelaxFault";
+      case RelaxFaultMap::IndexMode::Structured:
+        return "RelaxFault-nohash";
+      case RelaxFaultMap::IndexMode::HashOnly:
+        return "RelaxFault-hashonly";
+    }
+    return "RelaxFault";
+}
+
+bool
+RelaxFaultRepair::tryRepair(const FaultRecord &fault)
+{
+    // Feasibility pre-pass: a massive region (whole bank or more) or one
+    // that alone exceeds the line budget can never fit; reject before
+    // enumerating. A fault's own units are distinct by construction, so
+    // the count is exact for the fault in isolation.
+    uint64_t total_units = 0;
+    for (const auto &part : fault.parts) {
+        if (part.region.massive())
+            return false;
+        total_units += part.region.remapUnitCount(dram_);
+    }
+    if (total_units > tracker_.budget().maxLines)
+        return false;
+
+    std::vector<std::pair<uint64_t, uint64_t>> lines;
+    lines.reserve(total_units);
+    for (const auto &part : fault.parts) {
+        RemapUnit unit;
+        unit.dimm = part.dimm;
+        unit.device = part.device;
+        part.region.forEachRemapUnit(
+            dram_, [&](unsigned bank, uint32_t row, uint16_t col_group) {
+                unit.bank = bank;
+                unit.row = row;
+                unit.colGroup = col_group;
+                const RemapLocation loc = map_.locate(unit);
+                lines.emplace_back(loc.set, loc.key(map_.setBits()));
+            });
+    }
+    if (!tracker_.tryAdd(lines))
+        return false;
+
+    for (const auto &part : fault.parts) {
+        for (const auto &cluster : part.region.clusters())
+            faultyBankTable_[part.dimm] |= cluster.bankMask;
+    }
+    return true;
+}
+
+void
+RelaxFaultRepair::reset()
+{
+    tracker_.reset();
+    std::fill(faultyBankTable_.begin(), faultyBankTable_.end(), 0);
+}
+
+bool
+RelaxFaultRepair::bankFlagged(unsigned dimm, unsigned bank) const
+{
+    return (faultyBankTable_[dimm] >> bank) & 1u;
+}
+
+bool
+RelaxFaultRepair::unitRepaired(const RemapUnit &unit) const
+{
+    const RemapLocation loc = map_.locate(unit);
+    return tracker_.contains(loc.key(map_.setBits()));
+}
+
+} // namespace relaxfault

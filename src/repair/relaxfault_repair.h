@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The RelaxFault repair mechanism (paper Sec. 3).
+ *
+ * Faulty memory is remapped into LLC lines through the coalescing
+ * RelaxFaultMap: each locked line holds 64B of a *single device's* data,
+ * so a fault confined to one device consumes ~16x fewer lines than
+ * FreeFault's one-line-per-64B-physical-block. The mechanism also keeps
+ * the faulty-bank table (one bit per DIMM x bank) that filters LLC misses
+ * in hardware, and reports the metadata footprint of Table 1.
+ */
+
+#ifndef RELAXFAULT_REPAIR_RELAXFAULT_REPAIR_H
+#define RELAXFAULT_REPAIR_RELAXFAULT_REPAIR_H
+
+#include <vector>
+
+#include "cache/cache_geometry.h"
+#include "repair/line_tracker.h"
+#include "repair/relaxfault_map.h"
+#include "repair/repair_mechanism.h"
+
+namespace relaxfault {
+
+/** LLC-coalescing repair remapper. */
+class RelaxFaultRepair : public RepairMechanism
+{
+  public:
+    /**
+     * @param dram Node memory geometry.
+     * @param llc LLC geometry (8MiB/16-way/64B in the paper).
+     * @param budget Way and capacity ceilings.
+     * @param xor_fold Fold the repair tag into the set index (Fig. 8).
+     */
+    RelaxFaultRepair(const DramGeometry &dram, const CacheGeometry &llc,
+                     const RepairBudget &budget, bool xor_fold = true);
+
+    /** Explicit index-mode constructor (ablation studies). */
+    RelaxFaultRepair(const DramGeometry &dram, const CacheGeometry &llc,
+                     const RepairBudget &budget,
+                     RelaxFaultMap::IndexMode mode);
+
+    std::string name() const override;
+    bool tryRepair(const FaultRecord &fault) override;
+    uint64_t usedLines() const override { return tracker_.usedLines(); }
+    unsigned maxWaysUsed() const override
+    {
+        return tracker_.maxWaysUsed();
+    }
+    void reset() override;
+
+    /** Faulty-bank table bit: any repaired region in (dimm, bank)? */
+    bool bankFlagged(unsigned dimm, unsigned bank) const;
+
+    /** Whether a specific remap unit is locked in the LLC. */
+    bool unitRepaired(const RemapUnit &unit) const;
+
+    const RelaxFaultMap &map() const { return map_; }
+
+  private:
+    DramGeometry dram_;
+    RelaxFaultMap map_;
+    RepairLineTracker tracker_;
+    std::vector<uint32_t> faultyBankTable_;  ///< Per DIMM, bit per bank.
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_RELAXFAULT_REPAIR_H

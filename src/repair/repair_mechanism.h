@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Common interface of the fine-grained repair mechanisms the paper
+ * compares: RelaxFault, FreeFault, and DDR4 post-package repair (PPR).
+ *
+ * A mechanism is stateful per node: faults arrive one at a time over the
+ * mission, and each attempt either fully repairs the fault (every cell it
+ * disables is remapped) or leaves the mechanism's state unchanged. The
+ * paper only considers complete repair — a partially repaired fault still
+ * produces errors — so tryRepair is all-or-nothing.
+ */
+
+#ifndef RELAXFAULT_REPAIR_REPAIR_MECHANISM_H
+#define RELAXFAULT_REPAIR_REPAIR_MECHANISM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "faults/fault.h"
+
+namespace relaxfault {
+
+/** Resource limits for LLC-based repair (paper: 1/4/16 ways). */
+struct RepairBudget
+{
+    /** Locked-way ceiling in any single LLC set. */
+    unsigned maxWaysPerSet = 1;
+    /** Total LLC lines available for repair (capacity cap / 64B). */
+    uint64_t maxLines = 32 * 1024;  ///< 2MiB of a 64B-line LLC.
+};
+
+/** Stateful per-node repair engine. */
+class RepairMechanism
+{
+  public:
+    virtual ~RepairMechanism() = default;
+
+    /** Mechanism name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Attempt to fully repair @p fault. Returns true and commits resource
+     * allocations on success; returns false and leaves state untouched
+     * if the fault does not fit the mechanism's resources.
+     */
+    virtual bool tryRepair(const FaultRecord &fault) = 0;
+
+    /** LLC lines locked for repair (0 for PPR). */
+    virtual uint64_t usedLines() const = 0;
+
+    /** Highest per-set way usage so far (0 for PPR). */
+    virtual unsigned maxWaysUsed() const = 0;
+
+    /** Release all repair resources (e.g., after DIMM replacement). */
+    virtual void reset() = 0;
+
+    /** LLC bytes locked for repair. */
+    uint64_t usedBytes() const { return usedLines() * 64; }
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_REPAIR_MECHANISM_H

@@ -1,0 +1,270 @@
+#include "sim/lifetime.h"
+
+#include <algorithm>
+
+namespace relaxfault {
+
+LifetimeMetrics &
+LifetimeMetrics::operator+=(const LifetimeMetrics &other)
+{
+    faultyNodes += other.faultyNodes;
+    multiDeviceFaultDimms += other.multiDeviceFaultDimms;
+    dues += other.dues;
+    sdcs += other.sdcs;
+    replacements += other.replacements;
+    repairedFaults += other.repairedFaults;
+    permanentFaults += other.permanentFaults;
+    fullyRepairedNodes += other.fullyRepairedNodes;
+    return *this;
+}
+
+LifetimeMetrics &
+LifetimeMetrics::operator/=(double divisor)
+{
+    faultyNodes /= divisor;
+    multiDeviceFaultDimms /= divisor;
+    dues /= divisor;
+    sdcs /= divisor;
+    replacements /= divisor;
+    repairedFaults /= divisor;
+    permanentFaults /= divisor;
+    fullyRepairedNodes /= divisor;
+    return *this;
+}
+
+LifetimeSimulator::LifetimeSimulator(const LifetimeConfig &config)
+    : config_(config),
+      classifier_(config.faultModel.geometry, config.reliability)
+{
+}
+
+void
+LifetimeSimulator::simulateNode(const NodeSample &node,
+                                RepairMechanism *mechanism,
+                                LifetimeMetrics &metrics, Rng &rng) const
+{
+    if (node.faults.empty())
+        return;
+
+    const unsigned dimms = config_.faultModel.geometry.dimmsPerNode();
+
+    // A replaced DIMM is a fresh, nominal-quality module: the slot's
+    // pre-sampled accelerated fault stream is thinned back to the
+    // nominal rate after a replacement (maintenance that replaces a bad
+    // module typically also addresses the slot: reseating, cooling).
+    std::vector<bool> replacedOnce(dimms, false);
+    double thin_keep_prob = 1.0;
+    if (config_.faultModel.accelerationEnabled) {
+        // Relative factors: accelerated stream runs at A/fitScale of the
+        // node's base mean; nominal replacements run at adjustmentFactor.
+        thin_keep_prob = config_.faultModel.adjustmentFactor() *
+                         config_.faultModel.fitScale /
+                         config_.faultModel.accelerationFactor;
+    }
+
+    struct LivePart
+    {
+        unsigned device;
+        const FaultRegion *region;
+        size_t faultIndex;
+    };
+    std::vector<std::vector<LivePart>> active(dimms);
+    std::vector<bool> repaired(node.faults.size(), false);
+    std::vector<bool> multiDevCounted(dimms, false);
+
+    bool any_permanent = false;
+    bool all_repaired = true;
+    if (mechanism != nullptr)
+        mechanism->reset();
+
+    auto replaceDimm = [&](unsigned dimm) {
+        metrics.replacements += 1.0;
+        replacedOnce[dimm] = true;
+        active[dimm].clear();
+        if (mechanism == nullptr)
+            return;
+        // The replaced DIMM's repair lines are released; rebuild the
+        // mechanism state from the repaired faults still in service.
+        mechanism->reset();
+        for (size_t idx = 0; idx < node.faults.size(); ++idx) {
+            if (!repaired[idx])
+                continue;
+            bool still_live = false;
+            for (const auto &parts : active) {
+                for (const auto &part : parts) {
+                    if (part.faultIndex == idx) {
+                        still_live = true;
+                        break;
+                    }
+                }
+            }
+            if (!still_live)
+                continue;
+            if (!mechanism->tryRepair(node.faults[idx]))
+                repaired[idx] = false;
+        }
+    };
+
+    for (size_t idx = 0; idx < node.faults.size(); ++idx) {
+        const FaultRecord &fault = node.faults[idx];
+
+        // 0. Thin the stream of module-accelerated DIMMs that have been
+        //    replaced by nominal-rate modules.
+        if (thin_keep_prob < 1.0) {
+            bool thinned_away = false;
+            for (const auto &part : fault.parts) {
+                if (replacedOnce[part.dimm] &&
+                    (node.acceleratedDimm[part.dimm] ||
+                     node.acceleratedNode) &&
+                    !rng.bernoulli(thin_keep_prob)) {
+                    thinned_away = true;
+                    break;
+                }
+            }
+            if (thinned_away)
+                continue;
+        }
+
+        // 1. Classify the new fault against what is already broken and
+        //    unrepaired in each rank it touches. Counting is deferred
+        //    until the repair outcome is known (step 2a).
+        bool due = false;
+        double sdc_expectation = 0.0;
+        std::vector<unsigned> due_dimms;
+        for (const auto &part : fault.parts) {
+            std::vector<ActiveFaultPart> others;
+            for (const auto &live : active[part.dimm]) {
+                if (repaired[live.faultIndex])
+                    continue;
+                others.push_back({live.device, live.region});
+            }
+            const ErrorClassification outcome =
+                classifier_.classify(part.device, part.region, others);
+            sdc_expectation += outcome.sdcExpectation;
+            if (outcome.due) {
+                due = true;
+                due_dimms.push_back(part.dimm);
+            }
+        }
+
+        // 2. Permanent faults persist: try to repair, then track them.
+        bool trip_threshold = false;
+        if (fault.permanent()) {
+            any_permanent = true;
+            metrics.permanentFaults += 1.0;
+
+            const bool fixed =
+                mechanism != nullptr && mechanism->tryRepair(fault);
+            repaired[idx] = fixed;
+            if (fixed)
+                metrics.repairedFaults += 1.0;
+            else
+                all_repaired = false;
+
+            for (const auto &part : fault.parts) {
+                if (!multiDevCounted[part.dimm]) {
+                    for (const auto &live : active[part.dimm]) {
+                        if (live.device != part.device) {
+                            multiDevCounted[part.dimm] = true;
+                            metrics.multiDeviceFaultDimms += 1.0;
+                            break;
+                        }
+                    }
+                }
+                active[part.dimm].push_back(
+                    {part.device, &part.region, idx});
+            }
+
+            if (!fixed &&
+                config_.policy == ReplacePolicy::OnFrequentErrors) {
+                // An unrepaired permanent fault keeps producing corrected
+                // errors; frequent-enough streams trip the threshold.
+                trip_threshold = fault.hardPermanent ||
+                    fault.activationRatePerHour >=
+                        config_.replBActivationThresholdPerHour;
+            }
+        }
+
+        // 2a. Error accounting: a repaired new fault only manifests a
+        //     DUE/SDC if an overlapping access beats detection+repair.
+        //     SDCs are expectations, so they scale by the probability;
+        //     DUEs are events, so the race is sampled.
+        const bool repaired_new = fault.permanent() && repaired[idx];
+        if (repaired_new) {
+            sdc_expectation *= config_.dueBeforeRepairProb;
+            if (due && !rng.bernoulli(config_.dueBeforeRepairProb))
+                due = false;
+        }
+        if (due)
+            metrics.dues += 1.0;
+        metrics.sdcs += sdc_expectation;
+
+        // 3. Replacement policy.
+        if (config_.policy == ReplacePolicy::AfterDue && due &&
+            fault.permanent()) {
+            std::sort(due_dimms.begin(), due_dimms.end());
+            due_dimms.erase(
+                std::unique(due_dimms.begin(), due_dimms.end()),
+                due_dimms.end());
+            for (const auto dimm : due_dimms)
+                replaceDimm(dimm);
+        } else if (trip_threshold) {
+            std::vector<unsigned> fault_dimms;
+            for (const auto &part : fault.parts)
+                fault_dimms.push_back(part.dimm);
+            std::sort(fault_dimms.begin(), fault_dimms.end());
+            fault_dimms.erase(
+                std::unique(fault_dimms.begin(), fault_dimms.end()),
+                fault_dimms.end());
+            for (const auto dimm : fault_dimms)
+                replaceDimm(dimm);
+        }
+    }
+
+    if (any_permanent) {
+        metrics.faultyNodes += 1.0;
+        if (all_repaired)
+            metrics.fullyRepairedNodes += 1.0;
+    }
+}
+
+LifetimeMetrics
+LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
+                                  Rng &rng) const
+{
+    NodeFaultSampler sampler(config_.faultModel);
+    std::unique_ptr<RepairMechanism> mechanism;
+    if (factory)
+        mechanism = factory();
+
+    LifetimeMetrics metrics;
+    for (unsigned n = 0; n < config_.nodesPerSystem; ++n) {
+        const NodeSample node = sampler.sampleNode(rng);
+        simulateNode(node, mechanism.get(), metrics, rng);
+    }
+    return metrics;
+}
+
+LifetimeSummary
+LifetimeSimulator::runTrials(unsigned trials,
+                             const MechanismFactory &factory,
+                             uint64_t seed) const
+{
+    Rng master(seed);
+    LifetimeSummary summary;
+    for (unsigned t = 0; t < trials; ++t) {
+        Rng trial_rng = master.fork();
+        const LifetimeMetrics m = runSystemTrial(factory, trial_rng);
+        summary.faultyNodes.add(m.faultyNodes);
+        summary.multiDeviceFaultDimms.add(m.multiDeviceFaultDimms);
+        summary.dues.add(m.dues);
+        summary.sdcs.add(m.sdcs);
+        summary.replacements.add(m.replacements);
+        summary.repairedFaults.add(m.repairedFaults);
+        summary.permanentFaults.add(m.permanentFaults);
+        summary.fullyRepairedNodes.add(m.fullyRepairedNodes);
+    }
+    return summary;
+}
+
+} // namespace relaxfault

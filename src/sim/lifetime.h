@@ -1,0 +1,135 @@
+/**
+ * @file
+ * System-lifetime Monte Carlo (paper Sec. 4.1, Figs. 9, 12, 13, 14).
+ *
+ * Simulates a 16,384-node system over a 6-year mission. Faults arrive per
+ * the refined fault model; each arrival is classified for DUE/SDC against
+ * the faults already active in its rank; a repair mechanism (if any) then
+ * attempts to remap the fault away; and a replacement policy decides
+ * whether the DIMM is swapped:
+ *
+ *  - ReplA: replace after a DUE caused by a permanent fault;
+ *  - ReplB: replace once a fault's corrected-error stream would exceed an
+ *    error-count threshold within a service window (frequent-error
+ *    replacement, as on Blue Waters).
+ *
+ * Replacing a DIMM clears its faults (and releases the repair resources
+ * they held). The replacement DIMM inherits the slot's rate class — if
+ * the node runs hot, its replacement runs hot too.
+ */
+
+#ifndef RELAXFAULT_SIM_LIFETIME_H
+#define RELAXFAULT_SIM_LIFETIME_H
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "faults/fault_model.h"
+#include "repair/repair_mechanism.h"
+#include "sim/reliability.h"
+
+namespace relaxfault {
+
+/** When DIMMs are replaced. */
+enum class ReplacePolicy : uint8_t
+{
+    None,             ///< Never replace (pure fault accounting).
+    AfterDue,         ///< ReplA: after a permanent-fault DUE.
+    OnFrequentErrors, ///< ReplB: corrected-error threshold in a window.
+};
+
+/** Parameters of one lifetime experiment. */
+struct LifetimeConfig
+{
+    FaultModelConfig faultModel;
+    unsigned nodesPerSystem = 16384;
+    ReliabilityParams reliability;
+    ReplacePolicy policy = ReplacePolicy::AfterDue;
+
+    /**
+     * ReplB: an unrepaired fault whose error rate reaches this many
+     * corrected errors per hour trips the threshold. Hard-permanent
+     * faults always trip it; hard-intermittent faults trip it when
+     * their activation rate is at least this.
+     */
+    double replBActivationThresholdPerHour = 1.0 / 100.0;
+
+    /**
+     * When a *new* fault overlaps an existing one but is itself
+     * repairable, the DUE only manifests if an access to the overlap
+     * wins the race against detection + repair (scrubbing and CE
+     * monitoring usually notice a fault through its non-overlapping,
+     * correctable errors first). This is the probability the DUE
+     * manifests before repair; it scales the benefit repair can have on
+     * the DUE rate and is calibrated against the paper's 52%/37%
+     * reductions.
+     */
+    double dueBeforeRepairProb = 0.5;
+};
+
+/** Aggregate outcomes of one simulated system lifetime. */
+struct LifetimeMetrics
+{
+    double faultyNodes = 0;          ///< Nodes with >=1 permanent fault.
+    double multiDeviceFaultDimms = 0;///< DIMMs with concurrent faults on
+                                     ///< >=2 devices.
+    double dues = 0;
+    double sdcs = 0;                 ///< Expected count (fractional).
+    double replacements = 0;
+    double repairedFaults = 0;
+    double permanentFaults = 0;
+    double fullyRepairedNodes = 0;   ///< Faulty nodes with every
+                                     ///< permanent fault repaired.
+
+    LifetimeMetrics &operator+=(const LifetimeMetrics &other);
+    LifetimeMetrics &operator/=(double divisor);
+};
+
+/** Mean and 95% CI of each metric over many trials. */
+struct LifetimeSummary
+{
+    RunningStat faultyNodes;
+    RunningStat multiDeviceFaultDimms;
+    RunningStat dues;
+    RunningStat sdcs;
+    RunningStat replacements;
+    RunningStat repairedFaults;
+    RunningStat permanentFaults;
+    RunningStat fullyRepairedNodes;
+};
+
+/** Monte Carlo engine over whole-system lifetimes. */
+class LifetimeSimulator
+{
+  public:
+    /** Factory for one node's repair mechanism; null => no repair. */
+    using MechanismFactory =
+        std::function<std::unique_ptr<RepairMechanism>()>;
+
+    explicit LifetimeSimulator(const LifetimeConfig &config);
+
+    /** Simulate one full system lifetime. */
+    LifetimeMetrics runSystemTrial(const MechanismFactory &factory,
+                                   Rng &rng) const;
+
+    /** Run @p trials independent lifetimes and aggregate. */
+    LifetimeSummary runTrials(unsigned trials,
+                              const MechanismFactory &factory,
+                              uint64_t seed) const;
+
+    const LifetimeConfig &config() const { return config_; }
+
+  private:
+    /** Process one node's mission; accumulates into @p metrics. */
+    void simulateNode(const NodeSample &node, RepairMechanism *mechanism,
+                      LifetimeMetrics &metrics, Rng &rng) const;
+
+    LifetimeConfig config_;
+    ReliabilityClassifier classifier_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_SIM_LIFETIME_H

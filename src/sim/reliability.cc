@@ -1,0 +1,68 @@
+#include "sim/reliability.h"
+
+#include <algorithm>
+
+namespace relaxfault {
+
+ReliabilityClassifier::ReliabilityClassifier(
+    const DramGeometry &geometry, const ReliabilityParams &params)
+    : geometry_(geometry), params_(params)
+{
+}
+
+ErrorClassification
+ReliabilityClassifier::classify(
+    unsigned new_device, const FaultRegion &new_part,
+    const std::vector<ActiveFaultPart> &active) const
+{
+    ErrorClassification result;
+
+    // Pairwise: the new region against each other device. Overlaps are
+    // merged per device so a device with several faults contributes one
+    // combined overlap region to the triple scan.
+    std::vector<std::pair<unsigned, FaultRegion>> pair_overlaps;
+    for (const auto &other : active) {
+        if (other.device == new_device)
+            continue;
+        FaultRegion overlap = FaultRegion::codewordIntersect(
+            new_part, *other.region, geometry_);
+        if (overlap.lineSliceCount(geometry_) == 0)
+            continue;
+        result.due = true;
+        auto merged = std::find_if(
+            pair_overlaps.begin(), pair_overlaps.end(),
+            [&](const auto &entry) {
+                return entry.first == other.device;
+            });
+        if (merged == pair_overlaps.end()) {
+            pair_overlaps.emplace_back(other.device, std::move(overlap));
+        } else {
+            auto clusters = merged->second.clusters();
+            for (const auto &cluster : overlap.clusters())
+                clusters.push_back(cluster);
+            merged->second = FaultRegion(std::move(clusters));
+        }
+    }
+
+    // A double-device codeword error occasionally aliases a correctable
+    // pattern and miscorrects silently.
+    if (result.due)
+        result.sdcExpectation += params_.pairMiscorrectProb;
+
+    // Triples: two distinct other devices sharing a codeword with the
+    // new region. Each such configuration may silently miscorrect.
+    for (size_t i = 0; i < pair_overlaps.size(); ++i) {
+        for (size_t j = i + 1; j < pair_overlaps.size(); ++j) {
+            if (pair_overlaps[i].first == pair_overlaps[j].first)
+                continue;
+            const FaultRegion triple = FaultRegion::codewordIntersect(
+                pair_overlaps[i].second, pair_overlaps[j].second,
+                geometry_);
+            if (triple.lineSliceCount(geometry_) > 0)
+                result.sdcExpectation += params_.tripleMiscorrectProb;
+        }
+    }
+    return result;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * DUE/SDC classification of a new fault against the faults already active
+ * in its rank (the methodology of Kim et al., HPCA'15, which the paper
+ * follows in Sec. 4.1.1).
+ *
+ * With chipkill (SSC-DSD) ECC, a codeword takes one symbol per device, so:
+ *  - two devices erring in the same line and the same symbol position
+ *    produce a double-symbol error: detected but uncorrectable (DUE);
+ *  - three devices erring in the same codeword exceed the guaranteed
+ *    detection of a distance-4 code and may miscorrect silently (SDC),
+ *    with a code-dependent aliasing probability.
+ *
+ * Repaired faults are excluded: their data is served from the LLC, so
+ * their DRAM symbols never reach the decoder.
+ */
+
+#ifndef RELAXFAULT_SIM_RELIABILITY_H
+#define RELAXFAULT_SIM_RELIABILITY_H
+
+#include <vector>
+
+#include "dram/geometry.h"
+#include "faults/fault.h"
+
+namespace relaxfault {
+
+/** Tunables of the reliability classifier. */
+struct ReliabilityParams
+{
+    /**
+     * P(a triple-symbol codeword error aliases a correctable pattern and
+     * silently miscorrects). Distance-4 RS detects most triples; the
+     * residue is code dependent.
+     */
+    double tripleMiscorrectProb = 0.25;
+
+    /**
+     * P(a double-symbol codeword error silently miscorrects instead of
+     * raising a DUE. Production chipkill reports "nearly all" multi-
+     * device errors (paper Sec. 5.1.1); the residue matches the paper's
+     * SDC/DUE ratio of ~0.0025.
+     */
+    double pairMiscorrectProb = 0.0025;
+};
+
+/** One already-active device fault the classifier compares against. */
+struct ActiveFaultPart
+{
+    unsigned device = 0;
+    const FaultRegion *region = nullptr;
+};
+
+/** Outcome of classifying one new device-part against a rank's state. */
+struct ErrorClassification
+{
+    bool due = false;      ///< Some codeword has a 2-device error.
+    double sdcExpectation = 0.0;  ///< Expected silent corruptions.
+};
+
+/** Stateless classifier over fault regions. */
+class ReliabilityClassifier
+{
+  public:
+    ReliabilityClassifier(const DramGeometry &geometry,
+                          const ReliabilityParams &params);
+
+    /**
+     * Classify the arrival of @p new_part on @p new_device given the
+     * rank's other active, unrepaired faults. DUE: the new region
+     * codeword-intersects any single other device's region. SDC: it
+     * codeword-intersects two other devices' regions in a common
+     * codeword (weighted by the miscorrection probability).
+     */
+    ErrorClassification classify(
+        unsigned new_device, const FaultRegion &new_part,
+        const std::vector<ActiveFaultPart> &active) const;
+
+  private:
+    DramGeometry geometry_;
+    ReliabilityParams params_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_SIM_RELIABILITY_H

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the cache substrate: geometry, set indexing (canonical and
+ * XOR-hashed), LRU behaviour, way locking, and writeback accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_geometry.h"
+#include "cache/cache_model.h"
+#include "common/rng.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(CacheGeometry, PaperLlc)
+{
+    const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+    EXPECT_EQ(llc.lines(), 131072u);
+    EXPECT_EQ(llc.sets(), 8192u);
+    EXPECT_EQ(llc.setBits(), 13u);
+    EXPECT_EQ(llc.offsetBits(), 6u);
+}
+
+TEST(SetIndexer, CanonicalUsesLowLineBits)
+{
+    const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+    const SetIndexer indexer(llc, false);
+    EXPECT_EQ(indexer.setIndex(0), 0u);
+    EXPECT_EQ(indexer.setIndex(64), 1u);
+    EXPECT_EQ(indexer.setIndex(8192ull * 64), 0u);  // Wraps at set count.
+    EXPECT_EQ(indexer.tag(8192ull * 64), 1u);
+}
+
+TEST(SetIndexer, HashSpreadsTagAliases)
+{
+    const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+    const SetIndexer plain(llc, false);
+    const SetIndexer hashed(llc, true);
+    // Addresses differing only in tag bits: same set canonically,
+    // different sets (mostly) under the hash.
+    unsigned plain_distinct = 0;
+    unsigned hashed_distinct = 0;
+    std::vector<uint64_t> plain_sets;
+    std::vector<uint64_t> hashed_sets;
+    for (uint64_t t = 0; t < 64; ++t) {
+        const uint64_t pa = t * (llc.sets() * 64);
+        plain_sets.push_back(plain.setIndex(pa));
+        hashed_sets.push_back(hashed.setIndex(pa));
+    }
+    std::sort(plain_sets.begin(), plain_sets.end());
+    std::sort(hashed_sets.begin(), hashed_sets.end());
+    plain_distinct = static_cast<unsigned>(
+        std::unique(plain_sets.begin(), plain_sets.end()) -
+        plain_sets.begin());
+    hashed_distinct = static_cast<unsigned>(
+        std::unique(hashed_sets.begin(), hashed_sets.end()) -
+        hashed_sets.begin());
+    EXPECT_EQ(plain_distinct, 1u);
+    EXPECT_EQ(hashed_distinct, 64u);
+}
+
+TEST(SetIndexer, IndexAlwaysInRange)
+{
+    const CacheGeometry llc{1 * 1024 * 1024, 8, 64};
+    const SetIndexer hashed(llc, true);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(hashed.setIndex(rng.next() & ((1ull << 40) - 1)),
+                  llc.sets());
+}
+
+class CacheModelTest : public ::testing::Test
+{
+  protected:
+    CacheGeometry small_{8 * 1024, 4, 64};  // 32 sets x 4 ways.
+    CacheModel cache_{small_, false};
+};
+
+TEST_F(CacheModelTest, MissThenHit)
+{
+    EXPECT_FALSE(cache_.access(0x1000, false).hit);
+    EXPECT_TRUE(cache_.access(0x1000, false).hit);
+    EXPECT_EQ(cache_.hits(), 1u);
+    EXPECT_EQ(cache_.misses(), 1u);
+}
+
+TEST_F(CacheModelTest, LruEvictsOldest)
+{
+    // Fill one set (stride = sets * lineBytes = 2048).
+    const uint64_t stride = 32 * 64;
+    for (uint64_t i = 0; i < 4; ++i)
+        cache_.access(i * stride, false);
+    // Touch line 0 so line 1 becomes LRU.
+    cache_.access(0, false);
+    // Insert a 5th line; line 1 must be the victim.
+    cache_.access(4 * stride, false);
+    EXPECT_TRUE(cache_.contains(0));
+    EXPECT_FALSE(cache_.contains(1 * stride));
+    EXPECT_TRUE(cache_.contains(2 * stride));
+    EXPECT_TRUE(cache_.contains(4 * stride));
+}
+
+TEST_F(CacheModelTest, DirtyEvictionReportsWriteback)
+{
+    const uint64_t stride = 32 * 64;
+    cache_.access(0, true);  // Dirty.
+    for (uint64_t i = 1; i <= 4; ++i) {
+        const CacheAccessResult result = cache_.access(i * stride, false);
+        if (i < 4) {
+            EXPECT_FALSE(result.evictedDirty);
+        } else {
+            EXPECT_TRUE(result.evictedDirty);
+            EXPECT_EQ(result.evictedPa, 0u);
+        }
+    }
+    EXPECT_EQ(cache_.writebacks(), 1u);
+}
+
+TEST_F(CacheModelTest, WriteHitMarksDirty)
+{
+    const uint64_t stride = 32 * 64;
+    cache_.access(0, false);
+    cache_.access(0, true);  // Now dirty via hit.
+    for (uint64_t i = 1; i <= 4; ++i)
+        cache_.access(i * stride, false);
+    EXPECT_EQ(cache_.writebacks(), 1u);
+}
+
+TEST_F(CacheModelTest, InvalidateRemovesLine)
+{
+    cache_.access(0x40, true);
+    EXPECT_TRUE(cache_.contains(0x40));
+    EXPECT_TRUE(cache_.invalidate(0x40));   // Was dirty.
+    EXPECT_FALSE(cache_.contains(0x40));
+    EXPECT_FALSE(cache_.invalidate(0x40));  // Already gone.
+}
+
+TEST_F(CacheModelTest, LockedWaysShrinkCapacity)
+{
+    cache_.lockWaysPerSet(2);
+    EXPECT_EQ(cache_.availableWays(0), 2u);
+    const uint64_t stride = 32 * 64;
+    for (uint64_t i = 0; i < 3; ++i)
+        cache_.access(i * stride, false);
+    // Only 2 ways usable: line 0 must have been evicted.
+    EXPECT_FALSE(cache_.contains(0));
+    EXPECT_TRUE(cache_.contains(1 * stride));
+    EXPECT_TRUE(cache_.contains(2 * stride));
+}
+
+TEST_F(CacheModelTest, FullyLockedSetBypasses)
+{
+    cache_.lockWaysPerSet(4);
+    const CacheAccessResult result = cache_.access(0, false);
+    EXPECT_FALSE(result.hit);
+    EXPECT_FALSE(cache_.contains(0));
+}
+
+TEST_F(CacheModelTest, LockRandomLinesRespectsBudget)
+{
+    Rng rng(7);
+    cache_.lockRandomLines(64, rng);
+    uint64_t locked = 0;
+    for (uint64_t set = 0; set < small_.sets(); ++set)
+        locked += small_.ways - cache_.availableWays(set);
+    // A few draws may land in full sets and be dropped; most stick.
+    EXPECT_GE(locked, 56u);
+    EXPECT_LE(locked, 64u);
+}
+
+TEST_F(CacheModelTest, ResetClearsEverything)
+{
+    cache_.access(0, true);
+    cache_.lockWaysPerSet(1);
+    cache_.reset();
+    EXPECT_EQ(cache_.hits(), 0u);
+    EXPECT_EQ(cache_.misses(), 0u);
+    EXPECT_EQ(cache_.availableWays(0), 4u);
+    EXPECT_FALSE(cache_.contains(0));
+}
+
+TEST(CacheModelProperty, WorkingSetWithinCapacityAlwaysHits)
+{
+    const CacheGeometry geometry{64 * 1024, 8, 64};
+    CacheModel cache(geometry, true);
+    // Touch a working set half the cache, twice; second pass must be
+    // all hits regardless of hashing.
+    const uint64_t lines = geometry.lines() / 2;
+    for (uint64_t i = 0; i < lines; ++i)
+        cache.access(i * 64, false);
+    const uint64_t misses_before = cache.misses();
+    for (uint64_t i = 0; i < lines; ++i)
+        cache.access(i * 64, false);
+    EXPECT_EQ(cache.misses(), misses_before);
+}
+
+class LockSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LockSweep, MissRateMonotonicInLockedWays)
+{
+    // With a working set just over the available capacity, locking more
+    // ways must not reduce misses.
+    const CacheGeometry geometry{64 * 1024, 8, 64};
+    const unsigned locked = GetParam();
+    CacheModel cache(geometry, false);
+    cache.lockWaysPerSet(locked);
+    Rng rng(99);
+    const uint64_t ws_lines = geometry.lines();  // 2x usable at 4 ways.
+    for (int i = 0; i < 200000; ++i)
+        cache.access(rng.uniformInt(ws_lines) * 64, false);
+    const double miss_rate =
+        static_cast<double>(cache.misses()) /
+        static_cast<double>(cache.misses() + cache.hits());
+    static double last_rate = 0.0;
+    if (locked == 0)
+        last_rate = 0.0;
+    EXPECT_GE(miss_rate + 1e-9, last_rate);
+    last_rate = miss_rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Locked, LockSweep,
+                         ::testing::Values(0u, 1u, 2u, 4u, 6u));
+
+} // namespace
+} // namespace relaxfault

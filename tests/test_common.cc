@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit operations, RNG and its
+ * distribution samplers, statistics accumulators, table printer, CLI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/bitops.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(Bitops, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(8), 0xffu);
+    EXPECT_EQ(maskBits(64), ~uint64_t{0});
+}
+
+TEST(Bitops, ExtractDepositRoundTrip)
+{
+    const uint64_t value = 0xdeadbeefcafebabeull;
+    for (unsigned lsb = 0; lsb < 60; lsb += 7) {
+        for (unsigned width = 1; width <= 12; ++width) {
+            const uint64_t field = extractBits(value, lsb, width);
+            const uint64_t rebuilt = depositBits(0, lsb, width, field);
+            EXPECT_EQ(extractBits(rebuilt, lsb, width), field);
+        }
+    }
+}
+
+TEST(Bitops, DepositDoesNotDisturbOtherBits)
+{
+    const uint64_t base = 0xffffffffffffffffull;
+    const uint64_t result = depositBits(base, 8, 8, 0x00);
+    EXPECT_EQ(result, 0xffffffffffff00ffull);
+}
+
+TEST(Bitops, IndexBits)
+{
+    EXPECT_EQ(indexBits(1), 0u);
+    EXPECT_EQ(indexBits(2), 1u);
+    EXPECT_EQ(indexBits(8192), 13u);
+    EXPECT_EQ(indexBits(3), 2u);
+}
+
+TEST(Bitops, IsPowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(Bitops, XorFoldWidth)
+{
+    for (uint64_t v : {0x1234567890abcdefull, 0xffffffffffffffffull}) {
+        EXPECT_LT(xorFold(v, 13), uint64_t{1} << 13);
+    }
+    EXPECT_EQ(xorFold(0, 13), 0u);
+    // Folding a value narrower than the width is the identity.
+    EXPECT_EQ(xorFold(0x5a, 8), 0x5au);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = rng.uniformRange(3, 7);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, PoissonMeanAndVariance)
+{
+    Rng rng(13);
+    RunningStat stat;
+    const double mean = 3.7;
+    for (int i = 0; i < 40000; ++i)
+        stat.add(static_cast<double>(rng.poisson(mean)));
+    EXPECT_NEAR(stat.mean(), mean, 0.06);
+    EXPECT_NEAR(stat.variance(), mean, 0.15);
+}
+
+TEST(Rng, PoissonTinyMeanMatchesRareEvents)
+{
+    Rng rng(17);
+    const double mean = 2e-3;
+    uint64_t hits = 0;
+    const int trials = 2'000'000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.poisson(mean);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, mean, 3e-4);
+}
+
+TEST(Rng, PoissonLargeMeanNormalPath)
+{
+    Rng rng(19);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(static_cast<double>(rng.poisson(200.0)));
+    EXPECT_NEAR(stat.mean(), 200.0, 1.0);
+    EXPECT_NEAR(stat.stddev(), std::sqrt(200.0), 1.0);
+}
+
+TEST(Rng, LognormalMoments)
+{
+    Rng rng(23);
+    RunningStat stat;
+    const double mean = 13.0;
+    const double variance = 13.0 / 4.0;
+    for (int i = 0; i < 60000; ++i)
+        stat.add(rng.lognormalMeanVar(mean, variance));
+    EXPECT_NEAR(stat.mean(), mean, 0.1);
+    EXPECT_NEAR(stat.variance(), variance, 0.25);
+}
+
+TEST(Rng, LognormalDegenerateCases)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.lognormalMeanVar(0.0, 1.0), 0.0);
+    EXPECT_EQ(rng.lognormalMeanVar(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(31);
+    RunningStat stat;
+    for (int i = 0; i < 40000; ++i)
+        stat.add(rng.exponential(0.25));
+    EXPECT_NEAR(stat.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, BinomialSmallAndLarge)
+{
+    Rng rng(37);
+    RunningStat small;
+    for (int i = 0; i < 20000; ++i)
+        small.add(static_cast<double>(rng.binomial(20, 0.3)));
+    EXPECT_NEAR(small.mean(), 6.0, 0.1);
+
+    RunningStat large;
+    for (int i = 0; i < 20000; ++i)
+        large.add(static_cast<double>(rng.binomial(100000, 0.001)));
+    EXPECT_NEAR(large.mean(), 100.0, 1.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(99);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    RunningStat stat;
+    const double values[] = {1.0, 2.5, -3.0, 7.25, 0.0};
+    double sum = 0.0;
+    for (double v : values) {
+        stat.add(v);
+        sum += v;
+    }
+    const double mean = sum / 5;
+    double m2 = 0.0;
+    for (double v : values)
+        m2 += (v - mean) * (v - mean);
+    EXPECT_EQ(stat.count(), 5u);
+    EXPECT_DOUBLE_EQ(stat.mean(), mean);
+    EXPECT_NEAR(stat.variance(), m2 / 4, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.min(), -3.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 7.25);
+}
+
+TEST(RunningStat, EmptyAndSingle)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.variance(), 0.0);
+    stat.add(4.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+    EXPECT_EQ(stat.stderror(), 0.0);
+}
+
+TEST(Histogram, CumulativeAndOverflow)
+{
+    Histogram hist(10.0, 5);  // Bins cover [0, 50).
+    hist.add(5.0);
+    hist.add(15.0, 2.0);
+    hist.add(49.9);
+    hist.add(100.0);  // Overflow.
+    EXPECT_DOUBLE_EQ(hist.totalWeight(), 5.0);
+    EXPECT_DOUBLE_EQ(hist.overflowWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(hist.cumulativeWeightUpTo(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(hist.cumulativeWeightUpTo(20.0), 3.0);
+    EXPECT_DOUBLE_EQ(hist.cumulativeWeightUpTo(50.0), 4.0);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin)
+{
+    Histogram hist(1.0, 4);
+    hist.add(-3.0);
+    EXPECT_DOUBLE_EQ(hist.binWeight(0), 1.0);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "2.50"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumFormat)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(uint64_t{42}), "42");
+}
+
+TEST(Cli, ParsesForms)
+{
+    // Note: a bare flag followed by a non-option token would swallow it
+    // as a value, so bare flags go last (documented parser behaviour).
+    const char *argv[] = {"prog", "--trials=50", "--seed", "7",
+                          "positional", "--flag"};
+    CliOptions options(6, const_cast<char **>(argv));
+    EXPECT_EQ(options.getInt("trials", 0), 50);
+    EXPECT_EQ(options.getInt("seed", 0), 7);
+    EXPECT_TRUE(options.has("flag"));
+    EXPECT_FALSE(options.has("absent"));
+    EXPECT_EQ(options.getDouble("absent", 2.5), 2.5);
+    ASSERT_EQ(options.positional().size(), 1u);
+    EXPECT_EQ(options.positional()[0], "positional");
+}
+
+} // namespace
+} // namespace relaxfault

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * End-to-end tests of the RelaxFaultController datapath: data integrity
+ * through injected faults, repair + ECC interplay, remap coherence under
+ * writes, the faulty-bank filter, and the Table 1 storage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "core/relaxfault_controller.h"
+
+namespace relaxfault {
+namespace {
+
+FaultRecord
+makeFault(FaultRegion region, unsigned dimm = 0, unsigned device = 0)
+{
+    FaultRecord fault;
+    fault.persistence = Persistence::Permanent;
+    fault.parts.push_back({dimm, device, std::move(region)});
+    return fault;
+}
+
+FaultRegion
+rowRegion(unsigned bank, uint32_t row)
+{
+    RegionCluster cluster;
+    cluster.bankMask = 1u << bank;
+    cluster.rows = RowSet::of({row});
+    cluster.cols = ColSet::allCols();
+    return FaultRegion({cluster});
+}
+
+FaultRegion
+sliceRegion(unsigned bank, uint32_t row, uint16_t col, uint32_t mask)
+{
+    RegionCluster cluster;
+    cluster.bankMask = 1u << bank;
+    cluster.rows = RowSet::of({row});
+    cluster.cols = ColSet::of({col});
+    cluster.bitMask = mask;
+    return FaultRegion({cluster});
+}
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest() : controller_(ControllerConfig{}) {}
+
+    /** Physical address of (channel, rank, bank, row, colBlock). */
+    uint64_t
+    pa(unsigned channel, unsigned rank, unsigned bank, uint32_t row,
+       uint16_t col)
+    {
+        LineCoord coord{channel, rank, bank, row, col};
+        return controller_.addressMap().encode(coord);
+    }
+
+    void
+    fillPattern(uint8_t *data, uint64_t seed)
+    {
+        Rng rng(seed);
+        for (unsigned i = 0; i < 64; ++i)
+            data[i] = static_cast<uint8_t>(rng.uniformInt(256));
+    }
+
+    RelaxFaultController controller_;
+};
+
+TEST_F(ControllerTest, CleanRoundTrip)
+{
+    uint8_t data[64];
+    uint8_t out[64];
+    fillPattern(data, 1);
+    const uint64_t address = pa(0, 0, 0, 10, 20);
+    controller_.write(address, data);
+    EXPECT_EQ(controller_.read(address, out), EccStatus::Ok);
+    EXPECT_EQ(std::memcmp(data, out, 64), 0);
+    EXPECT_EQ(controller_.stats().reads, 1u);
+    EXPECT_EQ(controller_.stats().writes, 1u);
+}
+
+TEST_F(ControllerTest, UnwrittenReadsZero)
+{
+    uint8_t out[64];
+    std::memset(out, 0xff, 64);
+    EXPECT_EQ(controller_.read(pa(1, 0, 2, 3, 4), out), EccStatus::Ok);
+    for (unsigned i = 0; i < 64; ++i)
+        ASSERT_EQ(out[i], 0);
+}
+
+TEST_F(ControllerTest, SingleDeviceFaultCorrectedByEccAlone)
+{
+    // A fault that is NOT repaired (we inject but nothing needs repair
+    // budget... use a fresh controller with a zero budget).
+    ControllerConfig config;
+    config.budget = RepairBudget{0, 0};  // Repair impossible.
+    RelaxFaultController controller(config);
+
+    uint8_t data[64];
+    fillPattern(data, 2);
+    LineCoord coord{0, 0, 1, 100, 7};
+    const uint64_t address = controller.addressMap().encode(coord);
+    controller.write(address, data);
+
+    EXPECT_FALSE(controller.reportFault(
+        makeFault(sliceRegion(1, 100, 7, 0x0000000f), 0, 5)));
+
+    uint8_t out[64];
+    // Chipkill corrects the single faulty device.
+    EXPECT_EQ(controller.read(address, out), EccStatus::Corrected);
+    EXPECT_EQ(std::memcmp(data, out, 64), 0);
+    EXPECT_GT(controller.stats().correctedReads, 0u);
+}
+
+TEST_F(ControllerTest, RepairedRowFaultReadsCleanly)
+{
+    // Write data across a full faulty device row, report + repair the
+    // fault, and verify every line reads back intact with no ECC work.
+    const unsigned bank = 3;
+    const uint32_t row = 777;
+    std::vector<std::array<uint8_t, 64>> lines(32);
+    for (unsigned c = 0; c < 32; ++c) {
+        fillPattern(lines[c].data(), 100 + c);
+        controller_.write(pa(0, 0, bank, row, static_cast<uint16_t>(c)),
+                          lines[c].data());
+    }
+
+    EXPECT_TRUE(controller_.reportFault(
+        makeFault(rowRegion(bank, row), 0, 9)));
+    EXPECT_TRUE(controller_.repair().bankFlagged(0, bank));
+
+    for (unsigned c = 0; c < 32; ++c) {
+        uint8_t out[64];
+        const EccStatus status = controller_.read(
+            pa(0, 0, bank, row, static_cast<uint16_t>(c)), out);
+        // Remap merge replaces the faulty device before decode: clean.
+        EXPECT_EQ(status, EccStatus::Ok);
+        EXPECT_EQ(std::memcmp(lines[c].data(), out, 64), 0);
+    }
+    EXPECT_GT(controller_.stats().remapMerges, 0u);
+    EXPECT_GT(controller_.stats().remapFills, 0u);
+}
+
+TEST_F(ControllerTest, WritesAfterRepairStayCoherent)
+{
+    const unsigned bank = 2;
+    const uint32_t row = 555;
+    uint8_t data[64];
+    fillPattern(data, 7);
+    const uint64_t address = pa(0, 0, bank, row, 4);
+    controller_.write(address, data);
+
+    ASSERT_TRUE(controller_.reportFault(
+        makeFault(rowRegion(bank, row), 0, 4)));
+
+    // Overwrite after repair: the remap store must track the new data.
+    uint8_t new_data[64];
+    fillPattern(new_data, 8);
+    controller_.write(address, new_data);
+    uint8_t out[64];
+    EXPECT_EQ(controller_.read(address, out), EccStatus::Ok);
+    EXPECT_EQ(std::memcmp(new_data, out, 64), 0);
+
+    // And again, multiple overwrites.
+    fillPattern(new_data, 9);
+    controller_.write(address, new_data);
+    EXPECT_EQ(controller_.read(address, out), EccStatus::Ok);
+    EXPECT_EQ(std::memcmp(new_data, out, 64), 0);
+}
+
+TEST_F(ControllerTest, TwoFaultyDevicesOneRepairedStillCorrects)
+{
+    const unsigned bank = 1;
+    const uint32_t row = 1234;
+    uint8_t data[64];
+    fillPattern(data, 11);
+    const uint64_t address = pa(0, 0, bank, row, 10);
+    controller_.write(address, data);
+
+    // Device 3's whole row is repaired; device 7 has an unrepairable...
+    // actually just unreported-late bit fault: ECC handles it.
+    ASSERT_TRUE(controller_.reportFault(
+        makeFault(rowRegion(bank, row), 0, 3)));
+    ASSERT_TRUE(controller_.reportFault(
+        makeFault(sliceRegion(bank, row, 10, 0xf0), 0, 7)));
+
+    uint8_t out[64];
+    const EccStatus status = controller_.read(address, out);
+    EXPECT_NE(status, EccStatus::Uncorrectable);
+    EXPECT_EQ(std::memcmp(data, out, 64), 0);
+}
+
+TEST_F(ControllerTest, TwoUnrepairedOverlappingFaultsAreDue)
+{
+    ControllerConfig config;
+    config.budget = RepairBudget{0, 0};
+    RelaxFaultController controller(config);
+
+    uint8_t data[64];
+    fillPattern(data, 13);
+    LineCoord coord{0, 0, 0, 42, 5};
+    const uint64_t address = controller.addressMap().encode(coord);
+    controller.write(address, data);
+
+    // Two devices stuck in the same beat pair (symbol) of the line.
+    controller.reportFault(
+        makeFault(sliceRegion(0, 42, 5, 0x000000ff), 0, 2));
+    controller.reportFault(
+        makeFault(sliceRegion(0, 42, 5, 0x000000ff), 0, 6));
+
+    uint8_t out[64];
+    const EccStatus status = controller.read(address, out);
+    // Double-symbol error: detected (or, rarely, miscorrected — the
+    // codec's documented ~7% aliasing). It must not read back clean
+    // via silent luck, unless the stuck values happen to match data.
+    if (status == EccStatus::Uncorrectable)
+        SUCCEED();
+    else
+        EXPECT_GT(controller.stats().uncorrectableReads +
+                      controller.stats().correctedReads,
+                  0u);
+}
+
+TEST_F(ControllerTest, TransientFaultNeedsNoRepair)
+{
+    FaultRecord transient;
+    transient.persistence = Persistence::Transient;
+    transient.parts.push_back({0, 1, sliceRegion(0, 1, 1, 0x1)});
+    EXPECT_TRUE(controller_.reportFault(transient));
+    EXPECT_EQ(controller_.repair().usedLines(), 0u);
+}
+
+TEST_F(ControllerTest, BankFilterSkipsHealthyBanks)
+{
+    uint8_t data[64] = {1};
+    controller_.write(pa(0, 0, 0, 1, 1), data);
+    ASSERT_TRUE(
+        controller_.reportFault(makeFault(rowRegion(5, 99), 0, 0)));
+    uint8_t out[64];
+    controller_.read(pa(0, 0, 0, 1, 1), out);  // Bank 0: not flagged.
+    EXPECT_EQ(controller_.stats().bankFilterHits, 0u);
+    controller_.read(pa(0, 0, 5, 99, 0), out);  // Bank 5: flagged.
+    EXPECT_EQ(controller_.stats().bankFilterHits, 1u);
+}
+
+TEST_F(ControllerTest, StorageOverheadMatchesTable1)
+{
+    const StorageOverhead overhead =
+        RelaxFaultController::storageOverhead(ControllerConfig{});
+    EXPECT_EQ(overhead.faultyBankTableBytes, 8u);
+    EXPECT_EQ(overhead.coalescerBytes, 128u);
+    EXPECT_EQ(overhead.llcTagExtensionBytes, 16384u);
+    EXPECT_EQ(overhead.totalBytes(), 16520u);
+}
+
+TEST_F(ControllerTest, StorageOverheadScalesWithLlc)
+{
+    ControllerConfig config;
+    config.llc.sizeBytes = 16 * 1024 * 1024;
+    const StorageOverhead overhead =
+        RelaxFaultController::storageOverhead(config);
+    EXPECT_EQ(overhead.llcTagExtensionBytes, 32768u);
+}
+
+TEST(ControllerProperty, RandomTrafficOverRepairedFaultsStaysIntact)
+{
+    // Property test: interleave writes/reads over a region containing
+    // several repaired faults; every read must return the last write.
+    RelaxFaultController controller{ControllerConfig{}};
+    Rng rng(2016);
+
+    const unsigned bank = 4;
+    std::vector<FaultRecord> faults;
+    faults.push_back(makeFault(rowRegion(bank, 100), 0, 1));
+    faults.push_back(makeFault(sliceRegion(bank, 101, 3, 0xffff), 0, 2));
+    faults.push_back(makeFault(rowRegion(bank, 102), 0, 17));  // Check dev.
+    for (const auto &fault : faults)
+        ASSERT_TRUE(controller.reportFault(fault));
+
+    std::unordered_map<uint64_t, std::array<uint8_t, 64>> shadow;
+    for (int op = 0; op < 4000; ++op) {
+        LineCoord coord;
+        coord.bank = bank;
+        coord.row = 100 + static_cast<uint32_t>(rng.uniformInt(3));
+        coord.colBlock = static_cast<unsigned>(rng.uniformInt(32));
+        const uint64_t address = controller.addressMap().encode(coord);
+        if (rng.bernoulli(0.5) || !shadow.count(address)) {
+            std::array<uint8_t, 64> data;
+            for (auto &byte : data)
+                byte = static_cast<uint8_t>(rng.uniformInt(256));
+            controller.write(address, data.data());
+            shadow[address] = data;
+        } else {
+            uint8_t out[64];
+            const EccStatus status = controller.read(address, out);
+            ASSERT_NE(status, EccStatus::Uncorrectable);
+            ASSERT_EQ(std::memcmp(out, shadow[address].data(), 64), 0);
+        }
+    }
+}
+
+
+TEST(ControllerErasure, TwoKnownFaultyDevicesSurviveWithErasureMode)
+{
+    // Extension: with erasure decoding on, two tracked-but-unrepaired
+    // faulty devices in the same symbol no longer produce a DUE.
+    ControllerConfig config;
+    config.budget = RepairBudget{0, 0};  // Force both to stay unrepaired.
+    config.erasureDecoding = true;
+    RelaxFaultController controller(config);
+
+    uint8_t data[64];
+    Rng rng(31);
+    for (auto &byte : data)
+        byte = static_cast<uint8_t>(rng.uniformInt(256));
+    LineCoord coord{0, 0, 0, 42, 5};
+    const uint64_t address = controller.addressMap().encode(coord);
+    controller.write(address, data);
+
+    for (unsigned device : {2u, 6u}) {
+        FaultRecord fault;
+        fault.persistence = Persistence::Permanent;
+        fault.parts.push_back(
+            {0, device, sliceRegion(0, 42, 5, 0x000000ff)});
+        controller.reportFault(fault);
+    }
+
+    uint8_t out[64];
+    const EccStatus status = controller.read(address, out);
+    EXPECT_EQ(status, EccStatus::Corrected);
+    EXPECT_EQ(std::memcmp(data, out, 64), 0);
+    EXPECT_GT(controller.stats().erasureDecodes, 0u);
+
+    // A third faulty device exceeds even erasure decoding.
+    FaultRecord third;
+    third.persistence = Persistence::Permanent;
+    third.parts.push_back({0, 11, sliceRegion(0, 42, 5, 0x000000ff)});
+    controller.reportFault(third);
+    EXPECT_EQ(controller.read(address, out), EccStatus::Uncorrectable);
+}
+
+TEST(ControllerErasure, RepairedFaultsAreNotErasures)
+{
+    // Once repaired, a device's data comes from the LLC; it must no
+    // longer burn an erasure slot.
+    ControllerConfig config;
+    config.budget = RepairBudget{4, 32768};
+    config.erasureDecoding = true;
+    RelaxFaultController controller(config);
+
+    uint8_t data[64] = {9, 8, 7};
+    LineCoord coord{0, 0, 1, 10, 2};
+    const uint64_t address = controller.addressMap().encode(coord);
+    controller.write(address, data);
+
+    FaultRecord fault;
+    fault.persistence = Persistence::Permanent;
+    fault.parts.push_back({0, 3, rowRegion(1, 10)});
+    ASSERT_TRUE(controller.reportFault(fault));
+
+    uint8_t out[64];
+    EXPECT_EQ(controller.read(address, out), EccStatus::Ok);
+    EXPECT_EQ(controller.stats().erasureDecodes, 0u);
+}
+
+} // namespace
+} // namespace relaxfault

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the DRAM substrate: geometry arithmetic, the Fig. 7a address
+ * map (bijectivity, locality, bank permutation), the power model, and
+ * the functional fault-overlaid DRAM array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "dram/address_map.h"
+#include "dram/functional_dram.h"
+#include "dram/geometry.h"
+#include "dram/power.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(Geometry, PaperDefaults)
+{
+    const DramGeometry geometry;
+    EXPECT_EQ(geometry.dimmsPerNode(), 8u);
+    EXPECT_EQ(geometry.devicesPerRank(), 18u);
+    EXPECT_EQ(geometry.devicesPerNode(), 144u);
+    EXPECT_EQ(geometry.bytesPerDevicePerLine(), 4u);
+    EXPECT_EQ(geometry.deviceRowBytes(), 1024u);
+    EXPECT_EQ(geometry.rankBytes(), 8ull << 30);   // 8GiB DIMMs.
+    EXPECT_EQ(geometry.nodeBytes(), 64ull << 30);  // 64GiB node.
+    EXPECT_EQ(geometry.paBits(), 36u);
+    EXPECT_EQ(geometry.deviceBits(), 5u);
+}
+
+TEST(Geometry, DimmIndex)
+{
+    const DramGeometry geometry;
+    LineCoord coord;
+    coord.channel = 2;
+    coord.rank = 1;
+    EXPECT_EQ(coord.dimm(geometry), 5u);
+}
+
+class AddressMapBijection : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(AddressMapBijection, RoundTripsRandomCoords)
+{
+    const DramGeometry geometry;
+    const DramAddressMap map(geometry, GetParam());
+    Rng rng(123);
+    for (int i = 0; i < 20000; ++i) {
+        LineCoord coord;
+        coord.channel = static_cast<unsigned>(
+            rng.uniformInt(geometry.channels));
+        coord.rank = static_cast<unsigned>(
+            rng.uniformInt(geometry.ranksPerChannel));
+        coord.bank = static_cast<unsigned>(
+            rng.uniformInt(geometry.banksPerDevice));
+        coord.row = static_cast<uint32_t>(
+            rng.uniformInt(geometry.rowsPerBank));
+        coord.colBlock = static_cast<unsigned>(
+            rng.uniformInt(geometry.colBlocksPerRow));
+        const uint64_t pa = map.encode(coord);
+        ASSERT_LT(pa, geometry.nodeBytes());
+        EXPECT_EQ(map.decode(pa), coord);
+    }
+}
+
+TEST_P(AddressMapBijection, RoundTripsRandomAddresses)
+{
+    const DramGeometry geometry;
+    const DramAddressMap map(geometry, GetParam());
+    Rng rng(321);
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t pa =
+            rng.uniformInt(geometry.nodeBytes() / 64) * 64;
+        EXPECT_EQ(map.encode(map.decode(pa)), pa);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(HashModes, AddressMapBijection,
+                         ::testing::Bool());
+
+TEST(AddressMap, ConsecutiveLinesRotateChannels)
+{
+    const DramGeometry geometry;
+    const DramAddressMap map(geometry, true);
+    const LineCoord c0 = map.decode(0);
+    const LineCoord c1 = map.decode(64);
+    EXPECT_NE(c0.channel, c1.channel);
+}
+
+TEST(AddressMap, RowStaysOpenAcrossColumnStride)
+{
+    // Lines that differ only in low column bits must hit the same row.
+    const DramGeometry geometry;
+    const DramAddressMap map(geometry, true);
+    const uint64_t channel_stride = 64 * geometry.channels;
+    const LineCoord base = map.decode(0);
+    for (unsigned i = 1; i < 32; ++i) {
+        const LineCoord next = map.decode(i * channel_stride);
+        EXPECT_EQ(next.row, base.row);
+        EXPECT_EQ(next.bank, base.bank);
+        EXPECT_EQ(next.rank, base.rank);
+    }
+}
+
+TEST(AddressMap, BankPermutationSpreadsRowConflicts)
+{
+    // With the XOR permutation, addresses that differ only in low row
+    // bits map to different physical banks (Zhang et al.).
+    const DramGeometry geometry;
+    const DramAddressMap hashed(geometry, true);
+    LineCoord a = hashed.decode(0);
+    // Flip a low row bit by re-encoding a modified coordinate and
+    // checking the bank field moved in PA space.
+    LineCoord b = a;
+    b.row ^= 1;
+    const uint64_t pa_a = hashed.encode(a);
+    const uint64_t pa_b = hashed.encode(b);
+    const LineCoord back_a = hashed.decode(pa_a);
+    const LineCoord back_b = hashed.decode(pa_b);
+    EXPECT_EQ(back_a.bank, a.bank);
+    EXPECT_EQ(back_b.bank, b.bank);
+}
+
+TEST(AddressMap, NoHashKeepsBankFieldLiteral)
+{
+    const DramGeometry geometry;
+    const DramAddressMap plain(geometry, false);
+    LineCoord coord;
+    coord.bank = 5;
+    coord.row = 0x1234;
+    const uint64_t pa = plain.encode(coord);
+    EXPECT_EQ(plain.decode(pa).bank, 5u);
+}
+
+TEST(AddressMap, CoversWholeSpaceInjective)
+{
+    // Sampled injectivity: distinct coordinates produce distinct PAs.
+    const DramGeometry geometry;
+    const DramAddressMap map(geometry, true);
+    Rng rng(55);
+    std::vector<uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        LineCoord coord;
+        coord.channel = static_cast<unsigned>(
+            rng.uniformInt(geometry.channels));
+        coord.rank = static_cast<unsigned>(
+            rng.uniformInt(geometry.ranksPerChannel));
+        coord.bank = static_cast<unsigned>(
+            rng.uniformInt(geometry.banksPerDevice));
+        coord.row = static_cast<uint32_t>(
+            rng.uniformInt(geometry.rowsPerBank));
+        coord.colBlock = static_cast<unsigned>(
+            rng.uniformInt(geometry.colBlocksPerRow));
+        seen.push_back(map.encode(coord));
+    }
+    std::sort(seen.begin(), seen.end());
+    const auto dup = std::adjacent_find(seen.begin(), seen.end());
+    // Random collisions of coordinates themselves are ~0 at this count.
+    EXPECT_EQ(dup, seen.end());
+}
+
+TEST(DramTiming, DerivedLatencies)
+{
+    const DramTiming timing;
+    EXPECT_EQ(timing.rowHitLatency(), timing.tCL + timing.tBURST);
+    EXPECT_EQ(timing.rowMissLatency(),
+              timing.tRCD + timing.tCL + timing.tBURST);
+    EXPECT_GT(timing.rowConflictLatency(), timing.rowMissLatency());
+}
+
+TEST(PowerModel, EnergiesPositiveAndOrdered)
+{
+    const DramPowerModel model(DramPowerParams{}, DramTiming{}, 18);
+    EXPECT_GT(model.activateEnergyNj(), 0.0);
+    EXPECT_GT(model.readEnergyNj(), 0.0);
+    EXPECT_GT(model.writeEnergyNj(), 0.0);
+    // Writes burn slightly more than reads (IDD4W > IDD4R).
+    EXPECT_GT(model.writeEnergyNj(), model.readEnergyNj());
+}
+
+TEST(PowerModel, DynamicPowerScalesWithOps)
+{
+    const DramPowerModel model(DramPowerParams{}, DramTiming{}, 18);
+    DramOpCounts few{100, 1000, 500, 1'000'000};
+    DramOpCounts many{200, 2000, 1000, 1'000'000};
+    EXPECT_NEAR(model.dynamicPowerMw(many),
+                2.0 * model.dynamicPowerMw(few), 1e-9);
+}
+
+TEST(PowerModel, ZeroCyclesZeroPower)
+{
+    const DramPowerModel model(DramPowerParams{}, DramTiming{}, 18);
+    EXPECT_EQ(model.dynamicPowerMw(DramOpCounts{}), 0.0);
+}
+
+TEST(PowerModel, OpCountAccumulation)
+{
+    DramOpCounts a{1, 2, 3, 4};
+    const DramOpCounts b{10, 20, 30, 40};
+    a += b;
+    EXPECT_EQ(a.activates, 11u);
+    EXPECT_EQ(a.reads, 22u);
+    EXPECT_EQ(a.writes, 33u);
+    EXPECT_EQ(a.cycles, 44u);
+}
+
+class FunctionalDramTest : public ::testing::Test
+{
+  protected:
+    DramGeometry geometry_;
+    FunctionalDram dram_{geometry_};
+};
+
+TEST_F(FunctionalDramTest, UnwrittenLinesReadZero)
+{
+    uint8_t line[72];
+    std::memset(line, 0xab, sizeof(line));
+    dram_.readLine(LineCoord{}, line);
+    for (unsigned i = 0; i < 72; ++i)
+        ASSERT_EQ(line[i], 0);
+}
+
+TEST_F(FunctionalDramTest, WriteReadRoundTrip)
+{
+    EXPECT_EQ(dram_.storedLineBytes(), 72u);
+    uint8_t data[72];
+    for (unsigned i = 0; i < 72; ++i)
+        data[i] = static_cast<uint8_t>(i * 3 + 1);
+    LineCoord coord;
+    coord.channel = 1;
+    coord.bank = 3;
+    coord.row = 1000;
+    coord.colBlock = 17;
+    dram_.writeLine(coord, data);
+    uint8_t out[72];
+    dram_.readLine(coord, out);
+    EXPECT_EQ(std::memcmp(data, out, 72), 0);
+    EXPECT_EQ(dram_.allocatedLines(), 1u);
+}
+
+TEST_F(FunctionalDramTest, FaultProbeCorruptsExactSlice)
+{
+    LineCoord coord;
+    coord.bank = 2;
+    coord.row = 42;
+    coord.colBlock = 9;
+    uint8_t data[72];
+    std::memset(data, 0x00, sizeof(data));
+    dram_.writeLine(coord, data);
+
+    // Device 7 of DIMM 0 has bit 5 stuck at 1 in this slice.
+    dram_.setFaultProbe([&](const DeviceCoord &dc) {
+        StuckBits stuck;
+        if (dc.dimm == 0 && dc.device == 7 && dc.bank == 2 &&
+            dc.row == 42 && dc.colBlock == 9) {
+            stuck.mask = 1u << 5;
+            stuck.value = ~0u;
+        }
+        return stuck;
+    });
+
+    uint8_t out[72];
+    dram_.readLine(coord, out);
+    uint32_t slice;
+    std::memcpy(&slice, out + 7 * 4, 4);
+    EXPECT_EQ(slice, 1u << 5);
+    // Every other byte untouched.
+    for (unsigned i = 0; i < 72; ++i) {
+        if (i / 4 == 7)
+            continue;
+        ASSERT_EQ(out[i], 0);
+    }
+    // Raw read bypasses the fault overlay.
+    dram_.readLineRaw(coord, out);
+    std::memcpy(&slice, out + 7 * 4, 4);
+    EXPECT_EQ(slice, 0u);
+}
+
+TEST_F(FunctionalDramTest, StuckAtZeroForcesBitLow)
+{
+    LineCoord coord;
+    uint8_t data[72];
+    std::memset(data, 0xff, sizeof(data));
+    dram_.writeLine(coord, data);
+    dram_.setFaultProbe([](const DeviceCoord &dc) {
+        StuckBits stuck;
+        if (dc.device == 0) {
+            stuck.mask = 0x3;
+            stuck.value = 0x0;
+        }
+        return stuck;
+    });
+    uint8_t out[72];
+    dram_.readLine(coord, out);
+    EXPECT_EQ(out[0] & 0x3, 0);
+    EXPECT_EQ(out[0] & 0xfc, 0xfc);
+}
+
+} // namespace
+} // namespace relaxfault

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for GF(2^8) arithmetic and the chipkill RS(18,16) codec:
+ * single-symbol correction at every position, double-error behaviour
+ * (detected or measurably-rare miscorrection), and the 72B line codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "ecc/chipkill.h"
+#include "ecc/gf256.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(Gf256, AddIsXor)
+{
+    EXPECT_EQ(Gf256::add(0x57, 0x83), 0x57 ^ 0x83);
+    EXPECT_EQ(Gf256::add(0xaa, 0xaa), 0);
+}
+
+TEST(Gf256, MulIdentityAndZero)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(Gf256::mul(static_cast<uint8_t>(a), 1),
+                  static_cast<uint8_t>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<uint8_t>(a), 0), 0);
+    }
+}
+
+TEST(Gf256, MulCommutative)
+{
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = static_cast<uint8_t>(rng.uniformInt(256));
+        const auto b = static_cast<uint8_t>(rng.uniformInt(256));
+        EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+    }
+}
+
+TEST(Gf256, MulAssociativeSampled)
+{
+    Rng rng(2);
+    for (int i = 0; i < 3000; ++i) {
+        const auto a = static_cast<uint8_t>(rng.uniformInt(256));
+        const auto b = static_cast<uint8_t>(rng.uniformInt(256));
+        const auto c = static_cast<uint8_t>(rng.uniformInt(256));
+        EXPECT_EQ(Gf256::mul(Gf256::mul(a, b), c),
+                  Gf256::mul(a, Gf256::mul(b, c)));
+    }
+}
+
+TEST(Gf256, DistributiveSampled)
+{
+    Rng rng(3);
+    for (int i = 0; i < 3000; ++i) {
+        const auto a = static_cast<uint8_t>(rng.uniformInt(256));
+        const auto b = static_cast<uint8_t>(rng.uniformInt(256));
+        const auto c = static_cast<uint8_t>(rng.uniformInt(256));
+        EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+                  Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+    }
+}
+
+TEST(Gf256, InverseForAllNonzero)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const auto inv = Gf256::inv(static_cast<uint8_t>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<uint8_t>(a), inv), 1);
+        EXPECT_EQ(Gf256::div(1, static_cast<uint8_t>(a)), inv);
+    }
+}
+
+TEST(Gf256, AlphaPowersCycle)
+{
+    EXPECT_EQ(Gf256::alphaPow(0), 1);
+    EXPECT_EQ(Gf256::alphaPow(255), 1);
+    EXPECT_EQ(Gf256::alphaPow(1), 2);  // alpha = x = 0x02.
+    // All 255 powers distinct.
+    bool seen[256] = {};
+    for (unsigned e = 0; e < 255; ++e) {
+        const uint8_t value = Gf256::alphaPow(e);
+        EXPECT_FALSE(seen[value]);
+        seen[value] = true;
+        EXPECT_EQ(Gf256::logAlpha(value), e);
+    }
+}
+
+void
+randomCodeword(Rng &rng, uint8_t codeword[ChipkillCode::kTotalSymbols])
+{
+    for (unsigned i = 0; i < ChipkillCode::kDataSymbols; ++i)
+        codeword[i] = static_cast<uint8_t>(rng.uniformInt(256));
+    ChipkillCode::encode(codeword);
+}
+
+TEST(Chipkill, CleanCodewordDecodesOk)
+{
+    Rng rng(10);
+    for (int i = 0; i < 2000; ++i) {
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        uint8_t copy[18];
+        std::memcpy(copy, codeword, 18);
+        const auto result = ChipkillCode::decode(copy);
+        EXPECT_EQ(result.status, EccStatus::Ok);
+        EXPECT_EQ(std::memcmp(copy, codeword, 18), 0);
+    }
+}
+
+class SingleErrorPosition : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SingleErrorPosition, CorrectedExactly)
+{
+    const unsigned position = GetParam();
+    Rng rng(100 + position);
+    for (int i = 0; i < 500; ++i) {
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        uint8_t corrupted[18];
+        std::memcpy(corrupted, codeword, 18);
+        const auto error =
+            static_cast<uint8_t>(1 + rng.uniformInt(255));
+        corrupted[position] ^= error;
+        const auto result = ChipkillCode::decode(corrupted);
+        ASSERT_EQ(result.status, EccStatus::Corrected);
+        EXPECT_EQ(result.correctedSymbol, position);
+        EXPECT_EQ(std::memcmp(corrupted, codeword, 18), 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SingleErrorPosition,
+                         ::testing::Range(0u, 18u));
+
+TEST(Chipkill, DoubleErrorsDetectedOrRareMiscorrect)
+{
+    Rng rng(11);
+    unsigned detected = 0;
+    unsigned miscorrected = 0;
+    unsigned silent_wrong = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        uint8_t corrupted[18];
+        std::memcpy(corrupted, codeword, 18);
+        const auto p1 = static_cast<unsigned>(rng.uniformInt(18));
+        auto p2 = static_cast<unsigned>(rng.uniformInt(18));
+        while (p2 == p1)
+            p2 = static_cast<unsigned>(rng.uniformInt(18));
+        corrupted[p1] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        corrupted[p2] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        const auto result = ChipkillCode::decode(corrupted);
+        if (result.status == EccStatus::Uncorrectable) {
+            ++detected;
+        } else {
+            ++miscorrected;
+            if (std::memcmp(corrupted, codeword, 18) != 0)
+                ++silent_wrong;
+        }
+    }
+    // Distance-3 RS aliases a double error onto a valid single-error
+    // syndrome with probability ~ n/q = 18/255 ~ 7%.
+    const double miss_rate = static_cast<double>(miscorrected) / trials;
+    EXPECT_GT(static_cast<double>(detected) / trials, 0.88);
+    EXPECT_NEAR(miss_rate, 18.0 / 255.0, 0.02);
+    // A miscorrection never restores the original data.
+    EXPECT_EQ(silent_wrong, miscorrected);
+}
+
+TEST(Chipkill, ZeroSyndromeZeroFalseAlarm)
+{
+    // Error-free codewords are never "corrected".
+    Rng rng(12);
+    for (int i = 0; i < 2000; ++i) {
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        const auto result = ChipkillCode::decode(codeword);
+        EXPECT_EQ(result.status, EccStatus::Ok);
+    }
+}
+
+TEST(LineCodecTest, RoundTripCleanLine)
+{
+    Rng rng(13);
+    uint8_t data[64];
+    for (auto &byte : data)
+        byte = static_cast<uint8_t>(rng.uniformInt(256));
+    uint8_t line[72];
+    LineCodec::buildLine(data, line);
+    const auto result = LineCodec::decodeLine(line);
+    EXPECT_EQ(result.status, EccStatus::Ok);
+    uint8_t out[64];
+    LineCodec::extractData(line, out);
+    EXPECT_EQ(std::memcmp(out, data, 64), 0);
+}
+
+TEST(LineCodecTest, SingleFaultyDeviceFullyCorrected)
+{
+    // Corrupt all 4 bytes of one device (a whole-chip failure for this
+    // line): every codeword sees exactly one bad symbol -> chipkill.
+    Rng rng(14);
+    for (unsigned device = 0; device < 18; ++device) {
+        uint8_t data[64];
+        for (auto &byte : data)
+            byte = static_cast<uint8_t>(rng.uniformInt(256));
+        uint8_t line[72];
+        LineCodec::buildLine(data, line);
+        for (unsigned w = 0; w < 4; ++w)
+            line[4 * device + w] ^=
+                static_cast<uint8_t>(1 + rng.uniformInt(255));
+        const auto result = LineCodec::decodeLine(line);
+        EXPECT_EQ(result.status, EccStatus::Corrected);
+        EXPECT_EQ(result.correctedCodewords, 4u);
+        uint8_t out[64];
+        LineCodec::extractData(line, out);
+        EXPECT_EQ(std::memcmp(out, data, 64), 0);
+    }
+}
+
+TEST(LineCodecTest, TwoFaultyDevicesUncorrectable)
+{
+    Rng rng(15);
+    unsigned due = 0;
+    const int trials = 500;
+    for (int i = 0; i < trials; ++i) {
+        uint8_t data[64] = {};
+        uint8_t line[72];
+        LineCodec::buildLine(data, line);
+        // Both devices err in the same codeword (byte 0).
+        line[4 * 3 + 0] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        line[4 * 9 + 0] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        const auto result = LineCodec::decodeLine(line);
+        if (result.status == EccStatus::Uncorrectable)
+            ++due;
+    }
+    EXPECT_GT(due, trials * 85 / 100);
+}
+
+TEST(LineCodecTest, DisjointCodewordErrorsBothCorrected)
+{
+    // Two devices erring in *different* beat pairs are two separate
+    // single-symbol corrections — chipkill survives.
+    uint8_t data[64] = {1, 2, 3};
+    uint8_t line[72];
+    LineCodec::buildLine(data, line);
+    line[4 * 5 + 0] ^= 0x5a;  // Device 5, codeword 0.
+    line[4 * 11 + 2] ^= 0xa5; // Device 11, codeword 2.
+    const auto result = LineCodec::decodeLine(line);
+    EXPECT_EQ(result.status, EccStatus::Corrected);
+    EXPECT_EQ(result.correctedCodewords, 2u);
+    uint8_t out[64];
+    LineCodec::extractData(line, out);
+    EXPECT_EQ(std::memcmp(out, data, 64), 0);
+}
+
+TEST(LineCodecTest, CheckBytesDependOnData)
+{
+    uint8_t data_a[64] = {};
+    uint8_t data_b[64] = {};
+    data_b[10] = 1;
+    uint8_t line_a[72];
+    uint8_t line_b[72];
+    LineCodec::buildLine(data_a, line_a);
+    LineCodec::buildLine(data_b, line_b);
+    EXPECT_NE(std::memcmp(line_a + 64, line_b + 64, 8), 0);
+}
+
+
+TEST(ChipkillErasure, SingleErasureAllPositions)
+{
+    Rng rng(20);
+    for (unsigned p = 0; p < 18; ++p) {
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        uint8_t corrupted[18];
+        std::memcpy(corrupted, codeword, 18);
+        corrupted[p] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        const auto result =
+            ChipkillCode::decodeWithErasures(corrupted, 1u << p);
+        ASSERT_EQ(result.status, EccStatus::Corrected);
+        EXPECT_EQ(std::memcmp(corrupted, codeword, 18), 0);
+    }
+}
+
+TEST(ChipkillErasure, TwoErasuresCorrected)
+{
+    // A distance-3 code corrects two erasures with known locations --
+    // more than its one unknown-location error.
+    Rng rng(21);
+    for (int i = 0; i < 2000; ++i) {
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        uint8_t corrupted[18];
+        std::memcpy(corrupted, codeword, 18);
+        const auto p1 = static_cast<unsigned>(rng.uniformInt(18));
+        auto p2 = static_cast<unsigned>(rng.uniformInt(18));
+        while (p2 == p1)
+            p2 = static_cast<unsigned>(rng.uniformInt(18));
+        corrupted[p1] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        // The second erased symbol may or may not actually be wrong.
+        if (rng.bernoulli(0.7))
+            corrupted[p2] ^= static_cast<uint8_t>(rng.uniformInt(256));
+        const auto result = ChipkillCode::decodeWithErasures(
+            corrupted, (1u << p1) | (1u << p2));
+        ASSERT_EQ(result.status, EccStatus::Corrected);
+        ASSERT_EQ(std::memcmp(corrupted, codeword, 18), 0);
+    }
+}
+
+TEST(ChipkillErasure, SingleErasurePlusStrayErrorDetected)
+{
+    Rng rng(22);
+    unsigned detected = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        codeword[3] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        codeword[9] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        // Only position 3 is declared; the stray error at 9 must not
+        // be silently folded into it.
+        const auto result =
+            ChipkillCode::decodeWithErasures(codeword, 1u << 3);
+        detected += result.status == EccStatus::Uncorrectable;
+    }
+    EXPECT_EQ(detected, static_cast<unsigned>(trials));
+}
+
+TEST(ChipkillErasure, MoreThanTwoErasuresUncorrectable)
+{
+    uint8_t codeword[18] = {};
+    ChipkillCode::encode(codeword);
+    codeword[1] ^= 0x11;
+    const auto result = ChipkillCode::decodeWithErasures(
+        codeword, (1u << 1) | (1u << 2) | (1u << 3));
+    EXPECT_EQ(result.status, EccStatus::Uncorrectable);
+}
+
+TEST(ChipkillErasure, CleanCodewordWithErasureHintStaysClean)
+{
+    Rng rng(23);
+    uint8_t codeword[18];
+    randomCodeword(rng, codeword);
+    uint8_t copy[18];
+    std::memcpy(copy, codeword, 18);
+    const auto result = ChipkillCode::decodeWithErasures(copy, 1u << 5);
+    EXPECT_EQ(result.status, EccStatus::Ok);
+    EXPECT_EQ(std::memcmp(copy, codeword, 18), 0);
+}
+
+TEST(LineCodecTest, ErasureDecodingSurvivesTwoKnownBadDevices)
+{
+    Rng rng(24);
+    uint8_t data[64];
+    for (auto &byte : data)
+        byte = static_cast<uint8_t>(rng.uniformInt(256));
+    uint8_t line[72];
+    LineCodec::buildLine(data, line);
+    for (unsigned w = 0; w < 4; ++w) {
+        line[4 * 2 + w] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        line[4 * 13 + w] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+    }
+    const auto result = LineCodec::decodeLineWithErasures(
+        line, (1u << 2) | (1u << 13));
+    EXPECT_EQ(result.status, EccStatus::Corrected);
+    uint8_t out[64];
+    LineCodec::extractData(line, out);
+    EXPECT_EQ(std::memcmp(out, data, 64), 0);
+}
+
+} // namespace
+} // namespace relaxfault

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the persistent fault log: serialization round trip, reboot
+ * restoration (repair and data re-established from the log), and
+ * malformed-input handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/fault_log.h"
+#include "faults/fault_model.h"
+
+namespace relaxfault {
+namespace {
+
+FaultRecord
+sampleishFault()
+{
+    FaultRecord fault;
+    fault.mode = FaultMode::SingleColumn;
+    fault.persistence = Persistence::Permanent;
+    fault.timeHours = 1234.5;
+    fault.hardPermanent = false;
+    fault.activationRatePerHour = 0.125;
+    RegionCluster cluster;
+    cluster.bankMask = 1u << 3;
+    cluster.rows = RowSet::of({10, 20, 30});
+    cluster.cols = ColSet::of({7});
+    cluster.bitMask = 0x00ff00ffu;
+    fault.parts.push_back({2, 11, FaultRegion({cluster})});
+    return fault;
+}
+
+TEST(FaultLog, RoundTripPreservesEverything)
+{
+    std::vector<FaultRecord> faults = {sampleishFault()};
+    // Add an all-rows cluster and a multi-part (multi-rank) fault.
+    FaultRecord massive;
+    massive.mode = FaultMode::MultiRank;
+    massive.persistence = Persistence::Permanent;
+    RegionCluster whole;
+    whole.bankMask = 0xff;
+    whole.rows = RowSet::allRows();
+    whole.cols = ColSet::allCols();
+    whole.bitMask = 1u << 17;
+    massive.parts.push_back({0, 5, FaultRegion({whole})});
+    massive.parts.push_back({1, 5, FaultRegion({whole})});
+    faults.push_back(std::move(massive));
+
+    std::ostringstream os;
+    writeFaultLog(faults, os);
+    std::istringstream is(os.str());
+    unsigned malformed = 9;
+    const auto restored = readFaultLog(is, &malformed);
+    EXPECT_EQ(malformed, 0u);
+    ASSERT_EQ(restored.size(), 2u);
+
+    const FaultRecord &a = restored[0];
+    EXPECT_EQ(a.mode, FaultMode::SingleColumn);
+    EXPECT_EQ(a.persistence, Persistence::Permanent);
+    EXPECT_DOUBLE_EQ(a.timeHours, 1234.5);
+    EXPECT_FALSE(a.hardPermanent);
+    EXPECT_DOUBLE_EQ(a.activationRatePerHour, 0.125);
+    ASSERT_EQ(a.parts.size(), 1u);
+    EXPECT_EQ(a.parts[0].dimm, 2u);
+    EXPECT_EQ(a.parts[0].device, 11u);
+    ASSERT_EQ(a.parts[0].region.clusters().size(), 1u);
+    const auto &cluster = a.parts[0].region.clusters()[0];
+    EXPECT_EQ(cluster.bankMask, 1u << 3);
+    EXPECT_EQ(cluster.bitMask, 0x00ff00ffu);
+    EXPECT_EQ(cluster.rows.rows, (std::vector<uint32_t>{10, 20, 30}));
+    EXPECT_EQ(cluster.cols.cols, (std::vector<uint16_t>{7}));
+
+    const FaultRecord &b = restored[1];
+    ASSERT_EQ(b.parts.size(), 2u);
+    EXPECT_TRUE(b.parts[0].region.massive());
+}
+
+TEST(FaultLog, SampledFaultsRoundTrip)
+{
+    FaultModelConfig config;
+    config.fitScale = 60.0;
+    config.accelerationEnabled = false;
+    const NodeFaultSampler sampler(config);
+    Rng rng(11);
+    std::vector<FaultRecord> faults;
+    while (faults.size() < 40) {
+        for (auto &fault : sampler.sampleNode(rng).faults)
+            faults.push_back(std::move(fault));
+    }
+    std::ostringstream os;
+    writeFaultLog(faults, os);
+    std::istringstream is(os.str());
+    const auto restored = readFaultLog(is);
+    ASSERT_EQ(restored.size(), faults.size());
+    const DramGeometry geometry;
+    for (size_t i = 0; i < faults.size(); ++i) {
+        EXPECT_EQ(restored[i].mode, faults[i].mode);
+        EXPECT_EQ(restored[i].parts.size(), faults[i].parts.size());
+        for (size_t p = 0; p < faults[i].parts.size(); ++p) {
+            EXPECT_EQ(restored[i].parts[p].region.lineSliceCount(geometry),
+                      faults[i].parts[p].region.lineSliceCount(geometry));
+        }
+    }
+}
+
+TEST(FaultLog, BadMagicRejected)
+{
+    std::istringstream is("not-a-fault-log\nfaults 1\n");
+    unsigned malformed = 0;
+    const auto restored = readFaultLog(is, &malformed);
+    EXPECT_TRUE(restored.empty());
+    EXPECT_EQ(malformed, 1u);
+}
+
+TEST(FaultLog, TruncatedRecordCounted)
+{
+    std::ostringstream os;
+    writeFaultLog({sampleishFault()}, os);
+    std::string text = os.str();
+    text.resize(text.size() / 2);  // Truncate mid-record.
+    std::istringstream is(text);
+    unsigned malformed = 0;
+    const auto restored = readFaultLog(is, &malformed);
+    EXPECT_TRUE(restored.empty());
+    EXPECT_EQ(malformed, 1u);
+}
+
+TEST(FaultLog, RebootRestoresRepairAndData)
+{
+    // "Boot 1": discover + repair a fault, write data, persist the log.
+    ControllerConfig config;
+    uint8_t data[64];
+    for (unsigned i = 0; i < 64; ++i)
+        data[i] = static_cast<uint8_t>(i * 5 + 1);
+    LineCoord coord{0, 0, 4, 900, 3};
+
+    std::string log_text;
+    {
+        RelaxFaultController controller(config);
+        const uint64_t pa = controller.addressMap().encode(coord);
+        controller.write(pa, data);
+
+        FaultRecord fault;
+        fault.persistence = Persistence::Permanent;
+        RegionCluster cluster;
+        cluster.bankMask = 1u << 4;
+        cluster.rows = RowSet::of({900});
+        cluster.cols = ColSet::allCols();
+        fault.parts.push_back({0, 6, FaultRegion({cluster})});
+        ASSERT_TRUE(controller.reportFault(fault));
+
+        std::ostringstream os;
+        writeFaultLog(controller.faults().faults(), os);
+        log_text = os.str();
+    }
+
+    // "Boot 2": fresh controller (volatile repair state gone); the
+    // DRAM content is modelled as surviving (it is the fault map and
+    // repair state we are restoring, not memory contents).
+    RelaxFaultController controller(config);
+    const uint64_t pa = controller.addressMap().encode(coord);
+    controller.write(pa, data);  // Re-materialize the line.
+
+    std::istringstream is(log_text);
+    const RestoreReport report = restoreFaultLog(controller, is);
+    EXPECT_EQ(report.faultsRestored, 1u);
+    EXPECT_EQ(report.faultsRepaired, 1u);
+    EXPECT_TRUE(controller.repair().bankFlagged(0, 4));
+
+    uint8_t out[64];
+    EXPECT_EQ(controller.read(pa, out), EccStatus::Ok);
+    EXPECT_EQ(std::memcmp(out, data, 64), 0);
+}
+
+} // namespace
+} // namespace relaxfault

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for trace recording/replay, the AccessStream abstraction, and
+ * DRAM refresh timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/dram_channel.h"
+#include "perf/perf_sim.h"
+#include "perf/trace.h"
+#include "perf/workload.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(Trace, WriteReadRoundTrip)
+{
+    std::ostringstream os;
+    TraceWriter writer(os);
+    SyntheticWorkload workload(WorkloadParams::preset("milc"), 1 << 30,
+                               7);
+    std::vector<MemAccess> original;
+    for (int i = 0; i < 500; ++i) {
+        const MemAccess access = workload.next();
+        writer.record(access);
+        original.push_back(access);
+    }
+    EXPECT_EQ(writer.recordCount(), 500u);
+
+    std::istringstream is(os.str());
+    uint64_t malformed = 0;
+    const std::vector<MemAccess> replayed =
+        TraceReader::readAll(is, &malformed);
+    EXPECT_EQ(malformed, 0u);
+    ASSERT_EQ(replayed.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(replayed[i].pa, original[i].pa);
+        EXPECT_EQ(replayed[i].write, original[i].write);
+        EXPECT_EQ(replayed[i].gapInstructions,
+                  original[i].gapInstructions);
+    }
+}
+
+TEST(Trace, MalformedLinesSkippedAndCounted)
+{
+    std::istringstream is("R 1000 3\n# comment\nbogus line\nX 20 1\n"
+                          "W 2000 5\n\n");
+    uint64_t malformed = 0;
+    const auto accesses = TraceReader::readAll(is, &malformed);
+    ASSERT_EQ(accesses.size(), 2u);
+    EXPECT_EQ(malformed, 2u);
+    EXPECT_EQ(accesses[0].pa, 0x1000u);
+    EXPECT_FALSE(accesses[0].write);
+    EXPECT_EQ(accesses[1].pa, 0x2000u);
+    EXPECT_TRUE(accesses[1].write);
+    EXPECT_EQ(accesses[1].gapInstructions, 5u);
+}
+
+TEST(Trace, WorkloadLoops)
+{
+    std::vector<MemAccess> accesses = {{64, false, 1}, {128, true, 2}};
+    TraceWorkload workload(accesses, 2.0, "loop");
+    EXPECT_EQ(workload.next().pa, 64u);
+    EXPECT_EQ(workload.next().pa, 128u);
+    EXPECT_EQ(workload.next().pa, 64u);  // Wrapped.
+    EXPECT_EQ(workload.length(), 2u);
+    EXPECT_EQ(workload.mlpFactor(), 2.0);
+    EXPECT_EQ(workload.name(), "loop");
+}
+
+TEST(Trace, ReplayThroughSimulatorMatchesLiveRun)
+{
+    // Record a synthetic stream, then replay it: the cache/DRAM path
+    // must see identical behaviour (same misses and DRAM ops).
+    PerfConfig config;
+    config.instructionsPerCore = 30000;
+    config.warmupAccessesPerCore = 1000;
+    const PerfSimulator simulator(config);
+
+    const WorkloadParams params = WorkloadParams::preset("soplex");
+    const uint64_t region =
+        PerfConfig::dramGeometry().nodeBytes() / config.cores;
+
+    // Live run with one core.
+    std::vector<std::unique_ptr<AccessStream>> live(1);
+    Rng seeder(77);
+    const uint64_t stream_seed = seeder.next();
+    live[0] =
+        std::make_unique<SyntheticWorkload>(params, 0 * region,
+                                            stream_seed);
+    const PerfResult live_result =
+        simulator.runStreams(std::move(live), LlcRepairConfig::none());
+
+    // Record the same stream (same seed) to a trace, then replay.
+    std::ostringstream os;
+    TraceWriter writer(os);
+    SyntheticWorkload recorder(params, 0 * region, stream_seed);
+    for (int i = 0; i < 300000; ++i)
+        writer.record(recorder.next());
+    std::istringstream is(os.str());
+    std::vector<std::unique_ptr<AccessStream>> replay(1);
+    replay[0] = std::make_unique<TraceWorkload>(
+        TraceReader::readAll(is), params.mlpFactor, params.name);
+    const PerfResult replay_result =
+        simulator.runStreams(std::move(replay), LlcRepairConfig::none());
+
+    EXPECT_EQ(replay_result.llcMisses, live_result.llcMisses);
+    EXPECT_EQ(replay_result.dram.reads, live_result.dram.reads);
+    EXPECT_EQ(replay_result.cores[0].cycles, live_result.cores[0].cycles);
+}
+
+TEST(Refresh, PeriodicRefreshBlocksBank)
+{
+    const DramGeometry geometry = PerfConfig::dramGeometry();
+    const DramTiming timing;
+    DramChannelTiming channel(geometry, timing, 5);
+    const uint64_t interval = uint64_t{timing.tREFI} * 5;
+
+    // An access just after a refresh boundary waits for tRFC.
+    const uint64_t request = interval + 1;
+    const uint64_t done = channel.access(0, 0, 100, false, request);
+    EXPECT_GE(done, interval + uint64_t{timing.tRFC} * 5);
+    EXPECT_GE(channel.refreshesIssued(), 1u);
+
+    // Refresh closed the row: the next access to the same row after
+    // the *next* boundary is not a row hit.
+    const uint64_t request2 = 2 * interval + 1;
+    const uint64_t done2 = channel.access(0, 0, 100, false, request2);
+    const uint64_t latency2 = done2 - (2 * interval +
+                                       uint64_t{timing.tRFC} * 5);
+    EXPECT_GE(latency2, uint64_t{timing.rowMissLatency()} * 5 - 1);
+}
+
+TEST(Refresh, DisabledMeansNoBlocking)
+{
+    const DramGeometry geometry = PerfConfig::dramGeometry();
+    const DramTiming timing;
+    DramChannelTiming channel(geometry, timing, 5);
+    channel.setRefreshEnabled(false);
+    const uint64_t interval = uint64_t{timing.tREFI} * 5;
+    const uint64_t done = channel.access(0, 0, 100, false, interval + 1);
+    EXPECT_EQ(done, interval + 1 + uint64_t{timing.rowMissLatency()} * 5);
+    EXPECT_EQ(channel.refreshesIssued(), 0u);
+}
+
+} // namespace
+} // namespace relaxfault

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fault_model.dir/ablation_fault_model.cc.o"
+  "CMakeFiles/ablation_fault_model.dir/ablation_fault_model.cc.o.d"
+  "ablation_fault_model"
+  "ablation_fault_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

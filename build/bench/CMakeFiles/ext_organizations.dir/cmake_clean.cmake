@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_organizations.dir/ext_organizations.cc.o"
+  "CMakeFiles/ext_organizations.dir/ext_organizations.cc.o.d"
+  "ext_organizations"
+  "ext_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

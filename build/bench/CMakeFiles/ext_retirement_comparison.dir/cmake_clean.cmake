@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_retirement_comparison.dir/ext_retirement_comparison.cc.o"
+  "CMakeFiles/ext_retirement_comparison.dir/ext_retirement_comparison.cc.o.d"
+  "ext_retirement_comparison"
+  "ext_retirement_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_retirement_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_field_fit_rates.dir/fig02_field_fit_rates.cc.o"
+  "CMakeFiles/fig02_field_fit_rates.dir/fig02_field_fit_rates.cc.o.d"
+  "fig02_field_fit_rates"
+  "fig02_field_fit_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_field_fit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

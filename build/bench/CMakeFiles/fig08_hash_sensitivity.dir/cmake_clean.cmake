@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_hash_sensitivity.dir/fig08_hash_sensitivity.cc.o"
+  "CMakeFiles/fig08_hash_sensitivity.dir/fig08_hash_sensitivity.cc.o.d"
+  "fig08_hash_sensitivity"
+  "fig08_hash_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_hash_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

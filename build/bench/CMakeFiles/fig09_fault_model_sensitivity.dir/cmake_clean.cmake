@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fault_model_sensitivity.dir/fig09_fault_model_sensitivity.cc.o"
+  "CMakeFiles/fig09_fault_model_sensitivity.dir/fig09_fault_model_sensitivity.cc.o.d"
+  "fig09_fault_model_sensitivity"
+  "fig09_fault_model_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fault_model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_fault_model_sensitivity.
+# This may be replaced when dependencies are built.

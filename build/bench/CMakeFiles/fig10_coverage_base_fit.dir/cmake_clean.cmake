@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_coverage_base_fit.dir/fig10_coverage_base_fit.cc.o"
+  "CMakeFiles/fig10_coverage_base_fit.dir/fig10_coverage_base_fit.cc.o.d"
+  "fig10_coverage_base_fit"
+  "fig10_coverage_base_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_coverage_base_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

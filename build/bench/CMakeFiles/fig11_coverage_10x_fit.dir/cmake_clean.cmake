@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_coverage_10x_fit.dir/fig11_coverage_10x_fit.cc.o"
+  "CMakeFiles/fig11_coverage_10x_fit.dir/fig11_coverage_10x_fit.cc.o.d"
+  "fig11_coverage_10x_fit"
+  "fig11_coverage_10x_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_coverage_10x_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

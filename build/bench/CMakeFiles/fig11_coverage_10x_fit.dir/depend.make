@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_coverage_10x_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sdc_rates.dir/fig13_sdc_rates.cc.o"
+  "CMakeFiles/fig13_sdc_rates.dir/fig13_sdc_rates.cc.o.d"
+  "fig13_sdc_rates"
+  "fig13_sdc_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sdc_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

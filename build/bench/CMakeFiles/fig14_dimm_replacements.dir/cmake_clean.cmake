@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_dimm_replacements.dir/fig14_dimm_replacements.cc.o"
+  "CMakeFiles/fig14_dimm_replacements.dir/fig14_dimm_replacements.cc.o.d"
+  "fig14_dimm_replacements"
+  "fig14_dimm_replacements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dimm_replacements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

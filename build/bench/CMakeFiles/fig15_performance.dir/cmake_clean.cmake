@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_performance.dir/fig15_performance.cc.o"
+  "CMakeFiles/fig15_performance.dir/fig15_performance.cc.o.d"
+  "fig15_performance"
+  "fig15_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dram_power.dir/fig16_dram_power.cc.o"
+  "CMakeFiles/fig16_dram_power.dir/fig16_dram_power.cc.o.d"
+  "fig16_dram_power"
+  "fig16_dram_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dram_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

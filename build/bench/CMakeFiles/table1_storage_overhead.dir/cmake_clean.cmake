@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_storage_overhead.dir/table1_storage_overhead.cc.o"
+  "CMakeFiles/table1_storage_overhead.dir/table1_storage_overhead.cc.o.d"
+  "table1_storage_overhead"
+  "table1_storage_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_storage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_storage_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_availability.dir/fleet_availability.cpp.o"
+  "CMakeFiles/fleet_availability.dir/fleet_availability.cpp.o.d"
+  "fleet_availability"
+  "fleet_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_repair.dir/functional_repair.cpp.o"
+  "CMakeFiles/functional_repair.dir/functional_repair.cpp.o.d"
+  "functional_repair"
+  "functional_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for functional_repair.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_cache.dir/cache_geometry.cc.o"
+  "CMakeFiles/rf_cache.dir/cache_geometry.cc.o.d"
+  "CMakeFiles/rf_cache.dir/cache_model.cc.o"
+  "CMakeFiles/rf_cache.dir/cache_model.cc.o.d"
+  "librf_cache.a"
+  "librf_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

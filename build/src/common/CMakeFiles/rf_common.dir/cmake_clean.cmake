@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_common.dir/cli.cc.o"
+  "CMakeFiles/rf_common.dir/cli.cc.o.d"
+  "CMakeFiles/rf_common.dir/log.cc.o"
+  "CMakeFiles/rf_common.dir/log.cc.o.d"
+  "CMakeFiles/rf_common.dir/rng.cc.o"
+  "CMakeFiles/rf_common.dir/rng.cc.o.d"
+  "CMakeFiles/rf_common.dir/stats.cc.o"
+  "CMakeFiles/rf_common.dir/stats.cc.o.d"
+  "CMakeFiles/rf_common.dir/table.cc.o"
+  "CMakeFiles/rf_common.dir/table.cc.o.d"
+  "librf_common.a"
+  "librf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

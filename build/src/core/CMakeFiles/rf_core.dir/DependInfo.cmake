@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fault_log.cc" "src/core/CMakeFiles/rf_core.dir/fault_log.cc.o" "gcc" "src/core/CMakeFiles/rf_core.dir/fault_log.cc.o.d"
+  "/root/repo/src/core/relaxfault_controller.cc" "src/core/CMakeFiles/rf_core.dir/relaxfault_controller.cc.o" "gcc" "src/core/CMakeFiles/rf_core.dir/relaxfault_controller.cc.o.d"
+  "/root/repo/src/core/scrubber.cc" "src/core/CMakeFiles/rf_core.dir/scrubber.cc.o" "gcc" "src/core/CMakeFiles/rf_core.dir/scrubber.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rf_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rf_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/rf_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/rf_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/rf_repair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

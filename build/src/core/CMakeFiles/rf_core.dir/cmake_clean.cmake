@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_core.dir/fault_log.cc.o"
+  "CMakeFiles/rf_core.dir/fault_log.cc.o.d"
+  "CMakeFiles/rf_core.dir/relaxfault_controller.cc.o"
+  "CMakeFiles/rf_core.dir/relaxfault_controller.cc.o.d"
+  "CMakeFiles/rf_core.dir/scrubber.cc.o"
+  "CMakeFiles/rf_core.dir/scrubber.cc.o.d"
+  "librf_core.a"
+  "librf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

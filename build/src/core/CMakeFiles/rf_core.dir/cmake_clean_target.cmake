@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librf_core.a"
+)

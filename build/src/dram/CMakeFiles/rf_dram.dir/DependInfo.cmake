@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cc" "src/dram/CMakeFiles/rf_dram.dir/address_map.cc.o" "gcc" "src/dram/CMakeFiles/rf_dram.dir/address_map.cc.o.d"
+  "/root/repo/src/dram/functional_dram.cc" "src/dram/CMakeFiles/rf_dram.dir/functional_dram.cc.o" "gcc" "src/dram/CMakeFiles/rf_dram.dir/functional_dram.cc.o.d"
+  "/root/repo/src/dram/power.cc" "src/dram/CMakeFiles/rf_dram.dir/power.cc.o" "gcc" "src/dram/CMakeFiles/rf_dram.dir/power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

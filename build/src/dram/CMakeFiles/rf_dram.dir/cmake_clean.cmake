@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_dram.dir/address_map.cc.o"
+  "CMakeFiles/rf_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/rf_dram.dir/functional_dram.cc.o"
+  "CMakeFiles/rf_dram.dir/functional_dram.cc.o.d"
+  "CMakeFiles/rf_dram.dir/power.cc.o"
+  "CMakeFiles/rf_dram.dir/power.cc.o.d"
+  "librf_dram.a"
+  "librf_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

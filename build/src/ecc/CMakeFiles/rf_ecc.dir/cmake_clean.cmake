@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_ecc.dir/chipkill.cc.o"
+  "CMakeFiles/rf_ecc.dir/chipkill.cc.o.d"
+  "CMakeFiles/rf_ecc.dir/gf256.cc.o"
+  "CMakeFiles/rf_ecc.dir/gf256.cc.o.d"
+  "librf_ecc.a"
+  "librf_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rf_ecc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/fault_geometry.cc" "src/faults/CMakeFiles/rf_faults.dir/fault_geometry.cc.o" "gcc" "src/faults/CMakeFiles/rf_faults.dir/fault_geometry.cc.o.d"
+  "/root/repo/src/faults/fault_model.cc" "src/faults/CMakeFiles/rf_faults.dir/fault_model.cc.o" "gcc" "src/faults/CMakeFiles/rf_faults.dir/fault_model.cc.o.d"
+  "/root/repo/src/faults/fault_set.cc" "src/faults/CMakeFiles/rf_faults.dir/fault_set.cc.o" "gcc" "src/faults/CMakeFiles/rf_faults.dir/fault_set.cc.o.d"
+  "/root/repo/src/faults/rates.cc" "src/faults/CMakeFiles/rf_faults.dir/rates.cc.o" "gcc" "src/faults/CMakeFiles/rf_faults.dir/rates.cc.o.d"
+  "/root/repo/src/faults/region.cc" "src/faults/CMakeFiles/rf_faults.dir/region.cc.o" "gcc" "src/faults/CMakeFiles/rf_faults.dir/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rf_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_faults.dir/fault_geometry.cc.o"
+  "CMakeFiles/rf_faults.dir/fault_geometry.cc.o.d"
+  "CMakeFiles/rf_faults.dir/fault_model.cc.o"
+  "CMakeFiles/rf_faults.dir/fault_model.cc.o.d"
+  "CMakeFiles/rf_faults.dir/fault_set.cc.o"
+  "CMakeFiles/rf_faults.dir/fault_set.cc.o.d"
+  "CMakeFiles/rf_faults.dir/rates.cc.o"
+  "CMakeFiles/rf_faults.dir/rates.cc.o.d"
+  "CMakeFiles/rf_faults.dir/region.cc.o"
+  "CMakeFiles/rf_faults.dir/region.cc.o.d"
+  "librf_faults.a"
+  "librf_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

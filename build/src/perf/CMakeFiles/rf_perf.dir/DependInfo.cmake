@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/dram_channel.cc" "src/perf/CMakeFiles/rf_perf.dir/dram_channel.cc.o" "gcc" "src/perf/CMakeFiles/rf_perf.dir/dram_channel.cc.o.d"
+  "/root/repo/src/perf/perf_sim.cc" "src/perf/CMakeFiles/rf_perf.dir/perf_sim.cc.o" "gcc" "src/perf/CMakeFiles/rf_perf.dir/perf_sim.cc.o.d"
+  "/root/repo/src/perf/trace.cc" "src/perf/CMakeFiles/rf_perf.dir/trace.cc.o" "gcc" "src/perf/CMakeFiles/rf_perf.dir/trace.cc.o.d"
+  "/root/repo/src/perf/workload.cc" "src/perf/CMakeFiles/rf_perf.dir/workload.cc.o" "gcc" "src/perf/CMakeFiles/rf_perf.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rf_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rf_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

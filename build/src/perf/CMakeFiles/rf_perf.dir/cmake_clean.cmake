@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_perf.dir/dram_channel.cc.o"
+  "CMakeFiles/rf_perf.dir/dram_channel.cc.o.d"
+  "CMakeFiles/rf_perf.dir/perf_sim.cc.o"
+  "CMakeFiles/rf_perf.dir/perf_sim.cc.o.d"
+  "CMakeFiles/rf_perf.dir/trace.cc.o"
+  "CMakeFiles/rf_perf.dir/trace.cc.o.d"
+  "CMakeFiles/rf_perf.dir/workload.cc.o"
+  "CMakeFiles/rf_perf.dir/workload.cc.o.d"
+  "librf_perf.a"
+  "librf_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/coverage.cc" "src/repair/CMakeFiles/rf_repair.dir/coverage.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/coverage.cc.o.d"
+  "/root/repo/src/repair/device_sparing.cc" "src/repair/CMakeFiles/rf_repair.dir/device_sparing.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/device_sparing.cc.o.d"
+  "/root/repo/src/repair/freefault_repair.cc" "src/repair/CMakeFiles/rf_repair.dir/freefault_repair.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/freefault_repair.cc.o.d"
+  "/root/repo/src/repair/line_tracker.cc" "src/repair/CMakeFiles/rf_repair.dir/line_tracker.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/line_tracker.cc.o.d"
+  "/root/repo/src/repair/page_retirement.cc" "src/repair/CMakeFiles/rf_repair.dir/page_retirement.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/page_retirement.cc.o.d"
+  "/root/repo/src/repair/ppr_repair.cc" "src/repair/CMakeFiles/rf_repair.dir/ppr_repair.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/ppr_repair.cc.o.d"
+  "/root/repo/src/repair/relaxfault_map.cc" "src/repair/CMakeFiles/rf_repair.dir/relaxfault_map.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/relaxfault_map.cc.o.d"
+  "/root/repo/src/repair/relaxfault_repair.cc" "src/repair/CMakeFiles/rf_repair.dir/relaxfault_repair.cc.o" "gcc" "src/repair/CMakeFiles/rf_repair.dir/relaxfault_repair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rf_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rf_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/rf_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

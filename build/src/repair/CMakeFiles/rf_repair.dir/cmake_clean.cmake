@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_repair.dir/coverage.cc.o"
+  "CMakeFiles/rf_repair.dir/coverage.cc.o.d"
+  "CMakeFiles/rf_repair.dir/device_sparing.cc.o"
+  "CMakeFiles/rf_repair.dir/device_sparing.cc.o.d"
+  "CMakeFiles/rf_repair.dir/freefault_repair.cc.o"
+  "CMakeFiles/rf_repair.dir/freefault_repair.cc.o.d"
+  "CMakeFiles/rf_repair.dir/line_tracker.cc.o"
+  "CMakeFiles/rf_repair.dir/line_tracker.cc.o.d"
+  "CMakeFiles/rf_repair.dir/page_retirement.cc.o"
+  "CMakeFiles/rf_repair.dir/page_retirement.cc.o.d"
+  "CMakeFiles/rf_repair.dir/ppr_repair.cc.o"
+  "CMakeFiles/rf_repair.dir/ppr_repair.cc.o.d"
+  "CMakeFiles/rf_repair.dir/relaxfault_map.cc.o"
+  "CMakeFiles/rf_repair.dir/relaxfault_map.cc.o.d"
+  "CMakeFiles/rf_repair.dir/relaxfault_repair.cc.o"
+  "CMakeFiles/rf_repair.dir/relaxfault_repair.cc.o.d"
+  "librf_repair.a"
+  "librf_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rf_repair.
+# This may be replaced when dependencies are built.

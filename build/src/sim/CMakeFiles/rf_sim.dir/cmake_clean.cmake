@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_sim.dir/lifetime.cc.o"
+  "CMakeFiles/rf_sim.dir/lifetime.cc.o.d"
+  "CMakeFiles/rf_sim.dir/reliability.cc.o"
+  "CMakeFiles/rf_sim.dir/reliability.cc.o.d"
+  "librf_sim.a"
+  "librf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

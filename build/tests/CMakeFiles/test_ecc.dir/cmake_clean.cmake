@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc.dir/test_ecc.cc.o"
+  "CMakeFiles/test_ecc.dir/test_ecc.cc.o.d"
+  "test_ecc"
+  "test_ecc.pdb"
+  "test_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_log.dir/test_fault_log.cc.o"
+  "CMakeFiles/test_fault_log.dir/test_fault_log.cc.o.d"
+  "test_fault_log"
+  "test_fault_log.pdb"
+  "test_fault_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faults.dir/test_faults.cc.o"
+  "CMakeFiles/test_faults.dir/test_faults.cc.o.d"
+  "test_faults"
+  "test_faults.pdb"
+  "test_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_property.dir/test_region_property.cc.o"
+  "CMakeFiles/test_region_property.dir/test_region_property.cc.o.d"
+  "test_region_property"
+  "test_region_property.pdb"
+  "test_region_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair.dir/test_repair.cc.o"
+  "CMakeFiles/test_repair.dir/test_repair.cc.o.d"
+  "test_repair"
+  "test_repair.pdb"
+  "test_repair[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scrubber.dir/test_scrubber.cc.o"
+  "CMakeFiles/test_scrubber.dir/test_scrubber.cc.o.d"
+  "test_scrubber"
+  "test_scrubber.pdb"
+  "test_scrubber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scrubber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

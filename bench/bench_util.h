@@ -23,6 +23,22 @@
 
 namespace relaxfault::bench {
 
+/**
+ * Build `TrialRunOptions` from the shared bench flags: `--threads=N`
+ * (0 = auto via RELAXFAULT_THREADS / hardware concurrency) and
+ * `--progress` (trials/sec + ETA on stderr). Thread count never changes
+ * results — only wall-clock time.
+ */
+inline TrialRunOptions
+trialRunOptions(const CliOptions &options)
+{
+    TrialRunOptions run;
+    run.parallel.threads =
+        static_cast<unsigned>(options.getInt("threads", 0));
+    run.progress = options.has("progress");
+    return run;
+}
+
 /** The paper's LLC: 8MiB, 16-way, 64B lines. */
 inline CacheGeometry
 paperLlc()

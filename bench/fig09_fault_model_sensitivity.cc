@@ -25,7 +25,8 @@ namespace {
 
 void
 runSweep(const std::vector<std::pair<double, double>> &points,
-         bool sweep_factor, unsigned nodes, unsigned trials, uint64_t seed)
+         bool sweep_factor, unsigned nodes, unsigned trials, uint64_t seed,
+         const TrialRunOptions &run_options)
 {
     TextTable table;
     table.setHeader({sweep_factor ? "acceleration" : "fraction(%)",
@@ -44,7 +45,7 @@ runSweep(const std::vector<std::pair<double, double>> &points,
         }
         const LifetimeSimulator simulator(config);
         const LifetimeSummary summary =
-            simulator.runTrials(trials, {}, seed);
+            simulator.runTrials(trials, {}, seed, run_options);
         table.addRow({sweep_factor
                           ? TextTable::num(factor, 0) + "x"
                           : TextTable::num(100.0 * fraction, 2),
@@ -78,7 +79,7 @@ main(int argc, char **argv)
               {100.0, 0.001},
               {150.0, 0.001},
               {200.0, 0.001}},
-             true, nodes, trials, seed);
+             true, nodes, trials, seed, trialRunOptions(options));
 
     std::cout << "\nFig. 9c/9d: accelerated-fraction sweep at 100x ("
               << nodes << " nodes, " << trials << " trials)\n\n";
@@ -89,6 +90,6 @@ main(int argc, char **argv)
               {100.0, 0.003},
               {100.0, 0.004},
               {100.0, 0.005}},
-             false, nodes, trials, seed);
+             false, nodes, trials, seed, trialRunOptions(options));
     return 0;
 }

@@ -38,7 +38,7 @@ main(int argc, char **argv)
         runRepairMatrix(config, trials, seed,
                         [](const LifetimeSummary &s) -> const RunningStat &
                         { return s.dues; },
-                        "DUEs");
+                        "DUEs", trialRunOptions(options));
         std::cout << "\n";
     }
     return 0;

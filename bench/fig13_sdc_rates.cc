@@ -37,7 +37,7 @@ main(int argc, char **argv)
         runRepairMatrix(config, trials, seed,
                         [](const LifetimeSummary &s) -> const RunningStat &
                         { return s.sdcs; },
-                        "SDCs");
+                        "SDCs", trialRunOptions(options));
         std::cout << "\n";
     }
     return 0;

@@ -53,7 +53,7 @@ main(int argc, char **argv)
                 config, trials, seed,
                 [](const LifetimeSummary &s) -> const RunningStat &
                 { return s.replacements; },
-                "replacements");
+                "replacements", trialRunOptions(options));
             std::cout << "\n";
         }
     }

@@ -28,7 +28,8 @@ using MetricFn = std::function<const RunningStat &(const LifetimeSummary &)>;
 inline void
 runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 uint64_t seed, const MetricFn &metric,
-                const std::string &metric_name)
+                const std::string &metric_name,
+                const TrialRunOptions &run_options = {})
 {
     const DramGeometry geometry = base_config.faultModel.geometry;
     const LifetimeSimulator simulator(base_config);
@@ -51,12 +52,14 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
     table.setHeader({"mechanism", metric_name, "95%CI", "vs-no-repair"});
     double baseline = 0.0;
     for (const auto &row : rows) {
+        TrialRunOptions run = run_options;
+        run.progressLabel = row.label + " trials";
         const LifetimeSummary summary = simulator.runTrials(
             trials,
             row.spec.kind == MechanismSpec::Kind::None
                 ? LifetimeSimulator::MechanismFactory{}
                 : makeFactory(row.spec, geometry),
-            seed);
+            seed, run);
         const RunningStat &stat = metric(summary);
         if (row.spec.kind == MechanismSpec::Kind::None)
             baseline = stat.mean();

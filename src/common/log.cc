@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace relaxfault {
 
@@ -29,6 +30,68 @@ panic(const std::string &message)
 {
     std::fprintf(stderr, "panic: %s\n", message.c_str());
     std::abort();
+}
+
+namespace {
+
+/** Minimum spacing between progress lines. */
+constexpr int64_t kReportIntervalUs = 2'000'000;
+
+} // namespace
+
+ProgressMeter::ProgressMeter(std::string label, uint64_t total,
+                             bool enabled)
+    : label_(std::move(label)), total_(total), enabled_(enabled),
+      nextReportUs_(kReportIntervalUs),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+ProgressMeter::tick(uint64_t items)
+{
+    const uint64_t done = done_.fetch_add(items) + items;
+    if (!enabled_ || done >= total_)
+        return;
+    const int64_t elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_).count();
+    int64_t due = nextReportUs_.load();
+    if (elapsed_us < due ||
+        !nextReportUs_.compare_exchange_strong(
+            due, elapsed_us + kReportIntervalUs))
+        return;
+    const double seconds = static_cast<double>(elapsed_us) * 1e-6;
+    const double rate = static_cast<double>(done) / seconds;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%s: %llu/%llu (%.1f%%), %.2f/s, ETA %.0fs",
+                  label_.c_str(), static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total_),
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(total_ ? total_ : 1),
+                  rate, eta);
+    inform(line);
+}
+
+void
+ProgressMeter::finish()
+{
+    if (!enabled_ || finished_.exchange(true))
+        return;
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - start_).count();
+    const double rate = seconds > 0.0
+        ? static_cast<double>(done_.load()) / seconds : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s: %llu done in %.1fs (%.2f/s)",
+                  label_.c_str(),
+                  static_cast<unsigned long long>(done_.load()), seconds,
+                  rate);
+    inform(line);
 }
 
 } // namespace relaxfault

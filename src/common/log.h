@@ -10,6 +10,9 @@
 #ifndef RELAXFAULT_COMMON_LOG_H
 #define RELAXFAULT_COMMON_LOG_H
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <string>
 
 namespace relaxfault {
@@ -25,6 +28,37 @@ void warn(const std::string &message);
 
 /** Report an internal invariant violation and abort(). */
 [[noreturn]] void panic(const std::string &message);
+
+/**
+ * Thread-safe progress reporter for long Monte Carlo runs: emits
+ * `inform` lines with completed/total counts, throughput (items/sec),
+ * and an ETA, rate-limited to one line every few seconds. Disabled
+ * meters count ticks but never print, so callers can thread one through
+ * unconditionally.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(std::string label, uint64_t total, bool enabled);
+
+    /** Record @p items completions; may emit a progress line. */
+    void tick(uint64_t items = 1);
+
+    /** Emit the final `total in Xs (Y items/s)` line (idempotent). */
+    void finish();
+
+    /** Completions recorded so far. */
+    uint64_t done() const { return done_.load(); }
+
+  private:
+    std::string label_;
+    uint64_t total_;
+    bool enabled_;
+    std::atomic<uint64_t> done_{0};
+    std::atomic<int64_t> nextReportUs_;
+    std::chrono::steady_clock::time_point start_;
+    std::atomic<bool> finished_{false};
+};
 
 } // namespace relaxfault
 

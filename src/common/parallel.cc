@@ -1,0 +1,96 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+unsigned
+resolveThreads(const ParallelConfig &config)
+{
+    if (config.threads != 0)
+        return config.threads;
+    if (const char *env = std::getenv("RELAXFAULT_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 0);
+        if (parsed < 1)
+            fatal("RELAXFAULT_THREADS must be a positive integer, got '" +
+                  std::string(env) + "'");
+        return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+size_t
+resolveChunk(const ParallelConfig &config, size_t count)
+{
+    if (config.chunk != 0)
+        return config.chunk;
+    // Fine enough to balance uneven per-index costs across many workers
+    // (>= 4 chunks per thread at 16 threads), coarse enough that the
+    // cursor is uncontended. Depends on `count` only: the decomposition
+    // is identical at every thread count.
+    const size_t chunk = count / 64;
+    return chunk == 0 ? 1 : chunk;
+}
+
+void
+parallelFor(size_t count,
+            const std::function<void(size_t, size_t)> &body,
+            const ParallelConfig &config)
+{
+    if (count == 0)
+        return;
+    const size_t chunk = resolveChunk(config, count);
+    const size_t chunks = (count + chunk - 1) / chunk;
+    unsigned threads = resolveThreads(config);
+    if (threads > chunks)
+        threads = static_cast<unsigned>(chunks);
+
+    std::atomic<size_t> cursor{0};
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const size_t index = cursor.fetch_add(1);
+            if (index >= chunks)
+                return;
+            const size_t begin = index * chunk;
+            const size_t end = std::min(begin + chunk, count);
+            try {
+                body(begin, end);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(failure_mutex);
+                if (!failure)
+                    failure = std::current_exception();
+                // Drain the remaining chunks so every worker exits.
+                cursor.store(chunks);
+                return;
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads - 1);
+        for (unsigned t = 0; t + 1 < threads; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &thread : pool)
+            thread.join();
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+}
+
+} // namespace relaxfault

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal deterministic parallel-for used by the Monte Carlo engines.
+ *
+ * Work over an index range [0, count) is split into fixed-size chunks
+ * whose boundaries depend only on `count` and `ParallelConfig::chunk` —
+ * never on the thread count or on scheduling — so a caller that makes
+ * each index's work self-seeding (see `Rng::forkAt`) gets bit-identical
+ * results at any parallelism level. Threads pull chunks from a shared
+ * atomic cursor; the first exception thrown by any chunk is rethrown on
+ * the calling thread after all workers join.
+ */
+
+#ifndef RELAXFAULT_COMMON_PARALLEL_H
+#define RELAXFAULT_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace relaxfault {
+
+/** Degree and granularity of a parallel run. */
+struct ParallelConfig
+{
+    /**
+     * Worker threads; 0 resolves via the `RELAXFAULT_THREADS`
+     * environment variable, falling back to the hardware concurrency.
+     * 1 executes inline on the calling thread (no spawn).
+     */
+    unsigned threads = 0;
+
+    /**
+     * Indices per chunk; 0 picks a size from `count` alone. Results are
+     * chunk-size independent for callers that aggregate in index order,
+     * but the setting is exposed so tests can probe odd decompositions.
+     */
+    unsigned chunk = 0;
+};
+
+/** Number of worker threads @p config resolves to (always >= 1). */
+unsigned resolveThreads(const ParallelConfig &config);
+
+/** Chunk size @p config resolves to for @p count indices (>= 1). */
+size_t resolveChunk(const ParallelConfig &config, size_t count);
+
+/**
+ * Invoke `body(begin, end)` over disjoint chunks covering [0, count).
+ * The body runs concurrently on up to `resolveThreads(config)` threads
+ * and must only write state owned by its index range.
+ */
+void parallelFor(size_t count,
+                 const std::function<void(size_t, size_t)> &body,
+                 const ParallelConfig &config = {});
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_PARALLEL_H

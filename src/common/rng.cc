@@ -51,6 +51,20 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+Rng::forkAt(uint64_t seed, uint64_t index)
+{
+    // The derived seed is the index-th output of a SplitMix64 stream
+    // whose increment is perturbed by the master seed: both words pass
+    // through the full finalizer, so nearby (seed, index) pairs map to
+    // uncorrelated states before Rng's own 4-word expansion.
+    uint64_t state = seed;
+    uint64_t derived = splitMix64(state);
+    state = derived + index * 0xbf58476d1ce4e5b9ull;
+    derived ^= splitMix64(state);
+    return Rng(derived);
+}
+
 double
 Rng::uniform()
 {

@@ -35,6 +35,15 @@ class Rng
     /** Fork an independent stream; used to give each node its own RNG. */
     Rng fork();
 
+    /**
+     * Counter-based fork: the stream for item @p index of the master
+     * @p seed, derived without consuming any serial RNG state. Distinct
+     * indexes yield independent streams, and `forkAt(seed, i)` depends
+     * only on (seed, i) — the foundation of the parallel Monte Carlo
+     * engine's bit-identical-at-any-thread-count guarantee.
+     */
+    static Rng forkAt(uint64_t seed, uint64_t index);
+
     /** Uniform double in [0, 1). */
     double uniform();
 

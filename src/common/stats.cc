@@ -25,6 +25,29 @@ RunningStat::add(double value)
         max_ = value;
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto n_a = static_cast<double>(count_);
+    const auto n_b = static_cast<double>(other.count_);
+    const double n = n_a + n_b;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * (n_b / n);
+    m2_ += other.m2_ + delta * delta * (n_a * n_b / n);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
 double
 RunningStat::variance() const
 {

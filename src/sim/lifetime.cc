@@ -1,6 +1,9 @@
 #include "sim/lifetime.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "common/log.h"
 
 namespace relaxfault {
 
@@ -30,6 +33,32 @@ LifetimeMetrics::operator/=(double divisor)
     permanentFaults /= divisor;
     fullyRepairedNodes /= divisor;
     return *this;
+}
+
+void
+LifetimeSummary::addTrial(const LifetimeMetrics &metrics)
+{
+    faultyNodes.add(metrics.faultyNodes);
+    multiDeviceFaultDimms.add(metrics.multiDeviceFaultDimms);
+    dues.add(metrics.dues);
+    sdcs.add(metrics.sdcs);
+    replacements.add(metrics.replacements);
+    repairedFaults.add(metrics.repairedFaults);
+    permanentFaults.add(metrics.permanentFaults);
+    fullyRepairedNodes.add(metrics.fullyRepairedNodes);
+}
+
+void
+LifetimeSummary::merge(const LifetimeSummary &other)
+{
+    faultyNodes.merge(other.faultyNodes);
+    multiDeviceFaultDimms.merge(other.multiDeviceFaultDimms);
+    dues.merge(other.dues);
+    sdcs.merge(other.sdcs);
+    replacements.merge(other.replacements);
+    repairedFaults.merge(other.repairedFaults);
+    permanentFaults.merge(other.permanentFaults);
+    fullyRepairedNodes.merge(other.fullyRepairedNodes);
 }
 
 LifetimeSimulator::LifetimeSimulator(const LifetimeConfig &config)
@@ -248,22 +277,31 @@ LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
 LifetimeSummary
 LifetimeSimulator::runTrials(unsigned trials,
                              const MechanismFactory &factory,
-                             uint64_t seed) const
+                             uint64_t seed,
+                             const TrialRunOptions &options) const
 {
-    Rng master(seed);
+    // Each trial owns slot t of `per_trial` and draws from the
+    // counter-derived stream forkAt(seed, t): no cross-trial state, so
+    // any thread may run any trial. The fold below walks the slots in
+    // trial order, which makes the summary bit-identical at every
+    // thread count and chunk size.
+    std::vector<LifetimeMetrics> per_trial(trials);
+    ProgressMeter meter(options.progressLabel, trials, options.progress);
+    parallelFor(
+        trials,
+        [&](size_t begin, size_t end) {
+            for (size_t t = begin; t < end; ++t) {
+                Rng trial_rng = Rng::forkAt(seed, t);
+                per_trial[t] = runSystemTrial(factory, trial_rng);
+                meter.tick();
+            }
+        },
+        options.parallel);
+    meter.finish();
+
     LifetimeSummary summary;
-    for (unsigned t = 0; t < trials; ++t) {
-        Rng trial_rng = master.fork();
-        const LifetimeMetrics m = runSystemTrial(factory, trial_rng);
-        summary.faultyNodes.add(m.faultyNodes);
-        summary.multiDeviceFaultDimms.add(m.multiDeviceFaultDimms);
-        summary.dues.add(m.dues);
-        summary.sdcs.add(m.sdcs);
-        summary.replacements.add(m.replacements);
-        summary.repairedFaults.add(m.repairedFaults);
-        summary.permanentFaults.add(m.permanentFaults);
-        summary.fullyRepairedNodes.add(m.fullyRepairedNodes);
-    }
+    for (const LifetimeMetrics &m : per_trial)
+        summary.addTrial(m);
     return summary;
 }
 

@@ -23,7 +23,9 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "faults/fault_model.h"
@@ -98,6 +100,24 @@ struct LifetimeSummary
     RunningStat repairedFaults;
     RunningStat permanentFaults;
     RunningStat fullyRepairedNodes;
+
+    /** Accumulate one trial's metrics. */
+    void addTrial(const LifetimeMetrics &metrics);
+
+    /** Fold another summary in (Chan's merge, metric by metric). */
+    void merge(const LifetimeSummary &other);
+};
+
+/** Execution knobs of a `runTrials` call; never affects its results. */
+struct TrialRunOptions
+{
+    ParallelConfig parallel;
+
+    /** Report trials/sec and ETA through `inform` while running. */
+    bool progress = false;
+
+    /** Label prefixed to progress lines. */
+    std::string progressLabel = "trials";
 };
 
 /** Monte Carlo engine over whole-system lifetimes. */
@@ -114,10 +134,19 @@ class LifetimeSimulator
     LifetimeMetrics runSystemTrial(const MechanismFactory &factory,
                                    Rng &rng) const;
 
-    /** Run @p trials independent lifetimes and aggregate. */
+    /**
+     * Run @p trials independent lifetimes in parallel and aggregate.
+     *
+     * Trial t draws from `Rng::forkAt(seed, t)`, so every per-trial
+     * stream — and therefore the summary — is bit-identical regardless
+     * of thread count, chunking, or scheduling; per-trial metrics are
+     * folded in trial order. The factory is invoked concurrently and
+     * must return mechanisms that share no mutable state.
+     */
     LifetimeSummary runTrials(unsigned trials,
                               const MechanismFactory &factory,
-                              uint64_t seed) const;
+                              uint64_t seed,
+                              const TrialRunOptions &options = {}) const;
 
     const LifetimeConfig &config() const { return config_; }
 

@@ -6,11 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "common/bitops.h"
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -209,6 +215,43 @@ TEST(Rng, ForkProducesIndependentStream)
     EXPECT_LT(same, 2);
 }
 
+TEST(Rng, ForkAtIsPure)
+{
+    Rng a = Rng::forkAt(42, 17);
+    Rng b = Rng::forkAt(42, 17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkAtDistinctIndexesAreIndependent)
+{
+    // Adjacent counters and adjacent seeds must all decorrelate.
+    Rng a = Rng::forkAt(42, 0);
+    Rng b = Rng::forkAt(42, 1);
+    Rng c = Rng::forkAt(43, 0);
+    int same_ab = 0;
+    int same_ac = 0;
+    for (int i = 0; i < 64; ++i) {
+        const uint64_t va = a.next();
+        same_ab += va == b.next();
+        same_ac += va == c.next();
+    }
+    EXPECT_LT(same_ab, 2);
+    EXPECT_LT(same_ac, 2);
+}
+
+TEST(Rng, ForkAtStreamsDoNotCollide)
+{
+    // First outputs of many derived streams are pairwise distinct — a
+    // counter scheme that reused states would show up immediately here.
+    std::vector<uint64_t> firsts;
+    for (uint64_t index = 0; index < 4096; ++index)
+        firsts.push_back(Rng::forkAt(1206, index).next());
+    std::sort(firsts.begin(), firsts.end());
+    EXPECT_EQ(std::adjacent_find(firsts.begin(), firsts.end()),
+              firsts.end());
+}
+
 TEST(RunningStat, MatchesDirectComputation)
 {
     RunningStat stat;
@@ -237,6 +280,168 @@ TEST(RunningStat, EmptyAndSingle)
     stat.add(4.0);
     EXPECT_EQ(stat.variance(), 0.0);
     EXPECT_EQ(stat.stderror(), 0.0);
+}
+
+TEST(RunningStat, MergeEmptyCases)
+{
+    RunningStat empty_a;
+    RunningStat empty_b;
+    empty_a.merge(empty_b);
+    EXPECT_EQ(empty_a.count(), 0u);
+
+    RunningStat filled;
+    filled.add(1.0);
+    filled.add(3.0);
+    RunningStat into_empty;
+    into_empty.merge(filled);
+    EXPECT_EQ(into_empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(into_empty.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(into_empty.variance(), 2.0);
+
+    filled.merge(empty_a);
+    EXPECT_EQ(filled.count(), 2u);
+    EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+}
+
+TEST(RunningStat, MergeMatchesSinglePassOnRandomSplits)
+{
+    // Property test of Chan's merge: for random data and a random split
+    // point, shard-accumulate + merge must match single-pass Welford to
+    // 1e-12 relative error, with count/min/max exact. (The sum is also
+    // 1e-12: reassociating FP addition shifts its last bits.)
+    Rng rng(20260805);
+    for (int round = 0; round < 60; ++round) {
+        const size_t n = 2 + rng.uniformInt(400);
+        std::vector<double> values;
+        values.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            // Heavy-tailed and shifted, to stress the moment update.
+            const double v = rng.lognormalMeanVar(20.0, 5.0) +
+                             rng.normal(0.0, 3.0);
+            values.push_back(v);
+        }
+        const size_t split = rng.uniformInt(n + 1);
+
+        RunningStat single;
+        for (double v : values)
+            single.add(v);
+        RunningStat left;
+        RunningStat right;
+        for (size_t i = 0; i < n; ++i)
+            (i < split ? left : right).add(values[i]);
+        left.merge(right);
+
+        EXPECT_EQ(left.count(), single.count());
+        EXPECT_DOUBLE_EQ(left.min(), single.min());
+        EXPECT_DOUBLE_EQ(left.max(), single.max());
+        EXPECT_NEAR(left.sum(), single.sum(),
+                    1e-12 * std::abs(single.sum()));
+        EXPECT_NEAR(left.mean(), single.mean(),
+                    1e-12 * std::abs(single.mean()));
+        const double tolerance =
+            1e-12 * std::max(single.variance(), 1e-300);
+        EXPECT_NEAR(left.variance(), single.variance(), tolerance);
+    }
+}
+
+TEST(RunningStat, MergeManyShardsAssociates)
+{
+    // Folding k shards left-to-right matches single-pass accumulation,
+    // the way per-chunk summaries are folded after a parallel run.
+    Rng rng(99);
+    RunningStat single;
+    RunningStat folded;
+    for (int shard = 0; shard < 16; ++shard) {
+        RunningStat part;
+        const size_t n = 1 + rng.uniformInt(50);
+        for (size_t i = 0; i < n; ++i) {
+            const double v = rng.exponential(0.1);
+            single.add(v);
+            part.add(v);
+        }
+        folded.merge(part);
+    }
+    EXPECT_EQ(folded.count(), single.count());
+    EXPECT_NEAR(folded.mean(), single.mean(),
+                1e-12 * single.mean());
+    EXPECT_NEAR(folded.variance(), single.variance(),
+                1e-12 * single.variance());
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        for (const unsigned chunk : {0u, 1u, 7u, 1000u}) {
+            const size_t count = 257;
+            std::vector<std::atomic<int>> visits(count);
+            ParallelConfig config;
+            config.threads = threads;
+            config.chunk = chunk;
+            parallelFor(
+                count,
+                [&](size_t begin, size_t end) {
+                    ASSERT_LE(begin, end);
+                    ASSERT_LE(end, count);
+                    for (size_t i = begin; i < end; ++i)
+                        visits[i].fetch_add(1);
+                },
+                config);
+            for (size_t i = 0; i < count; ++i)
+                ASSERT_EQ(visits[i].load(), 1)
+                    << "index " << i << " at " << threads << " threads, "
+                    << "chunk " << chunk;
+        }
+    }
+}
+
+TEST(Parallel, ZeroCountIsANoop)
+{
+    bool called = false;
+    parallelFor(0, [&](size_t, size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(Parallel, ChunkDecompositionIgnoresThreadCount)
+{
+    // resolveChunk depends on count and the explicit setting only.
+    ParallelConfig one;
+    one.threads = 1;
+    ParallelConfig eight;
+    eight.threads = 8;
+    EXPECT_EQ(resolveChunk(one, 1000), resolveChunk(eight, 1000));
+    EXPECT_EQ(resolveChunk(one, 10), 1u);
+    one.chunk = 42;
+    EXPECT_EQ(resolveChunk(one, 1000), 42u);
+}
+
+TEST(Parallel, EnvOverrideResolvesThreads)
+{
+    setenv("RELAXFAULT_THREADS", "3", 1);
+    ParallelConfig config;
+    EXPECT_EQ(resolveThreads(config), 3u);
+    config.threads = 5;  // Explicit setting beats the environment.
+    EXPECT_EQ(resolveThreads(config), 5u);
+    unsetenv("RELAXFAULT_THREADS");
+    config.threads = 0;
+    EXPECT_GE(resolveThreads(config), 1u);
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller)
+{
+    for (const unsigned threads : {1u, 4u}) {
+        ParallelConfig config;
+        config.threads = threads;
+        config.chunk = 1;
+        EXPECT_THROW(
+            parallelFor(
+                64,
+                [](size_t begin, size_t) {
+                    if (begin == 13)
+                        throw std::runtime_error("boom");
+                },
+                config),
+            std::runtime_error);
+    }
 }
 
 TEST(Histogram, CumulativeAndOverflow)

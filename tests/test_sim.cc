@@ -4,6 +4,14 @@
  * policies, determinism, and the headline qualitative claims (repair
  * halves DUEs; ReplB is far more aggressive than ReplA; the accelerated
  * population dominates failure counts).
+ *
+ * Trial counts and seeds are baselined on the counter-based per-trial
+ * derivation (`Rng::forkAt(seed, t)`) the parallel engine uses: every
+ * summary below is a deterministic function of (config, trials, seed)
+ * alone, so the statistical assertions were sized by inspecting those
+ * exact runs. If a seed changes, re-check the margins — the counts
+ * (24-48 trials) are chosen so each claim holds with slack, not just
+ * barely.
  */
 
 #include <gtest/gtest.h>
@@ -159,7 +167,7 @@ TEST(Lifetime, FaultyNodeCountMatchesModel)
     LifetimeConfig config = smallConfig();
     config.faultModel.accelerationEnabled = false;
     const LifetimeSimulator simulator(config);
-    const LifetimeSummary summary = simulator.runTrials(20, {}, 99);
+    const LifetimeSummary summary = simulator.runTrials(32, {}, 99);
     const double lambda = 20e-9 * 144 * config.faultModel.missionHours;
     const double expected = 1024 * (1.0 - std::exp(-lambda));
     EXPECT_NEAR(summary.faultyNodes.mean(), expected,
@@ -173,9 +181,9 @@ TEST(Lifetime, RepairReducesDues)
     const DramGeometry geometry = config.faultModel.geometry;
     const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
 
-    const LifetimeSummary no_repair = simulator.runTrials(25, {}, 4242);
+    const LifetimeSummary no_repair = simulator.runTrials(32, {}, 4242);
     const LifetimeSummary repaired = simulator.runTrials(
-        25,
+        32,
         [&] {
             return std::make_unique<RelaxFaultRepair>(
                 geometry, llc, RepairBudget{4, 32768}, true);
@@ -199,9 +207,9 @@ TEST(Lifetime, ReplBFarMoreAggressiveThanReplA)
     repl_b.policy = ReplacePolicy::OnFrequentErrors;
 
     const LifetimeSummary a =
-        LifetimeSimulator(repl_a).runTrials(10, {}, 5);
+        LifetimeSimulator(repl_a).runTrials(24, {}, 5);
     const LifetimeSummary b =
-        LifetimeSimulator(repl_b).runTrials(10, {}, 5);
+        LifetimeSimulator(repl_b).runTrials(24, {}, 5);
     // Paper: ReplB replaces ~350x more DIMMs than ReplA.
     EXPECT_GT(b.replacements.mean(), 20 * (a.replacements.mean() + 0.01));
     // ReplB replaces most DIMMs with unrepaired hard-permanent faults.
@@ -217,9 +225,9 @@ TEST(Lifetime, RepairAvoidsReplBReplacements)
     const DramGeometry geometry = config.faultModel.geometry;
     const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
 
-    const LifetimeSummary no_repair = simulator.runTrials(10, {}, 6);
+    const LifetimeSummary no_repair = simulator.runTrials(24, {}, 6);
     const LifetimeSummary repaired = simulator.runTrials(
-        10,
+        24,
         [&] {
             return std::make_unique<RelaxFaultRepair>(
                 geometry, llc, RepairBudget{4, 32768}, true);
@@ -236,14 +244,59 @@ TEST(Lifetime, AcceleratedPopulationDrivesDues)
     LifetimeConfig without = smallConfig();
     without.faultModel.accelerationEnabled = false;
     const LifetimeSummary accel =
-        LifetimeSimulator(with).runTrials(30, {}, 7);
+        LifetimeSimulator(with).runTrials(40, {}, 7);
     const LifetimeSummary uniform =
-        LifetimeSimulator(without).runTrials(30, {}, 7);
+        LifetimeSimulator(without).runTrials(40, {}, 7);
     // The refined model predicts far more DUEs than the uniform model
     // (the paper's Sec. 4.1.2 argument).
     EXPECT_GT(accel.dues.mean(), 3 * (uniform.dues.mean() + 0.02));
     EXPECT_GT(accel.multiDeviceFaultDimms.mean(),
               uniform.multiDeviceFaultDimms.mean());
+}
+
+TEST(Lifetime, DueReductionWithinPaperConsistentBand)
+{
+    // Statistical golden test: at the calibrated dueBeforeRepairProb
+    // (0.5), the RelaxFault-4way DUE reduction must stay in a CI band
+    // consistent with the paper's anchors — 52% at 1x FIT and 37% at
+    // 10x (this reproduction measures 41-53%; see EXPERIMENTS.md). The
+    // run is fixed-seed and parallel-engine deterministic, so a drift
+    // outside the band means the repair/classification semantics moved,
+    // not that the dice fell badly.
+    LifetimeConfig config = smallConfig(10.0);
+    ASSERT_EQ(config.dueBeforeRepairProb, 0.5);
+    const LifetimeSimulator simulator(config);
+    const DramGeometry geometry = config.faultModel.geometry;
+    const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+
+    constexpr unsigned kTrials = 48;
+    constexpr uint64_t kSeed = 160514;  // Re-baseline margins if changed.
+    const LifetimeSummary no_repair =
+        simulator.runTrials(kTrials, {}, kSeed);
+    const LifetimeSummary repaired = simulator.runTrials(
+        kTrials,
+        [&] {
+            return std::make_unique<RelaxFaultRepair>(
+                geometry, llc, RepairBudget{4, 32768}, true);
+        },
+        kSeed);
+
+    ASSERT_GT(no_repair.dues.mean(), 0.0);
+    const double reduction =
+        1.0 - repaired.dues.mean() / no_repair.dues.mean();
+    // Delta-method 95% half-width of the ratio (independent runs).
+    const double ratio = repaired.dues.mean() / no_repair.dues.mean();
+    const double rel_var =
+        std::pow(repaired.dues.stderror() / repaired.dues.mean(), 2) +
+        std::pow(no_repair.dues.stderror() / no_repair.dues.mean(), 2);
+    const double half_width = 1.96 * ratio * std::sqrt(rel_var);
+
+    // The band [reduction +/- CI] must overlap the paper's 37-52%
+    // bracket, and the point estimate must not stray outside 25-70%.
+    EXPECT_GE(reduction + half_width, 0.37);
+    EXPECT_LE(reduction - half_width, 0.52);
+    EXPECT_GT(reduction, 0.25);
+    EXPECT_LT(reduction, 0.70);
 }
 
 TEST(Lifetime, MetricArithmetic)

@@ -17,6 +17,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -28,12 +29,18 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"faulty-nodes", "seed", "json"});
     CoverageConfig config;
-    config.faultyNodeTarget =
-        static_cast<uint64_t>(options.getInt("faulty-nodes", 15000));
+    config.faultyNodeTarget = static_cast<uint64_t>(
+        options.getPositiveInt("faulty-nodes", 15000));
     const uint64_t seed =
         static_cast<uint64_t>(options.getInt("seed", 20160618));
+
+    BenchReport report(options, "ablation_mapping");
+    report.record().setSeed(seed);
+    report.record().setConfig("faulty_nodes", static_cast<int64_t>(
+        config.faultyNodeTarget));
 
     const CoverageEvaluator evaluator(config);
     const DramGeometry geometry = config.faultModel.geometry;
@@ -86,6 +93,12 @@ main(int argc, char **argv)
                       TextTable::num(
                           100.0 * result.coverageAtCapacity(128 * 1024),
                           1)});
+        report.addRow()
+            .set("variant", variant.label)
+            .set("ideas", variant.ideas)
+            .set("coverage", result.coverage())
+            .set("coverage_at_128kib",
+                 result.coverageAtCapacity(128 * 1024));
     }
     table.print(std::cout);
     std::cout << "\nReading: coalescing with *random* placement can even "
@@ -94,5 +107,6 @@ main(int argc, char **argv)
                  "structured\nindex (the paper's actual contribution) "
                  "removes those collisions by construction\nwhile "
                  "keeping the 16x line-count advantage.\n";
+    report.write();
     return 0;
 }

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared `--json=PATH` support for the figure/table benches.
+ *
+ * Every bench owns a BenchReport: it reads the `--json` flag (bare
+ * `--json` defaults to `BENCH_<name>.json` in the working directory),
+ * exposes a MetricRegistry for the run (null when JSON output is off,
+ * so instrumented layers skip all telemetry work), collects result rows
+ * mirroring the printed table, and writes one `relaxfault.bench.v1`
+ * JSON line on `write()`. The artifact turns each bench's numbers into
+ * a machine-diffable trajectory across commits.
+ */
+
+#ifndef RELAXFAULT_BENCH_BENCH_JSON_H
+#define RELAXFAULT_BENCH_BENCH_JSON_H
+
+#include <fstream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_record.h"
+
+namespace relaxfault::bench {
+
+/** One bench run's JSON artifact: metadata, result rows, metrics. */
+class BenchReport
+{
+  public:
+    BenchReport(const CliOptions &options, const std::string &bench_name)
+        : record_(bench_name), enabled_(options.has("json"))
+    {
+        if (!enabled_)
+            return;
+        path_ = options.getString("json", "");
+        if (path_.empty())
+            path_ = "BENCH_" + bench_name + ".json";
+    }
+
+    bool enabled() const { return enabled_; }
+
+    /** Telemetry sink for the run; null when `--json` was not passed. */
+    MetricRegistry *metrics()
+    {
+        return enabled_ ? &registry_ : nullptr;
+    }
+
+    /** The record to stamp (seed/trials/threads/config) and fill. */
+    RunRecord &record() { return record_; }
+
+    /** Shorthand: add a result row (no-op storage if disabled). */
+    ResultRow &addRow() { return record_.addRow(); }
+
+    /** Write the JSON line; fatal if the file cannot be opened. */
+    void write()
+    {
+        if (!enabled_)
+            return;
+        std::ofstream out(path_);
+        if (!out)
+            fatal("cannot open --json output file " + path_);
+        record_.writeJsonLine(out, &registry_);
+        inform("wrote " + path_);
+    }
+
+  private:
+    RunRecord record_;
+    MetricRegistry registry_;
+    bool enabled_;
+    std::string path_;
+};
+
+} // namespace relaxfault::bench
+
+#endif // RELAXFAULT_BENCH_BENCH_JSON_H

@@ -34,7 +34,7 @@ trialRunOptions(const CliOptions &options)
 {
     TrialRunOptions run;
     run.parallel.threads =
-        static_cast<unsigned>(options.getInt("threads", 0));
+        static_cast<unsigned>(options.getNonNegativeInt("threads", 0));
     run.progress = options.has("progress");
     return run;
 }

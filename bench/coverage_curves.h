@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -16,16 +17,26 @@
 
 namespace relaxfault::bench {
 
-/** Run the seven-mechanism coverage comparison at a FIT scale. */
+/**
+ * Run the seven-mechanism coverage comparison at a FIT scale. A non-null
+ * @p report gets one row per (mechanism, capacity) point.
+ */
 inline void
-runCoverageCurves(double fit_scale, const CliOptions &options)
+runCoverageCurves(double fit_scale, const CliOptions &options,
+                  BenchReport *report = nullptr)
 {
     CoverageConfig config;
     config.faultModel.fitScale = fit_scale;
-    config.faultyNodeTarget =
-        static_cast<uint64_t>(options.getInt("faulty-nodes", 20000));
+    config.faultyNodeTarget = static_cast<uint64_t>(
+        options.getPositiveInt("faulty-nodes", 20000));
     const uint64_t seed =
         static_cast<uint64_t>(options.getInt("seed", 20160618));
+    if (report != nullptr) {
+        report->record().setSeed(seed);
+        report->record().setConfig("faulty_nodes", static_cast<int64_t>(
+            config.faultyNodeTarget));
+        report->record().setConfig("fit_scale", fit_scale);
+    }
 
     const CoverageEvaluator evaluator(config);
     const DramGeometry geometry = config.faultModel.geometry;
@@ -70,6 +81,12 @@ runCoverageCurves(double fit_scale, const CliOptions &options)
                 ? results[m].coverage()
                 : results[m].coverageAtCapacity(capacity);
             row.push_back(TextTable::num(100.0 * value, 1));
+            if (report != nullptr) {
+                report->addRow()
+                    .set("mechanism", specs[m].label)
+                    .set("capacity_bytes", capacity)
+                    .set("coverage", value);
+            }
         }
         table.addRow(row);
     }

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -22,11 +23,17 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
-    const uint64_t faulty_target =
-        static_cast<uint64_t>(options.getInt("faulty-nodes", 10000));
+    const CliOptions options(argc, argv,
+                             {"faulty-nodes", "seed", "json"});
+    const uint64_t faulty_target = static_cast<uint64_t>(
+        options.getPositiveInt("faulty-nodes", 10000));
     const uint64_t seed =
         static_cast<uint64_t>(options.getInt("seed", 20160618));
+
+    BenchReport report(options, "ext_organizations");
+    report.record().setSeed(seed);
+    report.record().setConfig("faulty_nodes",
+                              static_cast<int64_t>(faulty_target));
 
     const struct
     {
@@ -68,7 +75,17 @@ main(int argc, char **argv)
             row.push_back(TextTable::num(100.0 * result.coverage(), 1));
             if (ways == 1)
                 quantile = result.capacityForQuantile(0.999) / 1024;
+            report.addRow()
+                .set("organization", organization.name)
+                .set("ways", ways)
+                .set("coverage", result.coverage())
+                .set("node_capacity_bytes",
+                     organization.geometry.nodeBytes());
         }
+        report.addRow()
+            .set("organization", organization.name)
+            .set("metric", "capacity_for_99.9pct_kib")
+            .set("value", quantile);
         row.push_back(TextTable::num(quantile));
         table.addRow(row);
     }
@@ -77,5 +94,6 @@ main(int argc, char **argv)
                  "geometry, so coverage holds across\norganizations; "
                  "smaller device rows (LPDDR/HBM) need proportionally "
                  "fewer remap lines.\n";
+    report.write();
     return 0;
 }

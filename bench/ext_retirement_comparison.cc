@@ -16,6 +16,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -29,14 +30,22 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(
+        argc, argv, {"faulty-nodes", "seed", "page-budget-mib", "json"});
     CoverageConfig config;
-    config.faultyNodeTarget =
-        static_cast<uint64_t>(options.getInt("faulty-nodes", 15000));
+    config.faultyNodeTarget = static_cast<uint64_t>(
+        options.getPositiveInt("faulty-nodes", 15000));
     const uint64_t seed =
         static_cast<uint64_t>(options.getInt("seed", 20160618));
     const uint64_t page_budget = static_cast<uint64_t>(
-        options.getInt("page-budget-mib", 64)) << 20;
+        options.getPositiveInt("page-budget-mib", 64)) << 20;
+
+    BenchReport report(options, "ext_retirement_comparison");
+    report.record().setSeed(seed);
+    report.record().setConfig("faulty_nodes", static_cast<int64_t>(
+        config.faultyNodeTarget));
+    report.record().setConfig("page_budget_mib",
+                              static_cast<int64_t>(page_budget >> 20));
 
     const CoverageEvaluator evaluator(config);
     const DramGeometry geometry = config.faultModel.geometry;
@@ -63,6 +72,11 @@ main(int argc, char **argv)
                       "<=" + TextTable::num(uint64_t{
                           r.capacityForQuantile(0.999) / 1024}) +
                           "KiB of LLC"});
+        report.addRow()
+            .set("mechanism", "RelaxFault-1way")
+            .set("coverage", r.coverage())
+            .set("llc_capacity_99.9pct_kib",
+                 r.capacityForQuantile(0.999) / 1024);
     }
     {
         // Track average retired capacity with a shared accumulator.
@@ -107,6 +121,10 @@ main(int argc, char **argv)
                       TextTable::num(100.0 * r.coverage(), 1),
                       TextTable::num(avg_kib, 0) +
                           "KiB of DRAM retired (avg after a repair)"});
+        report.addRow()
+            .set("mechanism", "PageRetirement-4KiB")
+            .set("coverage", r.coverage())
+            .set("avg_retired_kib", avg_kib);
     }
     {
         Rng rng(seed);
@@ -117,6 +135,9 @@ main(int argc, char **argv)
                       TextTable::num(100.0 * r.coverage(), 1),
                       "1 check device per repaired rank: chipkill "
                       "degraded to detect-only"});
+        report.addRow()
+            .set("mechanism", "DeviceSparing-DDDC")
+            .set("coverage", r.coverage());
     }
     table.print(std::cout);
 
@@ -125,5 +146,6 @@ main(int argc, char **argv)
                  "second faulty device; page retirement pays hundreds of "
                  "frames\nfor one device row because the swizzled "
                  "mapping scatters it across the PA space.\n";
+    report.write();
     return 0;
 }

@@ -8,10 +8,12 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "faults/rates.h"
 
 using namespace relaxfault;
+using relaxfault::bench::BenchReport;
 
 namespace {
 
@@ -36,12 +38,32 @@ printSystem(const char *name, const FitRates &rates)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliOptions options(argc, argv, {"json"});
+    BenchReport report(options, "fig02_field_fit_rates");
+
     std::cout << "Fig. 2 / Table 2: DDR3 field-study fault rates\n\n";
     printSystem("Cielo (LANL) - drives all evaluations",
                 FitRates::cielo());
     printSystem("Hopper (NERSC)", FitRates::hopper());
+
+    const struct
+    {
+        const char *system;
+        FitRates rates;
+    } systems[] = {{"cielo", FitRates::cielo()},
+                   {"hopper", FitRates::hopper()}};
+    for (const auto &entry : systems) {
+        for (unsigned m = 0; m < kFaultModeCount; ++m) {
+            const auto mode = static_cast<FaultMode>(m);
+            report.addRow()
+                .set("system", entry.system)
+                .set("fault_mode", faultModeName(mode))
+                .set("transient_fit", entry.rates.transient(mode))
+                .set("permanent_fit", entry.rates.permanent(mode));
+        }
+    }
 
     const FitRates cielo = FitRates::cielo();
     const double hours_between =
@@ -53,5 +75,6 @@ main()
                  "one every "
               << TextTable::num(1.0 / (cielo.total() * 1e-9 * 3.6e6), 1)
               << " hours.\n";
+    report.write();
     return 0;
 }

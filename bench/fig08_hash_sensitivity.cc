@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -21,12 +22,18 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"faulty-nodes", "seed", "json"});
     CoverageConfig config;
-    config.faultyNodeTarget =
-        static_cast<uint64_t>(options.getInt("faulty-nodes", 20000));
+    config.faultyNodeTarget = static_cast<uint64_t>(
+        options.getPositiveInt("faulty-nodes", 20000));
     const uint64_t seed =
         static_cast<uint64_t>(options.getInt("seed", 20160618));
+
+    BenchReport report(options, "fig08_hash_sensitivity");
+    report.record().setSeed(seed);
+    report.record().setConfig("faulty_nodes", static_cast<int64_t>(
+        config.faultyNodeTarget));
 
     const CoverageEvaluator evaluator(config);
     const DramGeometry geometry = config.faultModel.geometry;
@@ -55,8 +62,18 @@ main(int argc, char **argv)
                       TextTable::num(100.0 * result.coverage(), 1),
                       TextTable::num(paper[row], 1),
                       TextTable::num(result.faultyNodes)});
+        report.addRow()
+            .set("mechanism",
+                 spec.kind == MechanismSpec::Kind::RelaxFault
+                     ? "RelaxFault" : "FreeFault")
+            .set("hash", spec.hash)
+            .set("coverage", result.coverage())
+            .set("paper_coverage_pct", paper[row])
+            .set("faulty_nodes",
+                 static_cast<uint64_t>(result.faultyNodes));
         ++row;
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/table.h"
 
@@ -26,7 +27,7 @@ namespace {
 void
 runSweep(const std::vector<std::pair<double, double>> &points,
          bool sweep_factor, unsigned nodes, unsigned trials, uint64_t seed,
-         const TrialRunOptions &run_options)
+         const TrialRunOptions &run_options, BenchReport &report)
 {
     TextTable table;
     table.setHeader({sweep_factor ? "acceleration" : "fraction(%)",
@@ -44,8 +45,10 @@ runSweep(const std::vector<std::pair<double, double>> &points,
             config.faultModel.acceleratedDimmFraction = fraction;
         }
         const LifetimeSimulator simulator(config);
+        TrialRunOptions run = run_options;
+        run.metrics = report.metrics();
         const LifetimeSummary summary =
-            simulator.runTrials(trials, {}, seed, run_options);
+            simulator.runTrials(trials, {}, seed, run);
         table.addRow({sweep_factor
                           ? TextTable::num(factor, 0) + "x"
                           : TextTable::num(100.0 * fraction, 2),
@@ -55,6 +58,16 @@ runSweep(const std::vector<std::pair<double, double>> &points,
                       TextTable::num(summary.dues.mean(), 2),
                       TextTable::num(summary.sdcs.mean(), 4),
                       TextTable::num(summary.replacements.mean(), 2)});
+        report.addRow()
+            .set("panel", sweep_factor ? "factor-sweep" : "fraction-sweep")
+            .set("acceleration_factor", factor)
+            .set("accelerated_fraction", fraction)
+            .set("faulty_nodes", summary.faultyNodes.mean())
+            .set("multi_device_fault_dimms",
+                 summary.multiDeviceFaultDimms.mean())
+            .set("dues", summary.dues.mean())
+            .set("sdcs", summary.sdcs.mean())
+            .set("replacements", summary.replacements.mean());
     }
     table.print(std::cout);
 }
@@ -64,12 +77,20 @@ runSweep(const std::vector<std::pair<double, double>> &points,
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"trials", "seed", "nodes", "threads",
+                              "progress", "json"});
     const auto trials =
-        static_cast<unsigned>(options.getInt("trials", 15));
+        static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 909));
     const auto nodes =
-        static_cast<unsigned>(options.getInt("nodes", 16384));
+        static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
+
+    const TrialRunOptions run = trialRunOptions(options);
+    BenchReport report(options, "fig09_fault_model_sensitivity");
+    report.record().setSeed(seed).setTrials(trials).setThreads(
+        run.parallel.threads);
+    report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
     std::cout << "Fig. 9a/9b: acceleration-factor sweep at 0.1% of nodes "
                  "and DIMMs (" << nodes << " nodes, " << trials
@@ -79,7 +100,7 @@ main(int argc, char **argv)
               {100.0, 0.001},
               {150.0, 0.001},
               {200.0, 0.001}},
-             true, nodes, trials, seed, trialRunOptions(options));
+             true, nodes, trials, seed, run, report);
 
     std::cout << "\nFig. 9c/9d: accelerated-fraction sweep at 100x ("
               << nodes << " nodes, " << trials << " trials)\n\n";
@@ -90,6 +111,7 @@ main(int argc, char **argv)
               {100.0, 0.003},
               {100.0, 0.004},
               {100.0, 0.005}},
-             false, nodes, trials, seed, trialRunOptions(options));
+             false, nodes, trials, seed, run, report);
+    report.write();
     return 0;
 }

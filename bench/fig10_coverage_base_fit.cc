@@ -15,9 +15,13 @@
 int
 main(int argc, char **argv)
 {
-    const relaxfault::CliOptions options(argc, argv);
+    const relaxfault::CliOptions options(
+        argc, argv, {"faulty-nodes", "seed", "json"});
     std::cout << "Fig. 10: repair coverage (%) vs required LLC capacity, "
                  "1x FIT\n\n";
-    relaxfault::bench::runCoverageCurves(1.0, options);
+    relaxfault::bench::BenchReport report(options,
+                                          "fig10_coverage_base_fit");
+    relaxfault::bench::runCoverageCurves(1.0, options, &report);
+    report.write();
     return 0;
 }

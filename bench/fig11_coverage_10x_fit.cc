@@ -14,9 +14,13 @@
 int
 main(int argc, char **argv)
 {
-    const relaxfault::CliOptions options(argc, argv);
+    const relaxfault::CliOptions options(
+        argc, argv, {"faulty-nodes", "seed", "json"});
     std::cout << "Fig. 11: repair coverage (%) vs required LLC capacity, "
                  "10x FIT\n\n";
-    relaxfault::bench::runCoverageCurves(10.0, options);
+    relaxfault::bench::BenchReport report(options,
+                                          "fig11_coverage_10x_fit");
+    relaxfault::bench::runCoverageCurves(10.0, options, &report);
+    report.write();
     return 0;
 }

@@ -20,12 +20,20 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"trials", "seed", "nodes", "threads",
+                              "progress", "json"});
     const auto trials =
-        static_cast<unsigned>(options.getInt("trials", 25));
+        static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
     const auto nodes =
-        static_cast<unsigned>(options.getInt("nodes", 16384));
+        static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
+
+    const TrialRunOptions run = trialRunOptions(options);
+    BenchReport report(options, "fig12_due_rates");
+    report.record().setSeed(seed).setTrials(trials).setThreads(
+        run.parallel.threads);
+    report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
     for (const double fit : {1.0, 10.0}) {
         LifetimeConfig config;
@@ -38,8 +46,10 @@ main(int argc, char **argv)
         runRepairMatrix(config, trials, seed,
                         [](const LifetimeSummary &s) -> const RunningStat &
                         { return s.dues; },
-                        "DUEs", trialRunOptions(options));
+                        "DUEs", run, &report,
+                        fit == 1.0 ? "1x-fit" : "10x-fit");
         std::cout << "\n";
     }
+    report.write();
     return 0;
 }

@@ -22,12 +22,20 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"trials", "seed", "nodes", "threads",
+                              "progress", "json"});
     const auto trials =
-        static_cast<unsigned>(options.getInt("trials", 15));
+        static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1408));
     const auto nodes =
-        static_cast<unsigned>(options.getInt("nodes", 16384));
+        static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
+
+    const TrialRunOptions run = trialRunOptions(options);
+    BenchReport report(options, "fig14_dimm_replacements");
+    report.record().setSeed(seed).setTrials(trials).setThreads(
+        run.parallel.threads);
+    report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
     const struct
     {
@@ -45,7 +53,7 @@ main(int argc, char **argv)
             config.faultModel.fitScale = fit;
             config.nodesPerSystem = nodes;
             config.policy = policy.policy;
-            std::cout << "Fig. 14" << panel++ << ": expected DIMM "
+            std::cout << "Fig. 14" << panel << ": expected DIMM "
                       << "replacements, " << policy.name << ", " << fit
                       << "x FIT, " << nodes << " nodes, " << trials
                       << " trials\n\n";
@@ -53,9 +61,12 @@ main(int argc, char **argv)
                 config, trials, seed,
                 [](const LifetimeSummary &s) -> const RunningStat &
                 { return s.replacements; },
-                "replacements", trialRunOptions(options));
+                "replacements", run, &report,
+                std::string("14") + panel);
             std::cout << "\n";
+            ++panel;
         }
     }
+    report.write();
     return 0;
 }

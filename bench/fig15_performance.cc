@@ -12,11 +12,13 @@
 #include <iostream>
 #include <map>
 
+#include "bench_json.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "perf/perf_sim.h"
 
 using namespace relaxfault;
+using relaxfault::bench::BenchReport;
 
 namespace {
 
@@ -43,12 +45,19 @@ groupWorkloads(const std::string &group, unsigned cores)
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"instructions", "seed", "json"});
     PerfConfig config;
     config.instructionsPerCore = static_cast<uint64_t>(
-        options.getInt("instructions", 1'000'000));
+        options.getPositiveInt("instructions", 1'000'000));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1515));
-    const PerfSimulator simulator(config);
+    PerfSimulator simulator(config);
+
+    BenchReport report(options, "fig15_performance");
+    report.record().setSeed(seed);
+    report.record().setConfig("instructions", static_cast<int64_t>(
+        config.instructionsPerCore));
+    simulator.setTelemetry(report.metrics());
 
     std::cout << "Table 3 system: 8-core 4GHz, 32KiB L1 / 128KiB L2 "
                  "private, 8MiB 16-way shared LLC,\n2 DDR3-1600 channels "
@@ -102,6 +111,10 @@ main(int argc, char **argv)
                 repair.lockedWays == 4)
                 four_way_ws = ws;
             row.push_back(TextTable::num(ws, 3));
+            report.addRow()
+                .set("workload", group)
+                .set("repair", repair.label())
+                .set("weighted_speedup", ws);
         }
         row.push_back(
             TextTable::num(100.0 * (1.0 - four_way_ws / base_ws), 1) +
@@ -109,5 +122,6 @@ main(int argc, char **argv)
         table.addRow(row);
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

@@ -12,22 +12,31 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "dram/power.h"
 #include "perf/perf_sim.h"
 
 using namespace relaxfault;
+using relaxfault::bench::BenchReport;
 
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"instructions", "seed", "json"});
     PerfConfig config;
     config.instructionsPerCore = static_cast<uint64_t>(
-        options.getInt("instructions", 1'000'000));
+        options.getPositiveInt("instructions", 1'000'000));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1616));
-    const PerfSimulator simulator(config);
+    PerfSimulator simulator(config);
+
+    BenchReport report(options, "fig16_dram_power");
+    report.record().setSeed(seed);
+    report.record().setConfig("instructions", static_cast<int64_t>(
+        config.instructionsPerCore));
+    simulator.setTelemetry(report.metrics());
 
     const DramPowerModel power_model(
         DramPowerParams{}, config.dramTiming,
@@ -60,11 +69,17 @@ main(int argc, char **argv)
             } else {
                 row.push_back(TextTable::num(100.0 * mw / baseline_mw, 1));
             }
+            report.addRow()
+                .set("workload", name)
+                .set("repair", repair.label())
+                .set("dynamic_power_mw", mw)
+                .set("relative_power_pct", 100.0 * mw / baseline_mw);
         }
         table.addRow(row);
     }
     table.print(std::cout);
     std::cout << "\n(dynamic power only; background power, roughly half "
                  "of DRAM total, is unaffected by repair)\n";
+    report.write();
     return 0;
 }

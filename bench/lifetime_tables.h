@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/table.h"
 
@@ -24,12 +25,16 @@ using MetricFn = std::function<const RunningStat &(const LifetimeSummary &)>;
 /**
  * Run the repair-mechanism matrix of Figs. 12-14 and print `metric` with
  * its 95% CI. `ways` holds the per-set limits evaluated (paper: 1, 4).
+ * A non-null @p report receives one result row per mechanism and the
+ * run's telemetry flows into its registry.
  */
 inline void
 runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 uint64_t seed, const MetricFn &metric,
                 const std::string &metric_name,
-                const TrialRunOptions &run_options = {})
+                const TrialRunOptions &run_options = {},
+                BenchReport *report = nullptr,
+                const std::string &panel = "")
 {
     const DramGeometry geometry = base_config.faultModel.geometry;
     const LifetimeSimulator simulator(base_config);
@@ -54,6 +59,8 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
     for (const auto &row : rows) {
         TrialRunOptions run = run_options;
         run.progressLabel = row.label + " trials";
+        if (report != nullptr)
+            run.metrics = report->metrics();
         const LifetimeSummary summary = simulator.runTrials(
             trials,
             row.spec.kind == MechanismSpec::Kind::None
@@ -70,6 +77,19 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                       row.spec.kind == MechanismSpec::Kind::None
                           ? std::string("-")
                           : "-" + TextTable::num(reduction, 1) + "%"});
+        if (report != nullptr) {
+            ResultRow &json_row = report->addRow();
+            if (!panel.empty())
+                json_row.set("panel", panel);
+            json_row
+                .set("mechanism", row.label)
+                .set("metric", metric_name)
+                .set("mean", stat.mean())
+                .set("ci95", stat.ci95())
+                .set("reduction_vs_no_repair_pct",
+                     row.spec.kind == MechanismSpec::Kind::None
+                         ? 0.0 : reduction);
+        }
     }
     table.print(std::cout);
 }

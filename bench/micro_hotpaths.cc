@@ -18,6 +18,7 @@
 #include "ecc/chipkill.h"
 #include "repair/relaxfault_map.h"
 #include "repair/relaxfault_repair.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -146,6 +147,49 @@ BM_ControllerReadRepairedLine(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ControllerReadRepairedLine);
+
+void
+BM_TelemetryDisabledBranch(benchmark::State &state)
+{
+    // The disabled-telemetry hot path: the per-trial null-registry
+    // branch plus a ScopedTimer with no sink (no clock read).
+    MetricRegistry *registry = nullptr;
+    uint64_t work = 0;
+    for (auto _ : state) {
+        ScopedTimer timer(nullptr);
+        benchmark::DoNotOptimize(++work);
+        if (registry != nullptr)
+            registry->counter("sim.trials").add(1);
+        benchmark::DoNotOptimize(registry);
+    }
+}
+BENCHMARK(BM_TelemetryDisabledBranch);
+
+void
+BM_TelemetryCounterAdd(benchmark::State &state)
+{
+    MetricRegistry registry;
+    Counter &trials = registry.counter("sim.trials");
+    for (auto _ : state) {
+        trials.add(1);
+    }
+    benchmark::DoNotOptimize(trials.value());
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+
+void
+BM_TelemetryHistogramRecord(benchmark::State &state)
+{
+    MetricRegistry registry;
+    Log2Histogram &hist = registry.histogram("sim.trial_us");
+    uint64_t value = 1;
+    for (auto _ : state) {
+        hist.record(value);
+        value = (value * 7 + 3) & 0xffff;
+    }
+    benchmark::DoNotOptimize(hist.snapshot().count);
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
 
 } // namespace
 

@@ -11,14 +11,19 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "core/relaxfault_controller.h"
 
 using namespace relaxfault;
+using relaxfault::bench::BenchReport;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliOptions options(argc, argv, {"json"});
+    BenchReport report(options, "table1_storage_overhead");
+
     ControllerConfig config;  // Paper defaults: 8 DIMMs, 8MiB LLC.
     const StorageOverhead overhead =
         RelaxFaultController::storageOverhead(config);
@@ -58,5 +63,17 @@ main()
                    TextTable::num(100.0 * metadata_nj / dram_access_nj, 3) +
                        "% (paper: <0.03%)"});
     energy.print(std::cout);
+
+    report.addRow()
+        .set("faulty_bank_table_bytes", overhead.faultyBankTableBytes)
+        .set("coalescer_bytes", overhead.coalescerBytes)
+        .set("llc_tag_extension_bytes", overhead.llcTagExtensionBytes)
+        .set("total_bytes", overhead.totalBytes())
+        .set("metadata_access_nj", metadata_nj)
+        .set("metadata_vs_llc_access_pct",
+             100.0 * metadata_nj / llc_access_nj)
+        .set("metadata_vs_dram_access_pct",
+             100.0 * metadata_nj / dram_access_nj);
+    report.write();
     return 0;
 }

@@ -53,19 +53,23 @@ runPolicy(LifetimeConfig config, ReplacePolicy policy, unsigned trials,
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"nodes", "fit-scale", "trials", "seed",
+                              "downtime-min", "dimms-per-window",
+                              "threads", "progress"});
     LifetimeConfig config;
     config.nodesPerSystem =
-        static_cast<unsigned>(options.getInt("nodes", 4096));
+        static_cast<unsigned>(options.getPositiveInt("nodes", 4096));
     config.faultModel.fitScale = options.getDouble("fit-scale", 1.0);
-    const auto trials = static_cast<unsigned>(options.getInt("trials", 10));
+    const auto trials =
+        static_cast<unsigned>(options.getPositiveInt("trials", 10));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 31415));
     const double downtime_min = options.getDouble("downtime-min", 30.0);
     const double dimms_per_window =
         options.getDouble("dimms-per-window", 4.0);
     TrialRunOptions run;
     run.parallel.threads =
-        static_cast<unsigned>(options.getInt("threads", 0));
+        static_cast<unsigned>(options.getNonNegativeInt("threads", 0));
     run.progress = options.has("progress");
 
     std::printf("Fleet availability study: %u nodes over 6 years, "

@@ -66,7 +66,7 @@ struct Shadow
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv, {"seed"});
     Rng rng(static_cast<uint64_t>(options.getInt("seed", 7)));
 
     ControllerConfig config;

@@ -28,20 +28,23 @@ using namespace relaxfault;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
+    const CliOptions options(argc, argv,
+                             {"nodes", "years", "fit-scale", "policy",
+                              "trials", "seed", "threads", "progress"});
     LifetimeConfig config;
     config.nodesPerSystem =
-        static_cast<unsigned>(options.getInt("nodes", 4096));
+        static_cast<unsigned>(options.getPositiveInt("nodes", 4096));
     config.faultModel.missionHours =
         options.getDouble("years", 6.0) * 8766.0;
     config.faultModel.fitScale = options.getDouble("fit-scale", 1.0);
     config.policy = options.getString("policy", "replA") == "replB"
         ? ReplacePolicy::OnFrequentErrors : ReplacePolicy::AfterDue;
-    const auto trials = static_cast<unsigned>(options.getInt("trials", 20));
+    const auto trials =
+        static_cast<unsigned>(options.getPositiveInt("trials", 20));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 2718));
     TrialRunOptions run;
     run.parallel.threads =
-        static_cast<unsigned>(options.getInt("threads", 0));
+        static_cast<unsigned>(options.getNonNegativeInt("threads", 0));
     run.progress = options.has("progress");
 
     std::printf("Lifetime study: %u nodes, %.1f years, %.0fx FIT, %s, "

@@ -11,14 +11,19 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 
+#include "common/cli.h"
 #include "core/relaxfault_controller.h"
+#include "telemetry/metrics.h"
 
 using namespace relaxfault;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliOptions options(argc, argv, {});  // No flags; reject typos.
+    (void)options;
     // A node with the paper's configuration: 4 channels x 2 DIMMs of
     // 18 x4 devices (chipkill), 8MiB 16-way LLC, at most 1 repair way
     // per set and up to 2MiB of repair lines.
@@ -75,5 +80,12 @@ main()
         RelaxFaultController::storageOverhead(config);
     std::printf("on-chip metadata: %llu bytes (Table 1: 16,520)\n",
                 static_cast<unsigned long long>(overhead.totalBytes()));
+
+    // The same numbers through the telemetry registry: every component
+    // can publish into a MetricRegistry for structured inspection.
+    std::printf("\ntelemetry summary:\n");
+    MetricRegistry registry;
+    controller.publishTelemetry(registry);
+    registry.printSummary(std::cout);
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "perf/perf_sim.h"
 #include "perf/trace.h"
+#include "telemetry/metrics.h"
 
 using namespace relaxfault;
 
@@ -54,7 +55,9 @@ replay(const std::string &path)
 
     PerfConfig config;
     config.instructionsPerCore = 300000;
-    const PerfSimulator simulator(config);
+    PerfSimulator simulator(config);
+    MetricRegistry registry;
+    simulator.setTelemetry(&registry);
 
     TextTable table;
     table.setHeader({"LLC repair", "IPC (core 0)", "LLC miss rate"});
@@ -73,6 +76,8 @@ replay(const std::string &path)
                           "%"});
     }
     table.print(std::cout);
+    std::cout << "\ntelemetry summary (last configuration):\n";
+    registry.printSummary(std::cout);
 }
 
 } // namespace
@@ -80,9 +85,10 @@ replay(const std::string &path)
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv);
-    const uint64_t count =
-        static_cast<uint64_t>(options.getInt("accesses", 400000));
+    const CliOptions options(argc, argv,
+                             {"record", "replay", "accesses"});
+    const uint64_t count = static_cast<uint64_t>(
+        options.getPositiveInt("accesses", 400000));
 
     if (options.has("record")) {
         record(options.getString("record", "trace.txt"), count);

@@ -1,10 +1,14 @@
 #include "common/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
+
+#include "common/log.h"
 
 namespace relaxfault {
 
-CliOptions::CliOptions(int argc, char **argv)
+void
+CliOptions::parse(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -22,6 +26,31 @@ CliOptions::CliOptions(int argc, char **argv)
         } else {
             values_[arg] = "";
         }
+    }
+}
+
+CliOptions::CliOptions(int argc, char **argv)
+{
+    parse(argc, argv);
+}
+
+CliOptions::CliOptions(int argc, char **argv,
+                       const std::vector<std::string> &known)
+{
+    parse(argc, argv);
+    std::string listing;
+    for (const auto &option : known)
+        listing += " --" + option;
+    for (const auto &[name, value] : values_) {
+        if (name == "help")
+            continue;
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            fatal("unknown option --" + name + " (known:" + listing +
+                  ")");
+    }
+    if (has("help")) {
+        inform("options:" + listing);
+        std::exit(0);
     }
 }
 
@@ -45,7 +74,34 @@ CliOptions::getInt(const std::string &name, int64_t fallback) const
     const auto it = values_.find(name);
     if (it == values_.end() || it->second.empty())
         return fallback;
-    return std::strtoll(it->second.c_str(), nullptr, 0);
+    char *end = nullptr;
+    const int64_t value = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("--" + name + ": '" + it->second +
+              "' is not an integer");
+    return value;
+}
+
+int64_t
+CliOptions::getPositiveInt(const std::string &name,
+                           int64_t fallback) const
+{
+    const int64_t value = getInt(name, fallback);
+    if (value < 1)
+        fatal("--" + name + " must be >= 1 (got " +
+              std::to_string(value) + ")");
+    return value;
+}
+
+int64_t
+CliOptions::getNonNegativeInt(const std::string &name,
+                              int64_t fallback) const
+{
+    const int64_t value = getInt(name, fallback);
+    if (value < 0)
+        fatal("--" + name + " must be >= 0 (got " +
+              std::to_string(value) + ")");
+    return value;
 }
 
 double
@@ -54,7 +110,11 @@ CliOptions::getDouble(const std::string &name, double fallback) const
     const auto it = values_.find(name);
     if (it == values_.end() || it->second.empty())
         return fallback;
-    return std::strtod(it->second.c_str(), nullptr);
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("--" + name + ": '" + it->second + "' is not a number");
+    return value;
 }
 
 } // namespace relaxfault

@@ -5,6 +5,12 @@
  * Supports `--name=value` and `--name value` forms plus bare flags. The
  * benches use it for `--trials`, `--seed`, and model overrides so that
  * quick runs and paper-scale runs use the same binaries.
+ *
+ * Construct with the list of known option names and the parser rejects
+ * anything else (`--thread=8` for `--threads=8` exits with an error
+ * instead of silently running serially). Malformed numeric values and
+ * out-of-range `getPositiveInt` / `getNonNegativeInt` arguments are
+ * fatal too — a typo'd run should die loudly, not produce wrong data.
  */
 
 #ifndef RELAXFAULT_COMMON_CLI_H
@@ -21,7 +27,16 @@ namespace relaxfault {
 class CliOptions
 {
   public:
+    /** Permissive form: any `--name` is accepted (legacy callers). */
     CliOptions(int argc, char **argv);
+
+    /**
+     * Strict form: options not in @p known are fatal. Pass every flag
+     * the program understands; `--help` is implicitly known and lists
+     * them.
+     */
+    CliOptions(int argc, char **argv,
+               const std::vector<std::string> &known);
 
     /** True if `--name` was passed (with or without a value). */
     bool has(const std::string &name) const;
@@ -30,16 +45,26 @@ class CliOptions
     std::string getString(const std::string &name,
                           const std::string &fallback) const;
 
-    /** Integer value of `--name`, or @p fallback. */
+    /** Integer value of `--name`, or @p fallback; bad numbers are fatal. */
     int64_t getInt(const std::string &name, int64_t fallback) const;
 
-    /** Floating-point value of `--name`, or @p fallback. */
+    /** getInt restricted to values >= 1 (e.g. `--trials`). */
+    int64_t getPositiveInt(const std::string &name,
+                           int64_t fallback) const;
+
+    /** getInt restricted to values >= 0 (e.g. `--threads`, 0 = auto). */
+    int64_t getNonNegativeInt(const std::string &name,
+                              int64_t fallback) const;
+
+    /** Floating-point value of `--name`, or @p fallback; fatal if bad. */
     double getDouble(const std::string &name, double fallback) const;
 
     /** Positional (non-option) arguments in order. */
     const std::vector<std::string> &positional() const { return positional_; }
 
   private:
+    void parse(int argc, char **argv);
+
     std::map<std::string, std::string> values_;
     std::vector<std::string> positional_;
 };

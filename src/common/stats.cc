@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/log.h"
+
 namespace relaxfault {
 
 RunningStat::RunningStat()
@@ -86,6 +88,33 @@ Histogram::add(double value, double weight)
         overflow_ += weight;
     else
         bins_[index] += weight;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.binWidth_ != binWidth_ ||
+        other.bins_.size() != bins_.size())
+        panic("Histogram::merge: incompatible binning");
+    for (size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    overflow_ += other.overflow_;
+    totalWeight_ += other.totalWeight_;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (totalWeight_ <= 0.0 || bins_.empty())
+        return 0.0;
+    const double want = p * totalWeight_;
+    double cumulative = 0.0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        cumulative += bins_[i];
+        if (cumulative >= want)
+            return binUpperEdge(i);
+    }
+    return binUpperEdge(bins_.size() - 1);
 }
 
 double

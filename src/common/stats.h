@@ -84,6 +84,22 @@ class Histogram
     /** Add an observation with the given weight. */
     void add(double value, double weight = 1.0);
 
+    /**
+     * Fold another histogram into this one bin by bin, as if both
+     * observation streams had been added here (mirrors
+     * RunningStat::merge, for sharded accumulation). The histograms
+     * must have identical bin width and bin count.
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Upper edge of the first bin at which cumulative weight reaches
+     * fraction @p p (in [0, 1]) of the total — a bin-resolution
+     * quantile. Returns 0 for an empty histogram; if the quantile falls
+     * in the overflow bucket, returns the last bin's upper edge.
+     */
+    double quantile(double p) const;
+
     /** Total weight added. */
     double totalWeight() const { return totalWeight_; }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "telemetry/metrics.h"
 
 namespace relaxfault {
 
@@ -236,6 +237,35 @@ void
 RelaxFaultController::setErrorObserver(ErrorObserver observer)
 {
     errorObserver_ = std::move(observer);
+}
+
+void
+RelaxFaultController::publishTelemetry(MetricRegistry &registry) const
+{
+    const ControllerStats &s = stats_;
+    registry.gauge("controller.reads").set(
+        static_cast<int64_t>(s.reads));
+    registry.gauge("controller.writes").set(
+        static_cast<int64_t>(s.writes));
+    registry.gauge("controller.corrected_reads").set(
+        static_cast<int64_t>(s.correctedReads));
+    registry.gauge("controller.uncorrectable_reads").set(
+        static_cast<int64_t>(s.uncorrectableReads));
+    registry.gauge("controller.remap_merges").set(
+        static_cast<int64_t>(s.remapMerges));
+    registry.gauge("controller.remap_fills").set(
+        static_cast<int64_t>(s.remapFills));
+    registry.gauge("controller.erasure_decodes").set(
+        static_cast<int64_t>(s.erasureDecodes));
+    registry.gauge("controller.bank_filter_hits").set(
+        static_cast<int64_t>(s.bankFilterHits));
+    registry.gauge("controller.faults_reported").set(
+        static_cast<int64_t>(s.faultsReported));
+    registry.gauge("controller.faults_repaired").set(
+        static_cast<int64_t>(s.faultsRepaired));
+    registry.gauge("controller.remap_store_lines").set(
+        static_cast<int64_t>(remapStore_.size()));
+    repair_.publishTelemetry(registry);
 }
 
 StorageOverhead

@@ -40,6 +40,8 @@
 
 namespace relaxfault {
 
+class MetricRegistry;
+
 /** Static configuration of a RelaxFault node. */
 struct ControllerConfig
 {
@@ -133,6 +135,14 @@ class RelaxFaultController
 
     /** Install (or clear, with {}) the ECC-event observer. */
     void setErrorObserver(ErrorObserver observer);
+
+    /**
+     * Snapshot-publish the datapath counters as `controller.*` gauges
+     * and the repair engine's occupancy histograms. Publishing reads
+     * existing counters — the read/write hot path is untouched, so this
+     * costs nothing until called.
+     */
+    void publishTelemetry(MetricRegistry &registry) const;
 
     const ControllerStats &stats() const { return stats_; }
     const RelaxFaultRepair &repair() const { return repair_; }

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "telemetry/metrics.h"
+
 namespace relaxfault {
 
 FaultScrubber::FaultScrubber(RelaxFaultController &controller,
@@ -25,6 +27,7 @@ FaultScrubber::scrub(unsigned channel, unsigned rank, unsigned bank,
 {
     const DramGeometry &geometry = controller_.config().geometry;
     const unsigned dimm = channel * geometry.ranksPerChannel + rank;
+    ++totals_.scrubPasses;
 
     controller_.setErrorObserver(
         [&](const LineCoord &coord, uint32_t device_mask,
@@ -162,7 +165,33 @@ FaultScrubber::inferAndRepair()
     }
     logs_.clear();
     pending_ = Report{};
+
+    ++totals_.inferPasses;
+    totals_.linesScrubbed += report.linesScrubbed;
+    totals_.correctedLines += report.correctedLines;
+    totals_.uncorrectableLines += report.uncorrectableLines;
+    totals_.faultsInferred += report.faultsInferred;
+    totals_.faultsRepaired += report.faultsRepaired;
     return report;
+}
+
+void
+FaultScrubber::publishTelemetry(MetricRegistry &registry) const
+{
+    registry.gauge("scrubber.scrub_passes").set(
+        static_cast<int64_t>(totals_.scrubPasses));
+    registry.gauge("scrubber.infer_passes").set(
+        static_cast<int64_t>(totals_.inferPasses));
+    registry.gauge("scrubber.lines_scrubbed").set(
+        static_cast<int64_t>(totals_.linesScrubbed));
+    registry.gauge("scrubber.corrected_lines").set(
+        static_cast<int64_t>(totals_.correctedLines));
+    registry.gauge("scrubber.uncorrectable_lines").set(
+        static_cast<int64_t>(totals_.uncorrectableLines));
+    registry.gauge("scrubber.faults_inferred").set(
+        static_cast<int64_t>(totals_.faultsInferred));
+    registry.gauge("scrubber.faults_repaired").set(
+        static_cast<int64_t>(totals_.faultsRepaired));
 }
 
 } // namespace relaxfault

@@ -55,6 +55,18 @@ class FaultScrubber
         unsigned faultsRepaired = 0;
     };
 
+    /** Cumulative totals across every scrub / infer pass. */
+    struct Totals
+    {
+        uint64_t scrubPasses = 0;
+        uint64_t inferPasses = 0;
+        uint64_t linesScrubbed = 0;
+        uint64_t correctedLines = 0;
+        uint64_t uncorrectableLines = 0;
+        uint64_t faultsInferred = 0;
+        uint64_t faultsRepaired = 0;
+    };
+
     FaultScrubber(RelaxFaultController &controller,
                   const ScrubberConfig &config = {});
 
@@ -75,6 +87,11 @@ class FaultScrubber
     /** Raw observation count (device-level corrected line slices). */
     size_t observationCount() const;
 
+    const Totals &totals() const { return totals_; }
+
+    /** Snapshot-publish the cumulative totals as `scrubber.*` gauges. */
+    void publishTelemetry(MetricRegistry &registry) const;
+
   private:
     /** Key: dimm, device. Value: observed (bank,row,col) cells. */
     struct DeviceLog
@@ -89,6 +106,7 @@ class FaultScrubber
     ScrubberConfig config_;
     std::map<std::pair<unsigned, unsigned>, DeviceLog> logs_;
     Report pending_;
+    Totals totals_;
 };
 
 } // namespace relaxfault

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/log.h"
+#include "telemetry/metrics.h"
 
 namespace relaxfault {
 
@@ -115,6 +116,8 @@ PerfSimulator::runStreams(
     std::vector<std::unique_ptr<AccessStream>> streams,
     const LlcRepairConfig &repair) const
 {
+    ScopedTimer run_timer(
+        telemetry_ ? &telemetry_->histogram("perf.run_us") : nullptr);
     const DramGeometry dram_geometry = PerfConfig::dramGeometry();
     const DramAddressMap address_map(dram_geometry, /*bank_xor_hash=*/true);
 
@@ -255,7 +258,29 @@ PerfSimulator::runStreams(
         channel.finalize(elapsed);
         result.dram += channel.counts();
     }
+    if (telemetry_ != nullptr)
+        publishPerfResult(*telemetry_, result);
     return result;
+}
+
+void
+publishPerfResult(MetricRegistry &registry, const PerfResult &result)
+{
+    registry.gauge("perf.llc_hits").set(
+        static_cast<int64_t>(result.llcHits));
+    registry.gauge("perf.llc_misses").set(
+        static_cast<int64_t>(result.llcMisses));
+    registry.gauge("perf.elapsed_cycles").set(
+        static_cast<int64_t>(result.elapsedCycles));
+    registry.gauge("perf.dram_activates").set(
+        static_cast<int64_t>(result.dram.activates));
+    registry.gauge("perf.dram_reads").set(
+        static_cast<int64_t>(result.dram.reads));
+    registry.gauge("perf.dram_writes").set(
+        static_cast<int64_t>(result.dram.writes));
+    Log2Histogram &core_cycles = registry.histogram("perf.core_cycles");
+    for (const CoreResult &core : result.cores)
+        core_cycles.record(core.cycles);
 }
 
 double

@@ -25,6 +25,8 @@
 
 namespace relaxfault {
 
+class MetricRegistry;
+
 /** How much LLC is taken from normal data for repair. */
 struct LlcRepairConfig
 {
@@ -101,6 +103,13 @@ struct PerfResult
 double weightedSpeedup(const PerfResult &shared,
                        const std::vector<double> &alone_ipc);
 
+/**
+ * Publish a run's outcome as `perf.*` gauges (LLC hits/misses, DRAM op
+ * counts, elapsed cycles) plus a per-core cycle histogram.
+ */
+void publishPerfResult(MetricRegistry &registry,
+                       const PerfResult &result);
+
 /** The simulator. One instance per run (state is per-run). */
 class PerfSimulator
 {
@@ -127,8 +136,16 @@ class PerfSimulator
 
     const PerfConfig &config() const { return config_; }
 
+    /**
+     * Attach a telemetry sink: each run records its wall-clock in the
+     * `perf.run_us` histogram and publishes its result via
+     * publishPerfResult. Null (the default) disables both.
+     */
+    void setTelemetry(MetricRegistry *registry) { telemetry_ = registry; }
+
   private:
     PerfConfig config_;
+    MetricRegistry *telemetry_ = nullptr;
 };
 
 } // namespace relaxfault

@@ -1,5 +1,7 @@
 #include "repair/freefault_repair.h"
 
+#include "telemetry/metrics.h"
+
 namespace relaxfault {
 
 FreeFaultRepair::FreeFaultRepair(const DramAddressMap &map,
@@ -52,6 +54,16 @@ void
 FreeFaultRepair::reset()
 {
     tracker_.reset();
+}
+
+void
+FreeFaultRepair::publishTelemetry(MetricRegistry &registry) const
+{
+    RepairMechanism::publishTelemetry(registry);
+    const std::string prefix = "repair." + name();
+    const uint64_t occupied = tracker_.publishSetLoads(
+        registry.histogram(prefix + ".locked_ways_per_set"));
+    registry.histogram(prefix + ".occupied_sets").record(occupied);
 }
 
 bool

@@ -43,6 +43,9 @@ class FreeFaultRepair : public RepairMechanism
     }
     void reset() override;
 
+    /** Adds locked-ways-per-set and occupied-set detail. */
+    void publishTelemetry(MetricRegistry &registry) const override;
+
     /** Whether the physical line holding @p pa is locked for repair. */
     bool lineRepaired(uint64_t pa) const;
 

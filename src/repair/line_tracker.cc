@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace relaxfault {
 
 RepairLineTracker::RepairLineTracker(uint64_t sets,
@@ -42,6 +44,19 @@ RepairLineTracker::tryAdd(
         ++usedLines_;
     }
     return true;
+}
+
+uint64_t
+RepairLineTracker::publishSetLoads(Log2Histogram &hist) const
+{
+    uint64_t occupied = 0;
+    for (const uint16_t load : load_) {
+        if (load == 0)
+            continue;
+        hist.record(load);
+        ++occupied;
+    }
+    return occupied;
 }
 
 void

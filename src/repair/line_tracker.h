@@ -20,6 +20,8 @@
 
 namespace relaxfault {
 
+class Log2Histogram;
+
 /** Per-set locked-line accounting with transactional adds. */
 class RepairLineTracker
 {
@@ -43,6 +45,15 @@ class RepairLineTracker
 
     /** Locked lines in one set. */
     unsigned setLoad(uint64_t set) const { return load_[set]; }
+
+    /** Number of LLC sets tracked. */
+    uint64_t sets() const { return load_.size(); }
+
+    /**
+     * Record every occupied set's load into @p hist (one sample per
+     * nonzero set); returns the number of occupied sets.
+     */
+    uint64_t publishSetLoads(Log2Histogram &hist) const;
 
     void reset();
 

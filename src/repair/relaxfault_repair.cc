@@ -1,5 +1,9 @@
 #include "repair/relaxfault_repair.h"
 
+#include <bit>
+
+#include "telemetry/metrics.h"
+
 namespace relaxfault {
 
 RelaxFaultRepair::RelaxFaultRepair(const DramGeometry &dram,
@@ -81,6 +85,20 @@ RelaxFaultRepair::reset()
 {
     tracker_.reset();
     std::fill(faultyBankTable_.begin(), faultyBankTable_.end(), 0);
+}
+
+void
+RelaxFaultRepair::publishTelemetry(MetricRegistry &registry) const
+{
+    RepairMechanism::publishTelemetry(registry);
+    const std::string prefix = "repair." + name();
+    const uint64_t occupied = tracker_.publishSetLoads(
+        registry.histogram(prefix + ".locked_ways_per_set"));
+    registry.histogram(prefix + ".occupied_sets").record(occupied);
+    uint64_t flagged = 0;
+    for (const uint32_t mask : faultyBankTable_)
+        flagged += std::popcount(mask);
+    registry.histogram(prefix + ".flagged_banks").record(flagged);
 }
 
 bool

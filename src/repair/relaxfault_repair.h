@@ -49,6 +49,9 @@ class RelaxFaultRepair : public RepairMechanism
     }
     void reset() override;
 
+    /** Adds locked-ways-per-set, occupied-set, and bank-filter detail. */
+    void publishTelemetry(MetricRegistry &registry) const override;
+
     /** Faulty-bank table bit: any repaired region in (dimm, bank)? */
     bool bankFlagged(unsigned dimm, unsigned bank) const;
 

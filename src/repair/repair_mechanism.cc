@@ -1,0 +1,15 @@
+#include "repair/repair_mechanism.h"
+
+#include "telemetry/metrics.h"
+
+namespace relaxfault {
+
+void
+RepairMechanism::publishTelemetry(MetricRegistry &registry) const
+{
+    const std::string prefix = "repair." + name();
+    registry.histogram(prefix + ".used_lines").record(usedLines());
+    registry.histogram(prefix + ".max_ways").record(maxWaysUsed());
+}
+
+} // namespace relaxfault

@@ -21,6 +21,8 @@
 
 namespace relaxfault {
 
+class MetricRegistry;
+
 /** Resource limits for LLC-based repair (paper: 1/4/16 ways). */
 struct RepairBudget
 {
@@ -54,6 +56,15 @@ class RepairMechanism
 
     /** Release all repair resources (e.g., after DIMM replacement). */
     virtual void reset() = 0;
+
+    /**
+     * Record this mechanism's current occupancy into @p registry under
+     * `repair.<name>.*` histograms (one sample per call; callers invoke
+     * it once per simulated node/trial to build a distribution). The
+     * base records `used_lines` and `max_ways`; LLC-based mechanisms
+     * add per-set load and bank-filter detail.
+     */
+    virtual void publishTelemetry(MetricRegistry &registry) const;
 
     /** LLC bytes locked for repair. */
     uint64_t usedBytes() const { return usedLines() * 64; }

@@ -1,9 +1,11 @@
 #include "sim/lifetime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/log.h"
+#include "telemetry/metrics.h"
 
 namespace relaxfault {
 
@@ -70,7 +72,8 @@ LifetimeSimulator::LifetimeSimulator(const LifetimeConfig &config)
 void
 LifetimeSimulator::simulateNode(const NodeSample &node,
                                 RepairMechanism *mechanism,
-                                LifetimeMetrics &metrics, Rng &rng) const
+                                LifetimeMetrics &metrics, Rng &rng,
+                                MetricRegistry *telemetry) const
 {
     if (node.faults.empty())
         return;
@@ -254,12 +257,17 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         metrics.faultyNodes += 1.0;
         if (all_repaired)
             metrics.fullyRepairedNodes += 1.0;
+        // One occupancy sample per faulty node: the distribution of
+        // repair-resource usage over nodes that actually needed repair.
+        if (mechanism != nullptr && telemetry != nullptr)
+            mechanism->publishTelemetry(*telemetry);
     }
 }
 
 LifetimeMetrics
 LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
-                                  Rng &rng) const
+                                  Rng &rng,
+                                  MetricRegistry *telemetry) const
 {
     NodeFaultSampler sampler(config_.faultModel);
     std::unique_ptr<RepairMechanism> mechanism;
@@ -269,7 +277,7 @@ LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
     LifetimeMetrics metrics;
     for (unsigned n = 0; n < config_.nodesPerSystem; ++n) {
         const NodeSample node = sampler.sampleNode(rng);
-        simulateNode(node, mechanism.get(), metrics, rng);
+        simulateNode(node, mechanism.get(), metrics, rng, telemetry);
     }
     return metrics;
 }
@@ -287,12 +295,76 @@ LifetimeSimulator::runTrials(unsigned trials,
     // thread count and chunk size.
     std::vector<LifetimeMetrics> per_trial(trials);
     ProgressMeter meter(options.progressLabel, trials, options.progress);
+
+    // Metric creation is mutex-protected, so hoist the lookups out of
+    // the trial loop; the hot path then pays one null check per trial
+    // when telemetry is off, and lock-free integer adds when it is on.
+    // SDC expectations are doubles; they are folded as integer
+    // micro-units so the merged counter is bit-identical regardless of
+    // which thread ran which trial.
+    MetricRegistry *const telemetry = options.metrics;
+    Counter *c_trials = nullptr;
+    Counter *c_faulty_nodes = nullptr;
+    Counter *c_multi_dev = nullptr;
+    Counter *c_dues = nullptr;
+    Counter *c_sdc_micros = nullptr;
+    Counter *c_replacements = nullptr;
+    Counter *c_repaired = nullptr;
+    Counter *c_permanent = nullptr;
+    Counter *c_fully_repaired = nullptr;
+    Log2Histogram *h_trial_us = nullptr;
+    if (telemetry != nullptr) {
+        c_trials = &telemetry->counter("sim.trials");
+        c_faulty_nodes = &telemetry->counter("sim.faulty_nodes");
+        c_multi_dev =
+            &telemetry->counter("sim.multi_device_fault_dimms");
+        c_dues = &telemetry->counter("sim.dues");
+        c_sdc_micros = &telemetry->counter("sim.sdc_micros");
+        c_replacements = &telemetry->counter("sim.replacements");
+        c_repaired = &telemetry->counter("sim.repaired_faults");
+        c_permanent = &telemetry->counter("sim.permanent_faults");
+        c_fully_repaired =
+            &telemetry->counter("sim.fully_repaired_nodes");
+        h_trial_us = &telemetry->histogram("sim.trial_us");
+    }
+
     parallelFor(
         trials,
         [&](size_t begin, size_t end) {
             for (size_t t = begin; t < end; ++t) {
                 Rng trial_rng = Rng::forkAt(seed, t);
-                per_trial[t] = runSystemTrial(factory, trial_rng);
+                {
+                    ScopedTimer timer(h_trial_us);
+                    per_trial[t] =
+                        runSystemTrial(factory, trial_rng, telemetry);
+                }
+                if (telemetry != nullptr) {
+                    const LifetimeMetrics &m = per_trial[t];
+                    c_trials->add(1);
+                    c_faulty_nodes->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.faultyNodes)));
+                    c_multi_dev->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.multiDeviceFaultDimms)));
+                    c_dues->add(
+                        static_cast<uint64_t>(std::llround(m.dues)));
+                    c_sdc_micros->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.sdcs * 1e6)));
+                    c_replacements->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.replacements)));
+                    c_repaired->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.repairedFaults)));
+                    c_permanent->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.permanentFaults)));
+                    c_fully_repaired->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.fullyRepairedNodes)));
+                }
                 meter.tick();
             }
         },

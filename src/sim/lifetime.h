@@ -34,6 +34,8 @@
 
 namespace relaxfault {
 
+class MetricRegistry;
+
 /** When DIMMs are replaced. */
 enum class ReplacePolicy : uint8_t
 {
@@ -118,6 +120,15 @@ struct TrialRunOptions
 
     /** Label prefixed to progress lines. */
     std::string progressLabel = "trials";
+
+    /**
+     * Optional telemetry sink. Per-trial outcomes land in `sim.*`
+     * counters (SDC expectations as integer micro-units, so totals stay
+     * bit-identical at any thread count) and the `sim.trial_us`
+     * latency histogram; each trial's mechanism publishes its occupancy
+     * histograms on completion. Null disables all of it.
+     */
+    MetricRegistry *metrics = nullptr;
 };
 
 /** Monte Carlo engine over whole-system lifetimes. */
@@ -130,9 +141,13 @@ class LifetimeSimulator
 
     explicit LifetimeSimulator(const LifetimeConfig &config);
 
-    /** Simulate one full system lifetime. */
+    /**
+     * Simulate one full system lifetime. A non-null @p metrics receives
+     * the trial mechanism's end-of-trial occupancy telemetry.
+     */
     LifetimeMetrics runSystemTrial(const MechanismFactory &factory,
-                                   Rng &rng) const;
+                                   Rng &rng,
+                                   MetricRegistry *metrics = nullptr) const;
 
     /**
      * Run @p trials independent lifetimes in parallel and aggregate.
@@ -153,7 +168,8 @@ class LifetimeSimulator
   private:
     /** Process one node's mission; accumulates into @p metrics. */
     void simulateNode(const NodeSample &node, RepairMechanism *mechanism,
-                      LifetimeMetrics &metrics, Rng &rng) const;
+                      LifetimeMetrics &metrics, Rng &rng,
+                      MetricRegistry *telemetry) const;
 
     LifetimeConfig config_;
     ReliabilityClassifier classifier_;

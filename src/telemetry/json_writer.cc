@@ -1,0 +1,194 @@
+#include "telemetry/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace relaxfault {
+
+namespace {
+
+/** Internal misuse of the writer is a programming error. */
+[[noreturn]] void
+misuse(const char *what)
+{
+    std::fprintf(stderr, "panic: JsonWriter: %s\n", what);
+    std::abort();
+}
+
+} // namespace
+
+void
+JsonWriter::prefix()
+{
+    if (stack_.empty())
+        return;
+    Level &level = stack_.back();
+    if (level.container == '{' && !level.keyPending)
+        misuse("value in object without a key");
+    if (level.keyPending) {
+        level.keyPending = false;
+        return;  // key() already wrote "name": including the colon.
+    }
+    if (level.hasItems)
+        os_ << ',';
+    level.hasItems = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prefix();
+    os_ << '{';
+    stack_.push_back({'{'});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back().container != '{' ||
+        stack_.back().keyPending)
+        misuse("endObject outside an object");
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prefix();
+    os_ << '[';
+    stack_.push_back({'['});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back().container != '[')
+        misuse("endArray outside an array");
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || stack_.back().container != '{' ||
+        stack_.back().keyPending)
+        misuse("key outside an object");
+    Level &level = stack_.back();
+    if (level.hasItems)
+        os_ << ',';
+    level.hasItems = true;
+    level.keyPending = true;
+    os_ << '"' << escaped(name) << "\":";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    prefix();
+    os_ << '"' << escaped(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t number)
+{
+    prefix();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t number)
+{
+    prefix();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    if (!std::isfinite(number))
+        return nullValue();
+    prefix();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    os_ << buffer;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    prefix();
+    os_ << (flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::nullValue()
+{
+    prefix();
+    os_ << "null";
+    return *this;
+}
+
+void
+JsonWriter::finish() const
+{
+    if (!stack_.empty())
+        misuse("finish with unclosed containers");
+}
+
+std::string
+JsonWriter::escaped(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out += c;  // Multi-byte UTF-8 passes through.
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter — no external dependencies.
+ *
+ * Comma placement and nesting are tracked by a small state stack, so
+ * callers just interleave beginObject/key/value calls; `finish()`
+ * asserts the document closed cleanly. Strings are escaped per RFC 8259
+ * (quotes, backslashes, and control characters; multi-byte UTF-8 passes
+ * through untouched). Non-finite doubles, which JSON cannot represent,
+ * are emitted as null.
+ */
+
+#ifndef RELAXFAULT_TELEMETRY_JSON_WRITER_H
+#define RELAXFAULT_TELEMETRY_JSON_WRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relaxfault {
+
+/** Streaming JSON writer over an ostream. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text)
+    {
+        return value(std::string_view(text));
+    }
+    JsonWriter &value(uint64_t number);
+    JsonWriter &value(int64_t number);
+    JsonWriter &value(int number) { return value(int64_t{number}); }
+    JsonWriter &value(unsigned number)
+    {
+        return value(uint64_t{number});
+    }
+    JsonWriter &value(double number);
+    JsonWriter &value(bool flag);
+    JsonWriter &nullValue();
+
+    /** Assert all containers are closed (panics otherwise). */
+    void finish() const;
+
+    /** RFC 8259 string escaping (without the surrounding quotes). */
+    static std::string escaped(std::string_view text);
+
+  private:
+    /** Emit the separating comma / colon the grammar requires here. */
+    void prefix();
+
+    struct Level
+    {
+        char container;    ///< '{' or '['.
+        bool hasItems = false;
+        bool keyPending = false;  ///< Object key emitted, value due.
+    };
+
+    std::ostream &os_;
+    std::vector<Level> stack_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TELEMETRY_JSON_WRITER_H

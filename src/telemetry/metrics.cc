@@ -1,0 +1,185 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+
+#include "telemetry/json_writer.h"
+
+namespace relaxfault {
+
+namespace detail {
+
+unsigned
+telemetryShard()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned shard =
+        next.fetch_add(1, std::memory_order_relaxed) %
+        kTelemetryShards;
+    return shard;
+}
+
+} // namespace detail
+
+uint64_t
+Counter::value() const
+{
+    uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (Shard &shard : shards_)
+        shard.value.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+Log2HistogramSnapshot::quantileUpperBound(double p) const
+{
+    if (count == 0)
+        return 0;
+    const double want = p * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (unsigned b = 0; b < buckets.size(); ++b) {
+        cumulative += buckets[b];
+        if (static_cast<double>(cumulative) >= want)
+            return Log2Histogram::bucketUpperBound(b);
+    }
+    return Log2Histogram::bucketUpperBound(64);
+}
+
+Log2HistogramSnapshot
+Log2Histogram::snapshot() const
+{
+    Log2HistogramSnapshot merged;
+    for (const Shard &shard : shards_) {
+        for (unsigned b = 0; b < kBuckets; ++b) {
+            const uint64_t n =
+                shard.buckets[b].load(std::memory_order_relaxed);
+            merged.buckets[b] += n;
+            merged.count += n;
+        }
+        merged.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    return merged;
+}
+
+void
+Log2Histogram::reset()
+{
+    for (Shard &shard : shards_) {
+        for (auto &bucket : shard.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        shard.sum.store(0, std::memory_order_relaxed);
+    }
+}
+
+uint64_t
+ScopedTimer::elapsedUs() const
+{
+    if (sink_ == nullptr)
+        return 0;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Log2Histogram &
+MetricRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Log2Histogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace_back(name, counter->value());
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.emplace_back(name, gauge->value());
+    for (const auto &[name, histogram] : histograms_)
+        snap.histograms.emplace_back(name, histogram->snapshot());
+    return snap;
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &writer) const
+{
+    const MetricsSnapshot snap = snapshot();
+    writer.beginObject();
+    writer.key("counters").beginObject();
+    for (const auto &[name, value] : snap.counters)
+        writer.key(name).value(value);
+    writer.endObject();
+    writer.key("gauges").beginObject();
+    for (const auto &[name, value] : snap.gauges)
+        writer.key(name).value(value);
+    writer.endObject();
+    writer.key("histograms").beginObject();
+    for (const auto &[name, histogram] : snap.histograms) {
+        writer.key(name).beginObject();
+        writer.key("count").value(histogram.count);
+        writer.key("sum").value(histogram.sum);
+        writer.key("mean").value(histogram.mean());
+        writer.key("p50").value(histogram.quantileUpperBound(0.50));
+        writer.key("p99").value(histogram.quantileUpperBound(0.99));
+        // Sparse buckets: key = bit width, value = count.
+        writer.key("buckets").beginObject();
+        for (unsigned b = 0; b < histogram.buckets.size(); ++b) {
+            if (histogram.buckets[b] != 0)
+                writer.key(std::to_string(b)).value(histogram.buckets[b]);
+        }
+        writer.endObject();
+        writer.endObject();
+    }
+    writer.endObject();
+    writer.endObject();
+}
+
+void
+MetricRegistry::printSummary(std::ostream &os) const
+{
+    const MetricsSnapshot snap = snapshot();
+    for (const auto &[name, value] : snap.counters)
+        os << "counter   " << name << " = " << value << "\n";
+    for (const auto &[name, value] : snap.gauges)
+        os << "gauge     " << name << " = " << value << "\n";
+    for (const auto &[name, histogram] : snap.histograms) {
+        os << "histogram " << name << ": count=" << histogram.count
+           << " sum=" << histogram.sum << " mean=" << histogram.mean()
+           << " p50<=" << histogram.quantileUpperBound(0.50)
+           << " p99<=" << histogram.quantileUpperBound(0.99) << "\n";
+    }
+}
+
+} // namespace relaxfault

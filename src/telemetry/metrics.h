@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Metric registry: named counters, gauges, and log2-binned histograms.
+ *
+ * All metrics are thread-sharded: writers touch a per-thread cache-line
+ * slot with relaxed atomics (no lock, no contention), and readers merge
+ * the shards on demand. Because every write is an exact integer add and
+ * integer addition is commutative, a merged value is bit-identical no
+ * matter how trials were distributed over threads — the registry
+ * composes with the deterministic parallel Monte Carlo engine: the same
+ * seed yields the same counters at any `--threads` setting.
+ *
+ * Telemetry is opt-in and near-free when off: instrumented layers hold a
+ * nullable `MetricRegistry *` and branch on it, so the disabled hot path
+ * pays one predictable branch (see `micro_hotpaths`). Metric *creation*
+ * (`registry.counter(name)`) takes a mutex and should be hoisted out of
+ * hot loops; the returned references stay valid for the registry's
+ * lifetime and their write paths are lock-free.
+ */
+
+#ifndef RELAXFAULT_TELEMETRY_METRICS_H
+#define RELAXFAULT_TELEMETRY_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace relaxfault {
+
+class JsonWriter;
+
+namespace detail {
+
+/** Shards per metric; a power of two. */
+constexpr unsigned kTelemetryShards = 16;
+
+/** Stable per-thread shard index (round-robin at first use). */
+unsigned telemetryShard();
+
+} // namespace detail
+
+/** Monotonic event count; exact under any thread interleaving. */
+class Counter
+{
+  public:
+    /** Record @p delta events (lock-free, relaxed). */
+    void add(uint64_t delta = 1)
+    {
+        shards_[detail::telemetryShard()].value.fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+
+    /** Merged total over all shards. */
+    uint64_t value() const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> value{0};
+    };
+    std::array<Shard, detail::kTelemetryShards> shards_{};
+};
+
+/** Last-written point-in-time value (e.g., a published snapshot). */
+class Gauge
+{
+  public:
+    void set(int64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    void add(int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Order-independent merged view of a Log2Histogram. */
+struct Log2HistogramSnapshot
+{
+    /** Bucket b counts values of bit-width b (see bucketOf). */
+    std::array<uint64_t, 65> buckets{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    double mean() const
+    {
+        return count == 0
+            ? 0.0
+            : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /**
+     * Upper bound of the smallest bucket whose cumulative count reaches
+     * fraction @p p of the total (bucket-resolution estimate; exact to
+     * within one power of two). Returns 0 for an empty histogram.
+     */
+    uint64_t quantileUpperBound(double p) const;
+
+    bool operator==(const Log2HistogramSnapshot &) const = default;
+};
+
+/**
+ * Log2-binned histogram of unsigned values (latencies, occupancies).
+ *
+ * Values are bucketed by bit width — bucket 0 holds exactly 0, bucket b
+ * holds [2^(b-1), 2^b) — so one fetch_add covers any 64-bit range with
+ * 65 buckets and no configuration. Each shard owns its own bucket
+ * array; the merged snapshot sums them, which is exact and
+ * order-independent (integer adds), preserving the determinism
+ * guarantee for value distributions, not just totals.
+ */
+class Log2Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index of @p value: its bit width (0 for 0). */
+    static unsigned bucketOf(uint64_t value)
+    {
+        return static_cast<unsigned>(std::bit_width(value));
+    }
+
+    /** Smallest value in bucket @p bucket. */
+    static uint64_t bucketLowerBound(unsigned bucket)
+    {
+        return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+    }
+
+    /** Largest value in bucket @p bucket. */
+    static uint64_t bucketUpperBound(unsigned bucket)
+    {
+        if (bucket >= 64)
+            return ~uint64_t{0};
+        return (uint64_t{1} << bucket) - 1;
+    }
+
+    /** Record one observation (lock-free, relaxed). */
+    void record(uint64_t value)
+    {
+        Shard &shard = shards_[detail::telemetryShard()];
+        shard.buckets[bucketOf(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        shard.sum.fetch_add(value, std::memory_order_relaxed);
+    }
+
+    /** Deterministically merged view over all shards. */
+    Log2HistogramSnapshot snapshot() const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+        std::atomic<uint64_t> sum{0};
+    };
+    std::array<Shard, detail::kTelemetryShards> shards_{};
+};
+
+/**
+ * RAII wall-clock timer: records elapsed microseconds into a histogram
+ * on destruction. A null sink disables the timer entirely (no clock
+ * read), so callers thread one through unconditionally.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Log2Histogram *sink)
+        : sink_(sink),
+          start_(sink ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{})
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        if (sink_)
+            sink_->record(elapsedUs());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Microseconds since construction (0 when disabled). */
+    uint64_t elapsedUs() const;
+
+  private:
+    Log2Histogram *sink_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Name-sorted point-in-time view of every metric in a registry. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, Log2HistogramSnapshot>> histograms;
+
+    bool operator==(const MetricsSnapshot &) const = default;
+};
+
+/**
+ * Named metric directory. Lookup-or-create is mutex-protected (cold
+ * path); the returned references are stable for the registry's lifetime
+ * and their write paths are lock-free.
+ */
+class MetricRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Log2Histogram &histogram(const std::string &name);
+
+    /** Merged, name-sorted view of everything registered so far. */
+    MetricsSnapshot snapshot() const;
+
+    /** Emit the snapshot as one JSON object (counters/gauges/histograms). */
+    void writeJson(JsonWriter &writer) const;
+
+    /** Human-readable dump, one metric per line. */
+    void printSummary(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Log2Histogram>> histograms_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TELEMETRY_METRICS_H

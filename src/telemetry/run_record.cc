@@ -1,0 +1,207 @@
+#include "telemetry/run_record.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
+
+#ifndef RF_GIT_REV
+#define RF_GIT_REV "unknown"
+#endif
+
+namespace relaxfault {
+
+std::string
+runGitRev()
+{
+    if (const char *env = std::getenv("RELAXFAULT_GIT_REV");
+        env != nullptr && env[0] != '\0')
+        return env;
+    return RF_GIT_REV;
+}
+
+uint64_t
+runTimestampMs()
+{
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now)
+            .count());
+}
+
+ResultRow::Cell &
+ResultRow::cell(const std::string &key, Kind kind)
+{
+    for (Cell &existing : cells_) {
+        if (existing.key == key) {
+            existing.kind = kind;
+            return existing;
+        }
+    }
+    cells_.push_back({key, kind, {}, 0.0, 0, 0, false});
+    return cells_.back();
+}
+
+ResultRow &
+ResultRow::set(const std::string &key, const std::string &text)
+{
+    cell(key, Kind::String).text = text;
+    return *this;
+}
+
+ResultRow &
+ResultRow::set(const std::string &key, double number)
+{
+    cell(key, Kind::Double).real = number;
+    return *this;
+}
+
+ResultRow &
+ResultRow::set(const std::string &key, uint64_t number)
+{
+    cell(key, Kind::Uint).uinteger = number;
+    return *this;
+}
+
+ResultRow &
+ResultRow::set(const std::string &key, int64_t number)
+{
+    cell(key, Kind::Int).integer = number;
+    return *this;
+}
+
+ResultRow &
+ResultRow::set(const std::string &key, bool flag)
+{
+    cell(key, Kind::Bool).flag = flag;
+    return *this;
+}
+
+void
+ResultRow::writeJson(JsonWriter &writer) const
+{
+    writer.beginObject();
+    for (const Cell &cell : cells_) {
+        writer.key(cell.key);
+        switch (cell.kind) {
+          case Kind::String:
+            writer.value(cell.text);
+            break;
+          case Kind::Double:
+            writer.value(cell.real);
+            break;
+          case Kind::Uint:
+            writer.value(cell.uinteger);
+            break;
+          case Kind::Int:
+            writer.value(cell.integer);
+            break;
+          case Kind::Bool:
+            writer.value(cell.flag);
+            break;
+        }
+    }
+    writer.endObject();
+}
+
+RunRecord &
+RunRecord::setSeed(uint64_t seed)
+{
+    seed_ = seed;
+    hasSeed_ = true;
+    return *this;
+}
+
+RunRecord &
+RunRecord::setTrials(uint64_t trials)
+{
+    trials_ = trials;
+    hasTrials_ = true;
+    return *this;
+}
+
+RunRecord &
+RunRecord::setThreads(unsigned threads)
+{
+    threads_ = threads;
+    hasThreads_ = true;
+    return *this;
+}
+
+RunRecord &
+RunRecord::setConfig(const std::string &key, const std::string &text)
+{
+    config_.push_back({key, ConfigEntry::Kind::String, text, 0.0, 0});
+    return *this;
+}
+
+RunRecord &
+RunRecord::setConfig(const std::string &key, double number)
+{
+    config_.push_back({key, ConfigEntry::Kind::Double, {}, number, 0});
+    return *this;
+}
+
+RunRecord &
+RunRecord::setConfig(const std::string &key, int64_t number)
+{
+    config_.push_back({key, ConfigEntry::Kind::Int, {}, 0.0, number});
+    return *this;
+}
+
+ResultRow &
+RunRecord::addRow()
+{
+    rows_.emplace_back();
+    return rows_.back();
+}
+
+void
+RunRecord::writeJsonLine(std::ostream &os,
+                         const MetricRegistry *metrics) const
+{
+    JsonWriter writer(os);
+    writer.beginObject();
+    writer.key("schema").value(kRunRecordSchema);
+    writer.key("bench").value(bench_);
+    writer.key("git_rev").value(gitRev_);
+    writer.key("timestamp_ms").value(timestampMs_);
+    if (hasSeed_)
+        writer.key("seed").value(seed_);
+    if (hasTrials_)
+        writer.key("trials").value(trials_);
+    if (hasThreads_)
+        writer.key("threads").value(threads_);
+    writer.key("config").beginObject();
+    for (const ConfigEntry &entry : config_) {
+        writer.key(entry.key);
+        switch (entry.kind) {
+          case ConfigEntry::Kind::String:
+            writer.value(entry.text);
+            break;
+          case ConfigEntry::Kind::Double:
+            writer.value(entry.real);
+            break;
+          case ConfigEntry::Kind::Int:
+            writer.value(entry.integer);
+            break;
+        }
+    }
+    writer.endObject();
+    writer.key("results").beginArray();
+    for (const ResultRow &row : rows_)
+        row.writeJson(writer);
+    writer.endArray();
+    writer.key("metrics");
+    if (metrics != nullptr) {
+        metrics->writeJson(writer);
+    } else {
+        writer.beginObject().endObject();
+    }
+    writer.endObject();
+    writer.finish();
+    os << '\n';
+}
+
+} // namespace relaxfault

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Structured run results: one JSON line per bench/sim/example run.
+ *
+ * A RunRecord stamps a run with everything needed to reproduce and diff
+ * it — bench name, seed, trials, threads, git revision, free-form config
+ * — plus the run's result rows and a merged metrics snapshot. It
+ * serializes as a single JSON line (schema `relaxfault.bench.v1`), so
+ * appending records to one file yields valid JSON Lines and artifacts
+ * can be diffed across commits with standard tools.
+ */
+
+#ifndef RELAXFAULT_TELEMETRY_RUN_RECORD_H
+#define RELAXFAULT_TELEMETRY_RUN_RECORD_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace relaxfault {
+
+class JsonWriter;
+class MetricRegistry;
+
+/** Schema identifier stamped into every record. */
+inline constexpr const char *kRunRecordSchema = "relaxfault.bench.v1";
+
+/**
+ * Git revision the binary was built from (compile-time `RF_GIT_REV`,
+ * overridable at runtime via the `RELAXFAULT_GIT_REV` environment
+ * variable for packaged builds); "unknown" when neither is available.
+ */
+std::string runGitRev();
+
+/** Milliseconds since the Unix epoch (wall clock). */
+uint64_t runTimestampMs();
+
+/**
+ * One named result row: an ordered list of key/value cells, where each
+ * value remembers whether it was a string, integer, double, or bool so
+ * JSON output preserves types.
+ */
+class ResultRow
+{
+  public:
+    ResultRow &set(const std::string &key, const std::string &text);
+    ResultRow &set(const std::string &key, const char *text)
+    {
+        return set(key, std::string(text));
+    }
+    ResultRow &set(const std::string &key, double number);
+    ResultRow &set(const std::string &key, uint64_t number);
+    ResultRow &set(const std::string &key, int64_t number);
+    ResultRow &set(const std::string &key, int number)
+    {
+        return set(key, int64_t{number});
+    }
+    ResultRow &set(const std::string &key, unsigned number)
+    {
+        return set(key, uint64_t{number});
+    }
+    ResultRow &set(const std::string &key, bool flag);
+
+    void writeJson(JsonWriter &writer) const;
+
+  private:
+    enum class Kind { String, Double, Uint, Int, Bool };
+
+    struct Cell
+    {
+        std::string key;
+        Kind kind;
+        std::string text;
+        double real = 0.0;
+        uint64_t uinteger = 0;
+        int64_t integer = 0;
+        bool flag = false;
+    };
+
+    Cell &cell(const std::string &key, Kind kind);
+
+    std::vector<Cell> cells_;
+};
+
+/** Reproducibility stamp + config + result rows for one run. */
+class RunRecord
+{
+  public:
+    explicit RunRecord(std::string bench)
+        : bench_(std::move(bench)), gitRev_(runGitRev()),
+          timestampMs_(runTimestampMs())
+    {
+    }
+
+    RunRecord &setSeed(uint64_t seed);
+    RunRecord &setTrials(uint64_t trials);
+    RunRecord &setThreads(unsigned threads);
+
+    /** Add a free-form config entry (emitted under "config"). */
+    RunRecord &setConfig(const std::string &key, const std::string &text);
+    RunRecord &setConfig(const std::string &key, double number);
+    RunRecord &setConfig(const std::string &key, int64_t number);
+    RunRecord &setConfig(const std::string &key, int number)
+    {
+        return setConfig(key, int64_t{number});
+    }
+
+    /** Append and return a result row to fill in. */
+    ResultRow &addRow();
+
+    const std::string &bench() const { return bench_; }
+
+    /**
+     * Emit the record as one JSON line (newline-terminated). Passing a
+     * registry appends its merged snapshot under "metrics"; null emits
+     * an empty metrics object.
+     */
+    void writeJsonLine(std::ostream &os,
+                      const MetricRegistry *metrics) const;
+
+  private:
+    struct ConfigEntry
+    {
+        std::string key;
+        enum class Kind { String, Double, Int } kind;
+        std::string text;
+        double real = 0.0;
+        int64_t integer = 0;
+    };
+
+    std::string bench_;
+    std::string gitRev_;
+    uint64_t timestampMs_;
+    uint64_t seed_ = 0;
+    bool hasSeed_ = false;
+    uint64_t trials_ = 0;
+    bool hasTrials_ = false;
+    unsigned threads_ = 0;
+    bool hasThreads_ = false;
+    std::vector<ConfigEntry> config_;
+    std::vector<ResultRow> rows_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TELEMETRY_RUN_RECORD_H

@@ -16,6 +16,7 @@
 
 #include "common/bitops.h"
 #include "common/cli.h"
+#include "common/log.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -499,6 +500,137 @@ TEST(Cli, ParsesForms)
     EXPECT_EQ(options.getDouble("absent", 2.5), 2.5);
     ASSERT_EQ(options.positional().size(), 1u);
     EXPECT_EQ(options.positional()[0], "positional");
+}
+
+TEST(Cli, StrictAcceptsKnownOptions)
+{
+    const char *argv[] = {"prog", "--trials=50", "--progress"};
+    CliOptions options(3, const_cast<char **>(argv),
+                       {"trials", "progress"});
+    EXPECT_EQ(options.getInt("trials", 0), 50);
+    EXPECT_TRUE(options.has("progress"));
+}
+
+TEST(CliDeathTest, StrictRejectsUnknownOption)
+{
+    const char *argv[] = {"prog", "--trails=50"};  // Typo.
+    EXPECT_EXIT(CliOptions(2, const_cast<char **>(argv), {"trials"}),
+                ::testing::ExitedWithCode(1), "unknown option --trails");
+}
+
+TEST(CliDeathTest, RejectsMalformedNumbers)
+{
+    const char *argv[] = {"prog", "--trials=5x", "--scale=abc"};
+    CliOptions options(3, const_cast<char **>(argv),
+                       {"trials", "scale"});
+    EXPECT_EXIT(options.getInt("trials", 0),
+                ::testing::ExitedWithCode(1), "is not an integer");
+    EXPECT_EXIT(options.getDouble("scale", 0.0),
+                ::testing::ExitedWithCode(1), "is not a number");
+}
+
+TEST(CliDeathTest, ValidatesRanges)
+{
+    const char *argv[] = {"prog", "--trials=0", "--threads=-2"};
+    CliOptions options(3, const_cast<char **>(argv),
+                       {"trials", "threads"});
+    EXPECT_EQ(options.getNonNegativeInt("trials", 1), 0);
+    EXPECT_EXIT(options.getPositiveInt("trials", 1),
+                ::testing::ExitedWithCode(1), "must be >= 1");
+    EXPECT_EXIT(options.getNonNegativeInt("threads", 0),
+                ::testing::ExitedWithCode(1), "must be >= 0");
+}
+
+TEST(Histogram, MergeOfShardsMatchesSinglePassFill)
+{
+    // Property: splitting an observation stream across shards and
+    // merging reproduces the single-pass histogram exactly (the
+    // telemetry sharding contract).
+    Rng rng(99);
+    Histogram single(2.5, 40);
+    std::vector<Histogram> shards(4, Histogram(2.5, 40));
+    for (unsigned i = 0; i < 4000; ++i) {
+        const double value = rng.uniform() * 120.0;  // Overflows too.
+        // Small-integer weights keep double addition exact, so the
+        // merged and single-pass histograms must match bit for bit.
+        const double weight = 1.0 + static_cast<double>(i % 3);
+        single.add(value, weight);
+        shards[i % 4].add(value, weight);
+    }
+    Histogram merged(2.5, 40);
+    for (const auto &shard : shards)
+        merged.merge(shard);
+    EXPECT_DOUBLE_EQ(merged.totalWeight(), single.totalWeight());
+    EXPECT_DOUBLE_EQ(merged.overflowWeight(), single.overflowWeight());
+    for (size_t b = 0; b < single.binCount(); ++b)
+        EXPECT_DOUBLE_EQ(merged.binWeight(b), single.binWeight(b)) << b;
+    for (const double p : {0.1, 0.5, 0.9, 0.999})
+        EXPECT_DOUBLE_EQ(merged.quantile(p), single.quantile(p)) << p;
+}
+
+TEST(Histogram, QuantileWalksBins)
+{
+    Histogram hist(10.0, 5);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);  // Empty.
+    hist.add(5.0);    // Bin 0, upper edge 10.
+    hist.add(25.0);   // Bin 2, upper edge 30.
+    hist.add(35.0);   // Bin 3, upper edge 40.
+    hist.add(45.0);   // Bin 4, upper edge 50.
+    EXPECT_DOUBLE_EQ(hist.quantile(0.25), 10.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.5), 30.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 50.0);
+    hist.add(1000.0);  // Overflow: quantile saturates at the last edge.
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 50.0);
+}
+
+TEST(HistogramDeathTest, MergeRejectsIncompatibleBinning)
+{
+    Histogram a(1.0, 4);
+    const Histogram b(2.0, 4);
+    EXPECT_DEATH(a.merge(b), "incompatible binning");
+}
+
+TEST(ProgressMeter, ConcurrentTicksCountExactly)
+{
+    ProgressMeter meter("test", 10000, false);
+    ParallelConfig config;
+    config.threads = 8;
+    config.chunk = 1;
+    parallelFor(
+        100,
+        [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i)
+                meter.tick(100);
+        },
+        config);
+    EXPECT_EQ(meter.done(), 10000u);
+}
+
+TEST(ProgressMeter, DisabledNeverPrints)
+{
+    testing::internal::CaptureStderr();
+    ProgressMeter meter("silent", 10, false);
+    for (unsigned i = 0; i < 10; ++i)
+        meter.tick();
+    meter.finish();
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(ProgressMeter, FinishIsIdempotent)
+{
+    testing::internal::CaptureStderr();
+    ProgressMeter meter("done", 3, true);
+    meter.tick(3);
+    meter.finish();
+    meter.finish();
+    meter.finish();
+    const std::string output = testing::internal::GetCapturedStderr();
+    // Exactly one final summary line despite three finish() calls.
+    size_t lines = 0;
+    for (const char c : output)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 1u) << output;
+    EXPECT_NE(output.find("done"), std::string::npos);
 }
 
 } // namespace

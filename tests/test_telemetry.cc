@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Unit and regression tests for the telemetry subsystem: sharded
+ * counters and histograms, the JSON writer, run records, the component
+ * publishers, and the thread-count-invariance contract of instrumented
+ * simulation runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "cache/cache_geometry.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/relaxfault_controller.h"
+#include "repair/relaxfault_repair.h"
+#include "sim/lifetime.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_record.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(Counter, CountsExactlyUnderParallelFor)
+{
+    MetricRegistry registry;
+    Counter &counter = registry.counter("test.adds");
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        counter.reset();
+        ParallelConfig config;
+        config.threads = threads;
+        config.chunk = 7;
+        parallelFor(
+            10000,
+            [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i)
+                    counter.add(i % 3);
+            },
+            config);
+        uint64_t expected = 0;
+        for (size_t i = 0; i < 10000; ++i)
+            expected += i % 3;
+        EXPECT_EQ(counter.value(), expected) << threads;
+    }
+}
+
+TEST(Gauge, SetAddAndReset)
+{
+    MetricRegistry registry;
+    Gauge &gauge = registry.gauge("test.level");
+    gauge.set(42);
+    EXPECT_EQ(gauge.value(), 42);
+    gauge.add(-50);
+    EXPECT_EQ(gauge.value(), -8);
+    gauge.reset();
+    EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Log2Histogram::bucketOf(~uint64_t{0}), 64u);
+    // Every bucket covers [lowerBound, upperBound] inclusive.
+    for (unsigned b = 1; b < Log2Histogram::kBuckets - 1; ++b) {
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketLowerBound(b)),
+                  b);
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketUpperBound(b)),
+                  b);
+    }
+}
+
+TEST(Log2Histogram, RecordsAndSnapshots)
+{
+    MetricRegistry registry;
+    Log2Histogram &hist = registry.histogram("test.latency");
+    for (uint64_t v : {0ull, 1ull, 5ull, 5ull, 100ull})
+        hist.record(v);
+    const Log2HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 5u);
+    EXPECT_EQ(snap.sum, 111u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 111.0 / 5.0);
+    EXPECT_EQ(snap.buckets[0], 1u);                        // value 0
+    EXPECT_EQ(snap.buckets[Log2Histogram::bucketOf(5)], 2u);
+    // Median falls in the [4, 7] bucket => inclusive upper bound 7.
+    EXPECT_EQ(snap.quantileUpperBound(0.5), 7u);
+    EXPECT_EQ(snap.quantileUpperBound(1.0),
+              Log2Histogram::bucketUpperBound(Log2Histogram::bucketOf(100)));
+}
+
+TEST(Log2Histogram, ShardedRecordsMergeExactly)
+{
+    MetricRegistry registry;
+    Log2Histogram &hist = registry.histogram("test.sharded");
+    Log2HistogramSnapshot serial{};
+    for (const unsigned threads : {1u, 4u}) {
+        hist.reset();
+        ParallelConfig config;
+        config.threads = threads;
+        config.chunk = 13;
+        parallelFor(
+            5000,
+            [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i)
+                    hist.record(i * i % 1021);
+            },
+            config);
+        if (threads == 1)
+            serial = hist.snapshot();
+        else
+            EXPECT_TRUE(hist.snapshot() == serial);
+    }
+}
+
+TEST(MetricRegistry, LookupIsStableAndIdempotent)
+{
+    MetricRegistry registry;
+    Counter &a = registry.counter("same.name");
+    Counter &b = registry.counter("same.name");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+    // Counters, gauges, and histograms live in separate namespaces.
+    registry.gauge("same.name").set(7);
+    EXPECT_EQ(registry.counter("same.name").value(), 3u);
+}
+
+TEST(MetricRegistry, SnapshotIsSortedAndComparable)
+{
+    MetricRegistry registry;
+    registry.counter("b.second").add(2);
+    registry.counter("a.first").add(1);
+    registry.gauge("z.gauge").set(-5);
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "a.first");
+    EXPECT_EQ(snap.counters[1].first, "b.second");
+    EXPECT_TRUE(snap == registry.snapshot());
+    registry.counter("a.first").add(1);
+    EXPECT_FALSE(snap == registry.snapshot());
+}
+
+TEST(ScopedTimer, NullSinkRecordsNothing)
+{
+    { ScopedTimer timer(nullptr); }  // Must not crash.
+    MetricRegistry registry;
+    Log2Histogram &hist = registry.histogram("test.timer");
+    { ScopedTimer timer(&hist); }
+    EXPECT_EQ(hist.snapshot().count, 1u);
+}
+
+TEST(JsonWriter, EscapesAndNests)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("text").value("a\"b\\c\n\tx")
+        .key("nested").beginObject()
+            .key("n").value(int64_t{-3})
+            .key("u").value(uint64_t{18446744073709551615ull})
+        .endObject()
+        .key("list").beginArray()
+            .value(1.5).value(true).nullValue()
+        .endArray()
+        .endObject();
+    writer.finish();
+    EXPECT_EQ(os.str(),
+              "{\"text\":\"a\\\"b\\\\c\\n\\tx\","
+              "\"nested\":{\"n\":-3,\"u\":18446744073709551615},"
+              "\"list\":[1.5,true,null]}");
+}
+
+TEST(JsonWriter, ControlCharactersAndNonFinite)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("ctl").value(std::string("\x01\x1f"))
+        .key("inf").value(1.0 / 0.0)
+        .endObject();
+    writer.finish();
+    EXPECT_EQ(os.str(), "{\"ctl\":\"\\u0001\\u001f\",\"inf\":null}");
+}
+
+TEST(RunRecord, EmitsSchemaCompleteLine)
+{
+    RunRecord record("unit_test_bench");
+    record.setSeed(7).setTrials(3).setThreads(2);
+    record.setConfig("nodes", int64_t{64});
+    record.addRow().set("mechanism", "none").set("value", 1.5);
+    MetricRegistry registry;
+    registry.counter("sim.trials").add(3);
+    registry.histogram("sim.trial_us").record(100);
+
+    std::ostringstream os;
+    record.writeJsonLine(os, &registry);
+    const std::string line = os.str();
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    for (const char *needle :
+         {"\"schema\":\"relaxfault.bench.v1\"",
+          "\"bench\":\"unit_test_bench\"", "\"git_rev\":",
+          "\"timestamp_ms\":", "\"seed\":7", "\"trials\":3",
+          "\"threads\":2", "\"nodes\":64", "\"mechanism\":\"none\"",
+          "\"sim.trials\":3", "\"sim.trial_us\""}) {
+        EXPECT_NE(line.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(RunRecord, GitRevEnvOverride)
+{
+    setenv("RELAXFAULT_GIT_REV", "cafef00d", 1);
+    EXPECT_EQ(runGitRev(), "cafef00d");
+    unsetenv("RELAXFAULT_GIT_REV");
+    EXPECT_FALSE(runGitRev().empty());
+}
+
+TEST(Publish, RepairMechanismOccupancy)
+{
+    const DramGeometry geometry;
+    const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+    RelaxFaultRepair repair(geometry, llc, RepairBudget{4, 32768}, true);
+    FaultRecord fault;
+    fault.persistence = Persistence::Permanent;
+    RegionCluster cluster;
+    cluster.bankMask = 1;
+    cluster.rows = RowSet::of({100});
+    cluster.cols = ColSet::allCols();
+    fault.parts.push_back({0, 3, FaultRegion({cluster})});
+    ASSERT_TRUE(repair.tryRepair(fault));
+
+    MetricRegistry registry;
+    repair.publishTelemetry(registry);
+    const auto used =
+        registry.histogram("repair.RelaxFault.used_lines").snapshot();
+    EXPECT_EQ(used.count, 1u);
+    EXPECT_EQ(used.sum, repair.usedLines());
+    EXPECT_GE(registry.histogram("repair.RelaxFault.locked_ways_per_set")
+                  .snapshot()
+                  .count,
+              1u);
+    EXPECT_EQ(registry.histogram("repair.RelaxFault.flagged_banks")
+                  .snapshot()
+                  .sum,
+              1u);
+}
+
+TEST(Publish, ControllerGauges)
+{
+    ControllerConfig config;
+    RelaxFaultController controller(config);
+    uint8_t data[64] = {1};
+    const uint64_t pa = 0;
+    controller.write(pa, data);
+    uint8_t out[64];
+    controller.read(pa, out);
+
+    MetricRegistry registry;
+    controller.publishTelemetry(registry);
+    EXPECT_EQ(registry.gauge("controller.reads").value(), 1);
+    EXPECT_EQ(registry.gauge("controller.writes").value(), 1);
+    EXPECT_EQ(registry.gauge("controller.faults_reported").value(), 0);
+}
+
+TEST(Lifetime, CountersBitIdenticalAcrossThreadCounts)
+{
+    // The tentpole regression: an instrumented Monte Carlo run produces
+    // bit-identical telemetry counters at any thread count, composing
+    // with the deterministic parallel engine.
+    LifetimeConfig config;
+    config.nodesPerSystem = 96;
+    const LifetimeSimulator simulator(config);
+    const DramGeometry geometry = config.faultModel.geometry;
+    const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+    const LifetimeSimulator::MechanismFactory factory = [&] {
+        return std::make_unique<RelaxFaultRepair>(
+            geometry, llc, RepairBudget{1, 32768}, true);
+    };
+
+    MetricsSnapshot baseline;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        MetricRegistry registry;
+        TrialRunOptions run;
+        run.parallel.threads = threads;
+        run.metrics = &registry;
+        simulator.runTrials(4, factory, 1206, run);
+
+        EXPECT_EQ(registry.counter("sim.trials").value(), 4u);
+        MetricsSnapshot snap = registry.snapshot();
+        // Wall-clock latencies are execution-dependent by design; the
+        // contract covers the outcome metrics.
+        std::erase_if(snap.histograms, [](const auto &entry) {
+            return entry.first == "sim.trial_us";
+        });
+        if (threads == 1) {
+            baseline = snap;
+            EXPECT_GT(registry.counter("sim.faulty_nodes").value(), 0u);
+        } else {
+            EXPECT_TRUE(snap == baseline) << threads;
+        }
+    }
+}
+
+TEST(Lifetime, NullRegistryProducesSameSummary)
+{
+    // Telemetry is observational: enabling it must not change results.
+    LifetimeConfig config;
+    config.nodesPerSystem = 64;
+    const LifetimeSimulator simulator(config);
+
+    TrialRunOptions plain;
+    const LifetimeSummary without =
+        simulator.runTrials(3, {}, 99, plain);
+    MetricRegistry registry;
+    TrialRunOptions instrumented;
+    instrumented.metrics = &registry;
+    const LifetimeSummary with =
+        simulator.runTrials(3, {}, 99, instrumented);
+    EXPECT_EQ(without.dues.sum(), with.dues.sum());
+    EXPECT_EQ(without.sdcs.sum(), with.sdcs.sum());
+    EXPECT_EQ(without.faultyNodes.sum(), with.faultyNodes.sum());
+}
+
+} // namespace
+} // namespace relaxfault

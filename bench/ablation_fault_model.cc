@@ -15,6 +15,7 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "campaign_flags.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "repair/coverage.h"
@@ -71,8 +72,9 @@ coverageFor(const FaultModelConfig &model, uint64_t faulty_nodes,
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv,
-                             {"faulty-nodes", "seed", "json"});
+    const CliOptions options(
+        argc, argv, withCampaignFlags({"faulty-nodes", "seed", "json"}));
+    rejectCampaignFlags(options, "ablation_fault_model");
     const uint64_t faulty_nodes = static_cast<uint64_t>(
         options.getPositiveInt("faulty-nodes", 8000));
     const uint64_t seed =

@@ -19,6 +19,7 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "campaign_flags.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "repair/coverage.h"
@@ -29,8 +30,9 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv,
-                             {"faulty-nodes", "seed", "json"});
+    const CliOptions options(
+        argc, argv, withCampaignFlags({"faulty-nodes", "seed", "json"}));
+    rejectCampaignFlags(options, "ablation_mapping");
     CoverageConfig config;
     config.faultyNodeTarget = static_cast<uint64_t>(
         options.getPositiveInt("faulty-nodes", 15000));

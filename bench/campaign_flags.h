@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared `--checkpoint` / `--resume` / `--shards` support for benches.
+ *
+ * Every fig/table bench accepts the three campaign flags so command
+ * lines compose uniformly. The lifetime Monte Carlo benches (Figs. 9,
+ * 12, 13, 14) honor them by routing trials through a `CampaignRunner`;
+ * benches whose work is serial or not trial-structured (coverage
+ * curves, perf sim, storage tables) accept them but warn and ignore.
+ */
+
+#ifndef RELAXFAULT_BENCH_CAMPAIGN_FLAGS_H
+#define RELAXFAULT_BENCH_CAMPAIGN_FLAGS_H
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "common/cli.h"
+#include "common/log.h"
+
+namespace relaxfault::bench {
+
+/** Append the campaign flags to a bench's known-options list. */
+inline std::vector<std::string>
+withCampaignFlags(std::vector<std::string> known)
+{
+    known.insert(known.end(), {"checkpoint", "resume", "shards"});
+    return known;
+}
+
+/** Build `CampaignOptions` from the parsed campaign flags. */
+inline CampaignOptions
+campaignOptions(const CliOptions &options)
+{
+    CampaignOptions campaign;
+    campaign.checkpointPath = options.getString("checkpoint", "");
+    campaign.resume = options.has("resume");
+    campaign.shards =
+        static_cast<unsigned>(options.getPositiveInt("shards", 1));
+    if (campaign.resume && campaign.checkpointPath.empty())
+        fatal("--resume requires --checkpoint=PATH");
+    return campaign;
+}
+
+/** Campaign identity from a bench's reproducibility stamp. */
+inline CampaignFingerprint
+campaignFingerprint(const std::string &bench, uint64_t seed,
+                    uint64_t trials, const CampaignOptions &campaign,
+                    const std::string &config)
+{
+    CampaignFingerprint fingerprint;
+    fingerprint.campaign = bench;
+    fingerprint.seed = seed;
+    fingerprint.trials = trials;
+    fingerprint.shards = campaign.shards == 0 ? 1 : campaign.shards;
+    fingerprint.config = config;
+    return fingerprint;
+}
+
+/** For benches with no sharded Monte Carlo: accept but warn-ignore. */
+inline void
+rejectCampaignFlags(const CliOptions &options, const std::string &bench)
+{
+    if (options.has("checkpoint") || options.has("resume") ||
+        options.has("shards"))
+        warn(bench + ": --checkpoint/--resume/--shards have no effect "
+                     "here (no sharded trial campaign); ignoring");
+}
+
+} // namespace relaxfault::bench
+
+#endif // RELAXFAULT_BENCH_CAMPAIGN_FLAGS_H

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_json.h"
+#include "campaign_flags.h"
 #include "common/table.h"
 #include "faults/rates.h"
 
@@ -40,7 +41,9 @@ printSystem(const char *name, const FitRates &rates)
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv, {"json"});
+    const CliOptions options(
+        argc, argv, bench::withCampaignFlags({"json"}));
+    bench::rejectCampaignFlags(options, "fig02_field_fit_rates");
     BenchReport report(options, "fig02_field_fit_rates");
 
     std::cout << "Fig. 2 / Table 2: DDR3 field-study fault rates\n\n";

@@ -17,6 +17,7 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "campaign_flags.h"
 #include "common/table.h"
 
 using namespace relaxfault;
@@ -24,15 +25,17 @@ using namespace relaxfault::bench;
 
 namespace {
 
-void
+bool
 runSweep(const std::vector<std::pair<double, double>> &points,
          bool sweep_factor, unsigned nodes, unsigned trials, uint64_t seed,
-         const TrialRunOptions &run_options, BenchReport &report)
+         const TrialRunOptions &run_options, BenchReport &report,
+         CampaignRunner &runner)
 {
     TextTable table;
     table.setHeader({sweep_factor ? "acceleration" : "fraction(%)",
                      "faulty-nodes", "multi-dev-DIMMs", "DUEs", "SDCs",
                      "replacements"});
+    unsigned point_index = 0;
     for (const auto &[factor, fraction] : points) {
         LifetimeConfig config;
         config.nodesPerSystem = nodes;
@@ -47,8 +50,16 @@ runSweep(const std::vector<std::pair<double, double>> &points,
         const LifetimeSimulator simulator(config);
         TrialRunOptions run = run_options;
         run.metrics = report.metrics();
-        const LifetimeSummary summary =
-            simulator.runTrials(trials, {}, seed, run);
+        // Unit key = panel/point-index: stable across runs because the
+        // sweep points are compiled in.
+        const std::string unit =
+            (sweep_factor ? "factor-sweep/" : "fraction-sweep/") +
+            std::to_string(point_index++);
+        const CampaignResult unit_result =
+            runner.runUnit(unit, simulator, {}, trials, seed, run);
+        if (unit_result.interrupted)
+            return false;
+        const LifetimeSummary &summary = unit_result.summary;
         table.addRow({sweep_factor
                           ? TextTable::num(factor, 0) + "x"
                           : TextTable::num(100.0 * fraction, 2),
@@ -70,6 +81,7 @@ runSweep(const std::vector<std::pair<double, double>> &points,
             .set("replacements", summary.replacements.mean());
     }
     table.print(std::cout);
+    return true;
 }
 
 } // namespace
@@ -78,8 +90,9 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options(argc, argv,
-                             {"trials", "seed", "nodes", "threads",
-                              "progress", "json"});
+                             withCampaignFlags({"trials", "seed", "nodes",
+                                                "threads", "progress",
+                                                "json"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 909));
@@ -92,26 +105,38 @@ main(int argc, char **argv)
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
+    const CampaignOptions campaign = campaignOptions(options);
+    CampaignRunner runner(
+        campaignFingerprint("fig09_fault_model_sensitivity", seed, trials,
+                            campaign, "nodes=" + std::to_string(nodes)),
+        campaign);
+
     std::cout << "Fig. 9a/9b: acceleration-factor sweep at 0.1% of nodes "
                  "and DIMMs (" << nodes << " nodes, " << trials
               << " trials)\n\n";
-    runSweep({{1.0, 0.001},
-              {50.0, 0.001},
-              {100.0, 0.001},
-              {150.0, 0.001},
-              {200.0, 0.001}},
-             true, nodes, trials, seed, run, report);
+    bool completed = runSweep({{1.0, 0.001},
+                               {50.0, 0.001},
+                               {100.0, 0.001},
+                               {150.0, 0.001},
+                               {200.0, 0.001}},
+                              true, nodes, trials, seed, run, report,
+                              runner);
 
-    std::cout << "\nFig. 9c/9d: accelerated-fraction sweep at 100x ("
-              << nodes << " nodes, " << trials << " trials)\n\n";
-    runSweep({{1.0, 0.0},
-              {100.0, 0.0001},
-              {100.0, 0.001},
-              {100.0, 0.002},
-              {100.0, 0.003},
-              {100.0, 0.004},
-              {100.0, 0.005}},
-             false, nodes, trials, seed, run, report);
+    if (completed) {
+        std::cout << "\nFig. 9c/9d: accelerated-fraction sweep at 100x ("
+                  << nodes << " nodes, " << trials << " trials)\n\n";
+        completed = runSweep({{1.0, 0.0},
+                              {100.0, 0.0001},
+                              {100.0, 0.001},
+                              {100.0, 0.002},
+                              {100.0, 0.003},
+                              {100.0, 0.004},
+                              {100.0, 0.005}},
+                             false, nodes, trials, seed, run, report,
+                             runner);
+    }
+    if (runner.interrupted())
+        return runner.exitStatus();
     report.write();
     return 0;
 }

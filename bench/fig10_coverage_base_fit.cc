@@ -10,13 +10,18 @@
 
 #include <iostream>
 
+#include "campaign_flags.h"
 #include "coverage_curves.h"
 
 int
 main(int argc, char **argv)
 {
     const relaxfault::CliOptions options(
-        argc, argv, {"faulty-nodes", "seed", "json"});
+        argc, argv,
+        relaxfault::bench::withCampaignFlags(
+            {"faulty-nodes", "seed", "json"}));
+    relaxfault::bench::rejectCampaignFlags(options,
+                                           "fig10_coverage_base_fit");
     std::cout << "Fig. 10: repair coverage (%) vs required LLC capacity, "
                  "1x FIT\n\n";
     relaxfault::bench::BenchReport report(options,

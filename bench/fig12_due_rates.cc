@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "campaign_flags.h"
 #include "lifetime_tables.h"
 
 using namespace relaxfault;
@@ -21,8 +22,9 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options(argc, argv,
-                             {"trials", "seed", "nodes", "threads",
-                              "progress", "json"});
+                             withCampaignFlags({"trials", "seed", "nodes",
+                                                "threads", "progress",
+                                                "json"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
@@ -35,6 +37,12 @@ main(int argc, char **argv)
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
+    const CampaignOptions campaign = campaignOptions(options);
+    CampaignRunner runner(
+        campaignFingerprint("fig12_due_rates", seed, trials, campaign,
+                            "nodes=" + std::to_string(nodes)),
+        campaign);
+
     for (const double fit : {1.0, 10.0}) {
         LifetimeConfig config;
         config.faultModel.fitScale = fit;
@@ -43,13 +51,16 @@ main(int argc, char **argv)
         std::cout << "Fig. 12" << (fit == 1.0 ? "a" : "b")
                   << ": expected DUEs per system, " << fit << "x FIT, "
                   << nodes << " nodes, " << trials << " trials\n\n";
-        runRepairMatrix(config, trials, seed,
-                        [](const LifetimeSummary &s) -> const RunningStat &
-                        { return s.dues; },
-                        "DUEs", run, &report,
-                        fit == 1.0 ? "1x-fit" : "10x-fit");
+        if (!runRepairMatrix(config, trials, seed,
+                             [](const LifetimeSummary &s)
+                                 -> const RunningStat & { return s.dues; },
+                             "DUEs", run, &report,
+                             fit == 1.0 ? "1x-fit" : "10x-fit", &runner))
+            break;
         std::cout << "\n";
     }
+    if (runner.interrupted())
+        return runner.exitStatus();
     report.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "campaign_flags.h"
 #include "lifetime_tables.h"
 
 using namespace relaxfault;
@@ -20,8 +21,9 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options(argc, argv,
-                             {"trials", "seed", "nodes", "threads",
-                              "progress", "json"});
+                             withCampaignFlags({"trials", "seed", "nodes",
+                                                "threads", "progress",
+                                                "json"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1307));
@@ -34,6 +36,12 @@ main(int argc, char **argv)
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
+    const CampaignOptions campaign = campaignOptions(options);
+    CampaignRunner runner(
+        campaignFingerprint("fig13_sdc_rates", seed, trials, campaign,
+                            "nodes=" + std::to_string(nodes)),
+        campaign);
+
     for (const double fit : {1.0, 10.0}) {
         LifetimeConfig config;
         config.faultModel.fitScale = fit;
@@ -42,13 +50,16 @@ main(int argc, char **argv)
         std::cout << "Fig. 13" << (fit == 1.0 ? "a" : "b")
                   << ": expected SDCs per system, " << fit << "x FIT, "
                   << nodes << " nodes, " << trials << " trials\n\n";
-        runRepairMatrix(config, trials, seed,
-                        [](const LifetimeSummary &s) -> const RunningStat &
-                        { return s.sdcs; },
-                        "SDCs", run, &report,
-                        fit == 1.0 ? "1x-fit" : "10x-fit");
+        if (!runRepairMatrix(config, trials, seed,
+                             [](const LifetimeSummary &s)
+                                 -> const RunningStat & { return s.sdcs; },
+                             "SDCs", run, &report,
+                             fit == 1.0 ? "1x-fit" : "10x-fit", &runner))
+            break;
         std::cout << "\n";
     }
+    if (runner.interrupted())
+        return runner.exitStatus();
     report.write();
     return 0;
 }

@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "campaign_flags.h"
 #include "lifetime_tables.h"
 
 using namespace relaxfault;
@@ -23,8 +24,9 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options(argc, argv,
-                             {"trials", "seed", "nodes", "threads",
-                              "progress", "json"});
+                             withCampaignFlags({"trials", "seed", "nodes",
+                                                "threads", "progress",
+                                                "json"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1408));
@@ -37,6 +39,12 @@ main(int argc, char **argv)
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
+    const CampaignOptions campaign = campaignOptions(options);
+    CampaignRunner runner(
+        campaignFingerprint("fig14_dimm_replacements", seed, trials,
+                            campaign, "nodes=" + std::to_string(nodes)),
+        campaign);
+
     const struct
     {
         const char *name;
@@ -47,6 +55,7 @@ main(int argc, char **argv)
     };
 
     char panel = 'a';
+    bool completed = true;
     for (const auto &policy : policies) {
         for (const double fit : {1.0, 10.0}) {
             LifetimeConfig config;
@@ -57,16 +66,22 @@ main(int argc, char **argv)
                       << "replacements, " << policy.name << ", " << fit
                       << "x FIT, " << nodes << " nodes, " << trials
                       << " trials\n\n";
-            runRepairMatrix(
+            completed = runRepairMatrix(
                 config, trials, seed,
                 [](const LifetimeSummary &s) -> const RunningStat &
                 { return s.replacements; },
                 "replacements", run, &report,
-                std::string("14") + panel);
+                std::string("14") + panel, &runner);
+            if (!completed)
+                break;
             std::cout << "\n";
             ++panel;
         }
+        if (!completed)
+            break;
     }
+    if (runner.interrupted())
+        return runner.exitStatus();
     report.write();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <map>
 
 #include "bench_json.h"
+#include "campaign_flags.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "perf/perf_sim.h"
@@ -45,8 +46,10 @@ groupWorkloads(const std::string &group, unsigned cores)
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv,
-                             {"instructions", "seed", "json"});
+    const CliOptions options(
+        argc, argv,
+        bench::withCampaignFlags({"instructions", "seed", "json"}));
+    bench::rejectCampaignFlags(options, "fig15_performance");
     PerfConfig config;
     config.instructionsPerCore = static_cast<uint64_t>(
         options.getPositiveInt("instructions", 1'000'000));

@@ -15,6 +15,7 @@
 
 #include "bench_json.h"
 #include "bench_util.h"
+#include "campaign/campaign.h"
 #include "common/table.h"
 
 namespace relaxfault::bench {
@@ -26,15 +27,20 @@ using MetricFn = std::function<const RunningStat &(const LifetimeSummary &)>;
  * Run the repair-mechanism matrix of Figs. 12-14 and print `metric` with
  * its 95% CI. `ways` holds the per-set limits evaluated (paper: 1, 4).
  * A non-null @p report receives one result row per mechanism and the
- * run's telemetry flows into its registry.
+ * run's telemetry flows into its registry. A non-null @p campaign routes
+ * every mechanism row through the sharded checkpoint runner (results are
+ * bit-identical either way); returns false if a stop signal interrupted
+ * the matrix, in which case the table is not printed and the caller
+ * should exit with `campaign->exitStatus()` without writing its report.
  */
-inline void
+inline bool
 runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 uint64_t seed, const MetricFn &metric,
                 const std::string &metric_name,
                 const TrialRunOptions &run_options = {},
                 BenchReport *report = nullptr,
-                const std::string &panel = "")
+                const std::string &panel = "",
+                CampaignRunner *campaign = nullptr)
 {
     const DramGeometry geometry = base_config.faultModel.geometry;
     const LifetimeSimulator simulator(base_config);
@@ -61,12 +67,24 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
         run.progressLabel = row.label + " trials";
         if (report != nullptr)
             run.metrics = report->metrics();
-        const LifetimeSummary summary = simulator.runTrials(
-            trials,
+        const LifetimeSimulator::MechanismFactory factory =
             row.spec.kind == MechanismSpec::Kind::None
                 ? LifetimeSimulator::MechanismFactory{}
-                : makeFactory(row.spec, geometry),
-            seed, run);
+                : makeFactory(row.spec, geometry);
+        LifetimeSummary summary;
+        if (campaign != nullptr) {
+            // Units are keyed panel/mechanism so each matrix cell maps
+            // to a stable set of checkpoint shards.
+            const std::string unit =
+                panel.empty() ? row.label : panel + "/" + row.label;
+            const CampaignResult unit_result = campaign->runUnit(
+                unit, simulator, factory, trials, seed, run);
+            if (unit_result.interrupted)
+                return false;
+            summary = unit_result.summary;
+        } else {
+            summary = simulator.runTrials(trials, factory, seed, run);
+        }
         const RunningStat &stat = metric(summary);
         if (row.spec.kind == MechanismSpec::Kind::None)
             baseline = stat.mean();
@@ -92,6 +110,7 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
         }
     }
     table.print(std::cout);
+    return true;
 }
 
 } // namespace relaxfault::bench

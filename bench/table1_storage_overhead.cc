@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_json.h"
+#include "campaign_flags.h"
 #include "common/table.h"
 #include "core/relaxfault_controller.h"
 
@@ -21,7 +22,9 @@ using relaxfault::bench::BenchReport;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv, {"json"});
+    const CliOptions options(
+        argc, argv, bench::withCampaignFlags({"json"}));
+    bench::rejectCampaignFlags(options, "table1_storage_overhead");
     BenchReport report(options, "table1_storage_overhead");
 
     ControllerConfig config;  // Paper defaults: 8 DIMMs, 8MiB LLC.

@@ -1,0 +1,155 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <exception>
+#include <thread>
+
+#include "common/log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_record.h"
+
+namespace relaxfault {
+
+uint64_t
+CampaignRunner::shardFirstTrial(uint64_t trials, unsigned shards,
+                                unsigned shard)
+{
+    return trials * shard / shards;
+}
+
+CampaignRunner::CampaignRunner(CampaignFingerprint fingerprint,
+                               CampaignOptions options)
+    : fingerprint_(std::move(fingerprint)), options_(std::move(options)),
+      log_(options_.checkpointPath, fingerprint_, options_.resume)
+{
+    if (options_.shards == 0)
+        options_.shards = 1;
+    if (options_.maxAttempts == 0)
+        options_.maxAttempts = 1;
+}
+
+ShardRecord
+CampaignRunner::runShard(const std::string &unit, unsigned shard,
+                         unsigned shards,
+                         const LifetimeSimulator &simulator,
+                         const LifetimeSimulator::MechanismFactory &factory,
+                         unsigned trials, uint64_t seed,
+                         const TrialRunOptions &run_options)
+{
+    const uint64_t first = shardFirstTrial(trials, shards, shard);
+    const uint64_t end = shardFirstTrial(trials, shards, shard + 1);
+
+    ShardRecord record;
+    record.unit = unit;
+    record.shard = shard;
+    record.firstTrial = first;
+    record.threads = resolveThreads(run_options.parallel);
+    record.gitRev = runGitRev();
+
+    // Each attempt runs into a private registry so a failed attempt
+    // leaves no half-counted telemetry behind, and the committed record
+    // carries exactly this shard's contribution.
+    for (unsigned attempt = 1;; ++attempt) {
+        record.attempt = attempt;
+        try {
+            if (options_.onShardStart)
+                options_.onShardStart(unit, shard, attempt);
+
+            MetricRegistry shard_metrics;
+            TrialRunOptions shard_options = run_options;
+            shard_options.metrics =
+                run_options.metrics != nullptr ? &shard_metrics : nullptr;
+            shard_options.progressLabel =
+                unit + " shard " + std::to_string(shard + 1) + "/" +
+                std::to_string(shards);
+
+            const auto start = std::chrono::steady_clock::now();
+            record.trials = simulator.runTrialRange(
+                first, static_cast<unsigned>(end - first), factory, seed,
+                shard_options);
+            const auto elapsed =
+                std::chrono::steady_clock::now() - start;
+            record.durationMs = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    elapsed)
+                    .count());
+            record.timestampMs = runTimestampMs();
+            if (run_options.metrics != nullptr)
+                record.metrics = shard_metrics.snapshot();
+            return record;
+        } catch (const std::exception &error) {
+            log_.noteFailure(unit, shard, attempt, error.what());
+            if (attempt >= options_.maxAttempts)
+                fatal("campaign: unit '" + unit + "' shard " +
+                      std::to_string(shard) + " failed " +
+                      std::to_string(attempt) + " time(s): " +
+                      error.what());
+            warn("campaign: unit '" + unit + "' shard " +
+                 std::to_string(shard) + " attempt " +
+                 std::to_string(attempt) + " failed (" + error.what() +
+                 "); retrying");
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                uint64_t{options_.retryBackoffMs} << (attempt - 1)));
+        }
+    }
+}
+
+CampaignResult
+CampaignRunner::runUnit(const std::string &unit,
+                        const LifetimeSimulator &simulator,
+                        const LifetimeSimulator::MechanismFactory &factory,
+                        unsigned trials, uint64_t seed,
+                        const TrialRunOptions &run_options)
+{
+    const unsigned shards =
+        std::max(1u, std::min(options_.shards, trials));
+
+    CampaignResult result;
+    for (unsigned shard = 0; shard < shards; ++shard) {
+        // Poll between shards only: a signal mid-shard lets the shard
+        // finish and commit (the "flush") before we stop.
+        if (SignalGuard::stopRequested()) {
+            result.interrupted = true;
+            inform("campaign: stop requested; unit '" + unit + "' at " +
+                   std::to_string(shard) + "/" +
+                   std::to_string(shards) + " shards" +
+                   (log_.persistent() ? " (resume with --resume)" : ""));
+            return result;
+        }
+
+        const ShardRecord *committed = log_.find(unit, shard);
+        if (committed != nullptr) {
+            for (const LifetimeMetrics &m : committed->trials)
+                result.summary.addTrial(m);
+            if (run_options.metrics != nullptr)
+                run_options.metrics->absorb(committed->metrics);
+            ++result.shardsResumed;
+            continue;
+        }
+
+        const ShardRecord record = runShard(unit, shard, shards,
+                                            simulator, factory, trials,
+                                            seed, run_options);
+        log_.commit(record);
+        ++commits_;
+        for (const LifetimeMetrics &m : record.trials)
+            result.summary.addTrial(m);
+        if (run_options.metrics != nullptr)
+            run_options.metrics->absorb(record.metrics);
+        ++result.shardsRun;
+
+        if (options_.killAfterCommits != 0 &&
+            commits_ >= options_.killAfterCommits) {
+            // Kill-resume test hook: die hard at a known durable state.
+            std::raise(SIGKILL);
+        }
+    }
+    // A signal that landed during the final shard leaves this unit
+    // complete (interrupted stays false); the caller still sees the
+    // stop via `interrupted()` before starting another unit.
+    return result;
+}
+
+} // namespace relaxfault

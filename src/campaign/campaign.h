@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sharded, crash-recoverable lifetime Monte Carlo campaigns.
+ *
+ * A campaign splits one `runTrials`-style experiment into deterministic
+ * trial shards (shard k covers trials [k*N/S, (k+1)*N/S) of the global
+ * trial index space) and commits each finished shard durably through a
+ * `CheckpointLog` before starting the next. Because trial t always draws
+ * from `Rng::forkAt(seed, t)` and per-trial metrics are folded in global
+ * trial order, the final `LifetimeSummary` — and the merged telemetry
+ * counters — are bit-identical to an uninterrupted `runTrials` at ANY
+ * shard count and ANY thread count, whether the run completed straight
+ * through or was killed and resumed arbitrarily many times.
+ *
+ * Crash model:
+ *  - SIGKILL / power cut: the checkpoint holds every shard committed
+ *    before the cut; `--resume` re-runs only the rest.
+ *  - SIGINT / SIGTERM: a `SignalGuard` flag is polled between shards;
+ *    the in-flight shard finishes and commits, then the runner stops
+ *    with `interrupted()` set so the caller can exit 128+signal.
+ *  - Shard failure (exception): retried with exponential backoff up to
+ *    `maxAttempts`, each failure logged as a `shard_failed` forensic
+ *    line; exhausting the retries is fatal.
+ */
+
+#ifndef RELAXFAULT_CAMPAIGN_CAMPAIGN_H
+#define RELAXFAULT_CAMPAIGN_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "campaign/checkpoint.h"
+#include "common/signal_guard.h"
+#include "sim/lifetime.h"
+
+namespace relaxfault {
+
+/** Execution policy of a campaign (never affects its results). */
+struct CampaignOptions
+{
+    /** Checkpoint file; empty runs the campaign without persistence. */
+    std::string checkpointPath;
+
+    /** Load an existing checkpoint and skip its committed shards. */
+    bool resume = false;
+
+    /** Trial shards per unit (clamped to the trial count, min 1). */
+    unsigned shards = 1;
+
+    /** Attempts per shard before giving up (fatal). */
+    unsigned maxAttempts = 3;
+
+    /** Backoff before retry r is `retryBackoffMs << (r - 1)`. */
+    unsigned retryBackoffMs = 50;
+
+    /**
+     * Test hook: raise SIGKILL immediately after this many shard
+     * commits (counted across units). 0 disables. Used by the
+     * kill-resume tests to die at a precisely known durable state.
+     */
+    unsigned killAfterCommits = 0;
+
+    /**
+     * Test hook: invoked before every shard attempt with
+     * (unit, shard, attempt). May throw to exercise the retry path, or
+     * call `SignalGuard::requestStop()` to exercise the in-flight
+     * flush. Null disables.
+     */
+    std::function<void(const std::string &, unsigned, unsigned)>
+        onShardStart;
+};
+
+/** Outcome of one campaign unit. */
+struct CampaignResult
+{
+    LifetimeSummary summary;
+
+    /**
+     * Stopped before all shards ran (SIGINT/SIGTERM); summary is
+     * partial and must not be reported. A signal that lands during the
+     * final shard leaves the unit complete — interrupted stays false
+     * and only `CampaignRunner::interrupted()` reflects the stop.
+     */
+    bool interrupted = false;
+
+    unsigned shardsRun = 0;       ///< Executed this invocation.
+    unsigned shardsResumed = 0;   ///< Skipped; loaded from checkpoint.
+};
+
+/**
+ * Runs campaign units (e.g. one repair mechanism each) shard by shard
+ * against a shared checkpoint. Construct once per process run; the
+ * constructor opens/validates the checkpoint and installs the signal
+ * guard for the runner's lifetime.
+ */
+class CampaignRunner
+{
+  public:
+    CampaignRunner(CampaignFingerprint fingerprint,
+                   CampaignOptions options);
+
+    /**
+     * Run @p trials lifetimes of @p unit through the shard pipeline.
+     * Committed shards from a resumed checkpoint are folded in without
+     * re-execution; fresh shards run via `runTrialRange` and commit
+     * before the next starts. Telemetry lands in @p run_options.metrics
+     * exactly as a straight `runTrials` call would put it there (per
+     * shard it is captured in a private registry, recorded in the
+     * checkpoint, and absorbed into the caller's registry).
+     */
+    CampaignResult runUnit(const std::string &unit,
+                           const LifetimeSimulator &simulator,
+                           const LifetimeSimulator::MechanismFactory &factory,
+                           unsigned trials, uint64_t seed,
+                           const TrialRunOptions &run_options = {});
+
+    /** True once a stop signal halted the campaign. */
+    bool interrupted() const { return SignalGuard::stopRequested(); }
+
+    /** Exit status for an interrupted run (128 + signal). */
+    int exitStatus() const { return 128 + SignalGuard::stopSignal(); }
+
+    CheckpointLog &log() { return log_; }
+    const CampaignFingerprint &fingerprint() const { return fingerprint_; }
+
+    /** Shard k's first trial for @p trials over @p shards. */
+    static uint64_t shardFirstTrial(uint64_t trials, unsigned shards,
+                                    unsigned shard);
+
+  private:
+    ShardRecord runShard(const std::string &unit, unsigned shard,
+                         unsigned shards,
+                         const LifetimeSimulator &simulator,
+                         const LifetimeSimulator::MechanismFactory &factory,
+                         unsigned trials, uint64_t seed,
+                         const TrialRunOptions &run_options);
+
+    CampaignFingerprint fingerprint_;
+    CampaignOptions options_;
+    SignalGuard guard_;
+    CheckpointLog log_;
+    unsigned commits_ = 0;  ///< Durable commits this process (hook).
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_CAMPAIGN_CAMPAIGN_H

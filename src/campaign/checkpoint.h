@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Crash-recoverable campaign checkpoint (schema `relaxfault.ckpt.v1`).
+ *
+ * A checkpoint is a JSON-lines file: one header line identifying the
+ * campaign (seed, trial count, shard count, config fingerprint) followed
+ * by one line per committed shard carrying the shard's per-trial
+ * `LifetimeMetrics` and its merged telemetry snapshot. Every commit
+ * republishes the whole file through `atomicWriteFile`
+ * (write-tmp-then-rename + fsync), so the on-disk state always consists
+ * of complete, parseable lines — a crash can lose at most the shard that
+ * was in flight, never corrupt the ones already committed.
+ *
+ * Loading is defensive anyway: a line that fails to parse or validate
+ * (e.g. a torn tail produced by a filesystem without atomic rename, or a
+ * truncation injected by the tests) is dropped and counted, and the
+ * shard it described is simply re-run on resume.
+ *
+ * Numeric fidelity: per-trial metrics are doubles serialized with the
+ * writer's %.17g format and parsed back with strtod, which round-trips
+ * IEEE-754 bit-exactly — the foundation of the resumed-equals-
+ * uninterrupted guarantee.
+ */
+
+#ifndef RELAXFAULT_CAMPAIGN_CHECKPOINT_H
+#define RELAXFAULT_CAMPAIGN_CHECKPOINT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/lifetime.h"
+#include "telemetry/metrics.h"
+
+namespace relaxfault {
+
+class JsonValue;
+class JsonWriter;
+
+/** Schema identifier stamped into every checkpoint line. */
+inline constexpr const char *kCheckpointSchema = "relaxfault.ckpt.v1";
+
+/**
+ * Identity of a campaign. A checkpoint written under one fingerprint
+ * refuses to resume under another: silently mixing shards of different
+ * experiments would corrupt results, so a mismatch is fatal.
+ */
+struct CampaignFingerprint
+{
+    std::string campaign;  ///< Bench/campaign name.
+    uint64_t seed = 0;
+    uint64_t trials = 0;
+    unsigned shards = 1;
+    std::string config;    ///< Free-form config digest (e.g. "nodes=512").
+
+    bool operator==(const CampaignFingerprint &) const = default;
+};
+
+/** One committed shard: its trial range, results, and telemetry. */
+struct ShardRecord
+{
+    std::string unit;       ///< Experiment unit (e.g. mechanism row).
+    unsigned shard = 0;
+    uint64_t firstTrial = 0;
+    std::vector<LifetimeMetrics> trials;  ///< In trial order.
+    MetricsSnapshot metrics;
+    unsigned attempt = 1;   ///< 1-based attempt that succeeded.
+    unsigned threads = 0;
+    uint64_t durationMs = 0;
+    uint64_t timestampMs = 0;
+    std::string gitRev;
+};
+
+/** Serialize a snapshot as {"counters":{},"gauges":{},"histograms":{}}. */
+void writeSnapshotJson(JsonWriter &writer, const MetricsSnapshot &snapshot);
+
+/** Parse writeSnapshotJson output; false if the shape is wrong. */
+bool parseSnapshotJson(const JsonValue &value, MetricsSnapshot &out);
+
+/** Append-only JSON-lines checkpoint with atomic durable commits. */
+class CheckpointLog
+{
+  public:
+    /**
+     * Open the checkpoint at @p path. With @p resume, an existing file
+     * is loaded (fatal if its header names a different campaign);
+     * without, any existing file is replaced by a fresh header. An
+     * empty path disables persistence (commits are no-ops).
+     */
+    CheckpointLog(std::string path, CampaignFingerprint fingerprint,
+                  bool resume);
+
+    /** Committed record for (unit, shard); null if not committed. */
+    const ShardRecord *find(const std::string &unit,
+                            unsigned shard) const;
+
+    /**
+     * Durably commit one shard: the record is appended to the line log
+     * and the whole file republished via write-tmp-then-rename. Fatal
+     * on I/O error — continuing without persistence would silently
+     * void the crash-recovery contract.
+     */
+    void commit(const ShardRecord &record);
+
+    /**
+     * Record a shard attempt failure (forensics only; failed lines are
+     * ignored on resume, so the shard is retried).
+     */
+    void noteFailure(const std::string &unit, unsigned shard,
+                     unsigned attempt, const std::string &error);
+
+    /** Lines dropped as torn/invalid while loading. */
+    unsigned tornLines() const { return tornLines_; }
+
+    /** Number of committed shard records (across all units). */
+    size_t committedShards() const { return records_.size(); }
+
+    bool persistent() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    /** Serialize one shard record as a checkpoint line (no newline). */
+    static std::string shardLine(const ShardRecord &record);
+
+    /** Parse a shard line; false if torn/invalid. */
+    static bool parseShardLine(const std::string &line, ShardRecord &out);
+
+  private:
+    void load();
+    void startFresh();
+    void publish();
+    std::string headerLine() const;
+
+    std::string path_;
+    CampaignFingerprint fingerprint_;
+    std::vector<std::string> lines_;  ///< Valid lines, header first.
+    std::map<std::pair<std::string, unsigned>, ShardRecord> records_;
+    unsigned tornLines_ = 0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_CAMPAIGN_CHECKPOINT_H

@@ -1,0 +1,122 @@
+#include "common/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace relaxfault {
+
+namespace {
+
+/** Directory part of @p path ("." if none). */
+std::string
+dirOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+bool
+fsyncPath(const std::string &path, int open_flags)
+{
+    const int fd = ::open(path.c_str(), open_flags);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    // The tmp name embeds the pid so two processes checkpointing the
+    // same file cannot clobber each other's half-written tmp; the final
+    // rename still serializes them to whole-file granularity.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return false;
+
+    size_t written = 0;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        written += static_cast<size_t>(n);
+    }
+
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    // Make the rename itself durable. O_DIRECTORY fsync can fail on
+    // exotic filesystems; the rename already happened, so report success
+    // either way and let the next commit re-sync.
+    fsyncPath(dirOf(path), O_RDONLY | O_DIRECTORY);
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Crash-safe file primitives for the campaign checkpoint layer.
+ *
+ * `atomicWriteFile` publishes a file's new content with
+ * write-tmp-then-rename: readers (and a process that crashes mid-write)
+ * only ever observe the old content or the complete new content, never a
+ * mixture. The temporary lives in the destination directory so the
+ * rename stays within one filesystem, and both the file and its
+ * directory entry are fsync'd before the call returns — after a
+ * successful return the content survives a power cut.
+ */
+
+#ifndef RELAXFAULT_COMMON_FS_H
+#define RELAXFAULT_COMMON_FS_H
+
+#include <string>
+#include <vector>
+
+namespace relaxfault {
+
+/** True if @p path names an existing regular file. */
+bool fileExists(const std::string &path);
+
+/**
+ * Replace @p path's content with @p content atomically and durably
+ * (write tmp in the same directory, fsync, rename over, fsync the
+ * directory). Returns false (with the old content intact) on any I/O
+ * error.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content);
+
+/**
+ * Read the whole file into @p out. Returns false if the file cannot be
+ * opened; a short or torn final line is the *caller's* problem (the
+ * checkpoint loader treats an unparseable tail as a torn write).
+ */
+bool readFile(const std::string &path, std::string &out);
+
+/** Split @p text into lines (without terminators; no trailing empty). */
+std::vector<std::string> splitLines(const std::string &text);
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_FS_H

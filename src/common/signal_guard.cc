@@ -1,0 +1,69 @@
+#include "common/signal_guard.h"
+
+namespace relaxfault {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void
+stopFlagHandler(int signum)
+{
+    if (g_stop_requested) {
+        // Second signal: restore the default action and re-raise so the
+        // operator can force-kill a run stuck inside a shard.
+        std::signal(signum, SIG_DFL);
+        std::raise(signum);
+        return;
+    }
+    g_stop_requested = 1;
+    g_stop_signal = signum;
+}
+
+} // namespace
+
+SignalGuard::SignalGuard()
+{
+    struct sigaction action = {};
+    action.sa_handler = stopFlagHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // No SA_RESTART: interrupt blocking syscalls.
+    installed_ = sigaction(SIGINT, &action, &previousInt_) == 0 &&
+                 sigaction(SIGTERM, &action, &previousTerm_) == 0;
+}
+
+SignalGuard::~SignalGuard()
+{
+    if (!installed_)
+        return;
+    sigaction(SIGINT, &previousInt_, nullptr);
+    sigaction(SIGTERM, &previousTerm_, nullptr);
+}
+
+bool
+SignalGuard::stopRequested()
+{
+    return g_stop_requested != 0;
+}
+
+int
+SignalGuard::stopSignal()
+{
+    return static_cast<int>(g_stop_signal);
+}
+
+void
+SignalGuard::requestStop()
+{
+    g_stop_requested = 1;
+}
+
+void
+SignalGuard::reset()
+{
+    g_stop_requested = 0;
+    g_stop_signal = 0;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for long-running campaigns.
+ *
+ * A SignalGuard installs handlers that only set an async-signal-safe
+ * flag; the campaign runner polls `stopRequested()` between shards,
+ * flushes the in-flight shard's checkpoint record, and exits cleanly.
+ * A second signal while the flag is already set re-raises with the
+ * default disposition, so an impatient operator can still kill a run
+ * that is stuck inside a shard.
+ */
+
+#ifndef RELAXFAULT_COMMON_SIGNAL_GUARD_H
+#define RELAXFAULT_COMMON_SIGNAL_GUARD_H
+
+#include <csignal>
+
+namespace relaxfault {
+
+/** RAII installer of the stop-flag SIGINT/SIGTERM handlers. */
+class SignalGuard
+{
+  public:
+    SignalGuard();
+    ~SignalGuard();
+
+    SignalGuard(const SignalGuard &) = delete;
+    SignalGuard &operator=(const SignalGuard &) = delete;
+
+    /** True once SIGINT/SIGTERM arrived (or requestStop was called). */
+    static bool stopRequested();
+
+    /** The signal that set the flag (0 if requestStop; for exit codes). */
+    static int stopSignal();
+
+    /** Set the flag programmatically (tests, nested runners). */
+    static void requestStop();
+
+    /** Clear the flag (a resumed run starts with a clean slate). */
+    static void reset();
+
+  private:
+    struct sigaction previousInt_;
+    struct sigaction previousTerm_;
+    bool installed_ = false;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_SIGNAL_GUARD_H

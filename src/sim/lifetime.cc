@@ -288,13 +288,27 @@ LifetimeSimulator::runTrials(unsigned trials,
                              uint64_t seed,
                              const TrialRunOptions &options) const
 {
+    const std::vector<LifetimeMetrics> per_trial =
+        runTrialRange(0, trials, factory, seed, options);
+    LifetimeSummary summary;
+    for (const LifetimeMetrics &m : per_trial)
+        summary.addTrial(m);
+    return summary;
+}
+
+std::vector<LifetimeMetrics>
+LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
+                                 const MechanismFactory &factory,
+                                 uint64_t seed,
+                                 const TrialRunOptions &options) const
+{
     // Each trial owns slot t of `per_trial` and draws from the
-    // counter-derived stream forkAt(seed, t): no cross-trial state, so
-    // any thread may run any trial. The fold below walks the slots in
-    // trial order, which makes the summary bit-identical at every
-    // thread count and chunk size.
-    std::vector<LifetimeMetrics> per_trial(trials);
-    ProgressMeter meter(options.progressLabel, trials, options.progress);
+    // counter-derived stream forkAt(seed, first_trial + t): no
+    // cross-trial state, so any thread may run any trial, and the
+    // stream depends only on the trial's global index — never on which
+    // range, shard, or thread executed it.
+    std::vector<LifetimeMetrics> per_trial(count);
+    ProgressMeter meter(options.progressLabel, count, options.progress);
 
     // Metric creation is mutex-protected, so hoist the lookups out of
     // the trial loop; the hot path then pays one null check per trial
@@ -329,10 +343,10 @@ LifetimeSimulator::runTrials(unsigned trials,
     }
 
     parallelFor(
-        trials,
+        count,
         [&](size_t begin, size_t end) {
             for (size_t t = begin; t < end; ++t) {
-                Rng trial_rng = Rng::forkAt(seed, t);
+                Rng trial_rng = Rng::forkAt(seed, first_trial + t);
                 {
                     ScopedTimer timer(h_trial_us);
                     per_trial[t] =
@@ -370,11 +384,7 @@ LifetimeSimulator::runTrials(unsigned trials,
         },
         options.parallel);
     meter.finish();
-
-    LifetimeSummary summary;
-    for (const LifetimeMetrics &m : per_trial)
-        summary.addTrial(m);
-    return summary;
+    return per_trial;
 }
 
 } // namespace relaxfault

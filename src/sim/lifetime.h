@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -162,6 +163,20 @@ class LifetimeSimulator
                               const MechanismFactory &factory,
                               uint64_t seed,
                               const TrialRunOptions &options = {}) const;
+
+    /**
+     * Shard-granular entry point: run the @p count trials starting at
+     * global trial index @p first_trial and return their metrics in
+     * trial order. Trial t still draws from `Rng::forkAt(seed, t)`, so
+     * folding the ranges [0,a), [a,b), ... [z,trials) back together in
+     * order reproduces `runTrials(trials, ...)` bit-for-bit at any
+     * split — the invariant the campaign checkpoint layer is built on.
+     * `runTrials` itself is the single-range [0, trials) case.
+     */
+    std::vector<LifetimeMetrics>
+    runTrialRange(uint64_t first_trial, unsigned count,
+                  const MechanismFactory &factory, uint64_t seed,
+                  const TrialRunOptions &options = {}) const;
 
     const LifetimeConfig &config() const { return config_; }
 

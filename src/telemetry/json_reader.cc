@@ -1,0 +1,462 @@
+#include "telemetry/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace relaxfault {
+
+double
+JsonValue::number() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return static_cast<double>(integer_);
+      case Kind::Uint:
+        return static_cast<double>(uinteger_);
+      case Kind::Double:
+        return real_;
+      default:
+        return 0.0;
+    }
+}
+
+uint64_t
+JsonValue::asUint() const
+{
+    if (kind_ == Kind::Uint)
+        return uinteger_;
+    if (kind_ == Kind::Int && integer_ >= 0)
+        return static_cast<uint64_t>(integer_);
+    if (kind_ == Kind::Double && real_ >= 0.0)
+        return static_cast<uint64_t>(real_);
+    return 0;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    if (kind_ == Kind::Int)
+        return integer_;
+    if (kind_ == Kind::Uint)
+        return static_cast<int64_t>(uinteger_);
+    if (kind_ == Kind::Double)
+        return static_cast<int64_t>(real_);
+    return 0;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const Member &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeBool(bool flag)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.flag_ = flag;
+    return v;
+}
+
+JsonValue
+JsonValue::makeInt(int64_t value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Int;
+    v.integer_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeUint(uint64_t value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Uint;
+    v.uinteger_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeDouble(double value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Double;
+    v.real_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string text)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.text_ = std::move(text);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<Member> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string_view with a depth guard. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonParseResult run()
+    {
+        JsonParseResult result;
+        skipWs();
+        if (!parseValue(result.value, 0)) {
+            result.error = error_;
+            result.errorOffset = pos_;
+            return result;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            result.error = "trailing characters after document";
+            result.errorOffset = pos_;
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const char *message)
+    {
+        error_ = message;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    bool literal(const char *word, size_t length)
+    {
+        if (text_.size() - pos_ < length ||
+            std::memcmp(text_.data() + pos_, word, length) != 0)
+            return fail("invalid literal");
+        pos_ += length;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (eof())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"': {
+            std::string text;
+            if (!parseString(text))
+                return false;
+            out = JsonValue::makeString(std::move(text));
+            return true;
+          }
+          case 't':
+            if (!literal("true", 4))
+                return false;
+            out = JsonValue::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false", 5))
+                return false;
+            out = JsonValue::makeBool(false);
+            return true;
+          case 'n':
+            if (!literal("null", 4))
+                return false;
+            out = JsonValue::makeNull();
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out, int depth)
+    {
+        ++pos_;  // '{'
+        std::vector<JsonValue::Member> members;
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (eof() || peek() != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (eof() || peek() != ':')
+                return fail("expected ':' after key");
+            ++pos_;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            members.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (eof())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                out = JsonValue::makeObject(std::move(members));
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parseArray(JsonValue &out, int depth)
+    {
+        ++pos_;  // '['
+        std::vector<JsonValue> items;
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            out = JsonValue::makeArray(std::move(items));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            items.push_back(std::move(value));
+            skipWs();
+            if (eof())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                out = JsonValue::makeArray(std::move(items));
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    static void appendUtf8(std::string &out, uint32_t codepoint)
+    {
+        if (codepoint < 0x80) {
+            out += static_cast<char>(codepoint);
+        } else if (codepoint < 0x800) {
+            out += static_cast<char>(0xC0 | (codepoint >> 6));
+            out += static_cast<char>(0x80 | (codepoint & 0x3F));
+        } else if (codepoint < 0x10000) {
+            out += static_cast<char>(0xE0 | (codepoint >> 12));
+            out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (codepoint & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (codepoint >> 18));
+            out += static_cast<char>(0x80 | ((codepoint >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (codepoint & 0x3F));
+        }
+    }
+
+    bool parseHex4(uint32_t &out)
+    {
+        if (text_.size() - pos_ < 4)
+            return fail("truncated \\u escape");
+        uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + static_cast<size_t>(i)];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        pos_ += 4;
+        out = value;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_;  // '"'
+        out.clear();
+        while (true) {
+            if (eof())
+                return fail("unterminated string");
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (eof())
+                return fail("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  uint32_t codepoint = 0;
+                  if (!parseHex4(codepoint))
+                      return false;
+                  if (codepoint >= 0xD800 && codepoint <= 0xDBFF) {
+                      // High surrogate: a low surrogate must follow.
+                      if (text_.size() - pos_ < 6 ||
+                          text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                          return fail("lone high surrogate");
+                      pos_ += 2;
+                      uint32_t low = 0;
+                      if (!parseHex4(low))
+                          return false;
+                      if (low < 0xDC00 || low > 0xDFFF)
+                          return fail("bad low surrogate");
+                      codepoint = 0x10000 +
+                          ((codepoint - 0xD800) << 10) + (low - 0xDC00);
+                  } else if (codepoint >= 0xDC00 && codepoint <= 0xDFFF) {
+                      return fail("lone low surrogate");
+                  }
+                  appendUtf8(out, codepoint);
+                  break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (!eof() && peek() == '-')
+            ++pos_;
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("invalid number");
+        // RFC 8259: no leading zeros ("01" is two tokens, not a number).
+        if (peek() == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            return fail("leading zero in number");
+        bool integral = true;
+        while (!eof()) {
+            const char c = peek();
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        if (integral) {
+            errno = 0;
+            char *end = nullptr;
+            if (token[0] == '-') {
+                const int64_t value =
+                    std::strtoll(token.c_str(), &end, 10);
+                if (errno == 0 && end == token.c_str() + token.size()) {
+                    out = JsonValue::makeInt(value);
+                    return true;
+                }
+            } else {
+                const uint64_t value =
+                    std::strtoull(token.c_str(), &end, 10);
+                if (errno == 0 && end == token.c_str() + token.size()) {
+                    out = JsonValue::makeUint(value);
+                    return true;
+                }
+            }
+            // Out of 64-bit range: fall through to double.
+        }
+        errno = 0;
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("invalid number");
+        out = JsonValue::makeDouble(value);
+        return true;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+} // namespace relaxfault

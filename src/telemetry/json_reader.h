@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON parser — the read side of JsonWriter, no dependencies.
+ *
+ * Parses RFC 8259 documents into a JsonValue tree. Integers without a
+ * fraction or exponent are kept as exact 64-bit values (counters can
+ * exceed 2^53, where a double would silently round); everything else
+ * numeric becomes a double parsed with strtod, which round-trips the
+ * writer's %.17g output bit-exactly. Object member order is preserved.
+ *
+ * The parser exists for the campaign checkpoint loader — a torn or
+ * truncated checkpoint line must be *detected*, not crash — so all
+ * errors are reported through JsonParseError, never by aborting.
+ */
+
+#ifndef RELAXFAULT_TELEMETRY_JSON_READER_H
+#define RELAXFAULT_TELEMETRY_JSON_READER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace relaxfault {
+
+/** One parsed JSON value (tree node). */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null, Bool, Int, Uint, Double, String, Array, Object,
+    };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Any numeric kind (Int, Uint, or Double). */
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint ||
+               kind_ == Kind::Double;
+    }
+
+    bool boolean() const { return flag_; }
+    const std::string &string() const { return text_; }
+
+    /** Numeric value as double (exact for integers up to 2^53). */
+    double number() const;
+
+    /** Exact unsigned value; only valid for non-negative integers. */
+    uint64_t asUint() const;
+
+    /** Exact signed value; only valid for integers that fit int64. */
+    int64_t asInt() const;
+
+    const std::vector<JsonValue> &array() const { return array_; }
+    const std::vector<Member> &members() const { return members_; }
+
+    /** Object member by key; null if absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    // Construction (used by the parser and by tests).
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool flag);
+    static JsonValue makeInt(int64_t value);
+    static JsonValue makeUint(uint64_t value);
+    static JsonValue makeDouble(double value);
+    static JsonValue makeString(std::string text);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue makeObject(std::vector<Member> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool flag_ = false;
+    int64_t integer_ = 0;
+    uint64_t uinteger_ = 0;
+    double real_ = 0.0;
+    std::string text_;
+    std::vector<JsonValue> array_;
+    std::vector<Member> members_;
+};
+
+/** Outcome of a parse: either a value or a positioned error message. */
+struct JsonParseResult
+{
+    bool ok = false;
+    JsonValue value;
+    std::string error;   ///< Human-readable; empty on success.
+    size_t errorOffset = 0;
+};
+
+/**
+ * Parse one complete JSON document. Trailing non-whitespace after the
+ * document is an error (a torn second line glued to the first must not
+ * parse).
+ */
+JsonParseResult parseJson(std::string_view text);
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TELEMETRY_JSON_READER_H

@@ -36,6 +36,15 @@ Counter::reset()
         shard.value.store(0, std::memory_order_relaxed);
 }
 
+void
+Log2HistogramSnapshot::merge(const Log2HistogramSnapshot &other)
+{
+    for (size_t b = 0; b < buckets.size(); ++b)
+        buckets[b] += other.buckets[b];
+    count += other.count;
+    sum += other.sum;
+}
+
 uint64_t
 Log2HistogramSnapshot::quantileUpperBound(double p) const
 {
@@ -75,6 +84,85 @@ Log2Histogram::reset()
             bucket.store(0, std::memory_order_relaxed);
         shard.sum.store(0, std::memory_order_relaxed);
     }
+}
+
+void
+Log2Histogram::absorb(const Log2HistogramSnapshot &snapshot)
+{
+    Shard &shard = shards_[detail::telemetryShard()];
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (snapshot.buckets[b] != 0)
+            shard.buckets[b].fetch_add(snapshot.buckets[b],
+                                       std::memory_order_relaxed);
+    }
+    shard.sum.fetch_add(snapshot.sum, std::memory_order_relaxed);
+}
+
+namespace {
+
+/**
+ * Name-keyed ordered fold shared by the three MetricsSnapshot metric
+ * kinds: both vectors are name-sorted, so a linear two-pointer merge
+ * keeps the result sorted.
+ */
+template <typename Value, typename Fold>
+void
+mergeByName(std::vector<std::pair<std::string, Value>> &into,
+            const std::vector<std::pair<std::string, Value>> &from,
+            const Fold &fold)
+{
+    std::vector<std::pair<std::string, Value>> merged;
+    merged.reserve(into.size() + from.size());
+    size_t i = 0;
+    size_t j = 0;
+    while (i < into.size() || j < from.size()) {
+        if (j >= from.size() ||
+            (i < into.size() && into[i].first < from[j].first)) {
+            merged.push_back(std::move(into[i++]));
+        } else if (i >= into.size() || from[j].first < into[i].first) {
+            merged.push_back(from[j++]);
+        } else {
+            fold(into[i].second, from[j].second);
+            merged.push_back(std::move(into[i]));
+            ++i;
+            ++j;
+        }
+    }
+    into = std::move(merged);
+}
+
+} // namespace
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    mergeByName(counters, other.counters,
+                [](uint64_t &a, const uint64_t &b) { a += b; });
+    mergeByName(gauges, other.gauges,
+                [](int64_t &a, const int64_t &b) { a += b; });
+    mergeByName(histograms, other.histograms,
+                [](Log2HistogramSnapshot &a,
+                   const Log2HistogramSnapshot &b) { a.merge(b); });
+}
+
+uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    for (const auto &[key, value] : counters) {
+        if (key == name)
+            return value;
+    }
+    return 0;
+}
+
+const Log2HistogramSnapshot *
+MetricsSnapshot::findHistogram(const std::string &name) const
+{
+    for (const auto &[key, value] : histograms) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
 }
 
 uint64_t
@@ -130,6 +218,17 @@ MetricRegistry::snapshot() const
     for (const auto &[name, histogram] : histograms_)
         snap.histograms.emplace_back(name, histogram->snapshot());
     return snap;
+}
+
+void
+MetricRegistry::absorb(const MetricsSnapshot &snapshot)
+{
+    for (const auto &[name, value] : snapshot.counters)
+        counter(name).add(value);
+    for (const auto &[name, value] : snapshot.gauges)
+        gauge(name).add(value);
+    for (const auto &[name, hist] : snapshot.histograms)
+        histogram(name).absorb(hist);
 }
 
 void

@@ -99,6 +99,9 @@ class Gauge
 /** Order-independent merged view of a Log2Histogram. */
 struct Log2HistogramSnapshot
 {
+    /** Fold @p other in bucket by bucket (exact integer adds). */
+    void merge(const Log2HistogramSnapshot &other);
+
     /** Bucket b counts values of bit-width b (see bucketOf). */
     std::array<uint64_t, 65> buckets{};
     uint64_t count = 0;
@@ -168,6 +171,9 @@ class Log2Histogram
     /** Deterministically merged view over all shards. */
     Log2HistogramSnapshot snapshot() const;
 
+    /** Fold a snapshot's buckets and sum in (exact integer adds). */
+    void absorb(const Log2HistogramSnapshot &snapshot);
+
     void reset();
 
   private:
@@ -219,6 +225,23 @@ struct MetricsSnapshot
     std::vector<std::pair<std::string, Log2HistogramSnapshot>> histograms;
 
     bool operator==(const MetricsSnapshot &) const = default;
+
+    /**
+     * Fold @p other in by name: counters and gauges add, histograms
+     * merge bucket by bucket, unseen names are inserted (keeping the
+     * name-sorted order). Every operation is an exact integer add, so
+     * merging per-shard snapshots in any order yields the same totals a
+     * single uninterrupted registry would have accumulated — the
+     * campaign checkpoint layer's telemetry-determinism guarantee.
+     */
+    void merge(const MetricsSnapshot &other);
+
+    /** Counter value by name (0 if absent). */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** Histogram snapshot by name (null if absent). */
+    const Log2HistogramSnapshot *
+    findHistogram(const std::string &name) const;
 };
 
 /**
@@ -235,6 +258,15 @@ class MetricRegistry
 
     /** Merged, name-sorted view of everything registered so far. */
     MetricsSnapshot snapshot() const;
+
+    /**
+     * Fold a snapshot's totals into this registry: counters add their
+     * value, gauges add theirs, histograms add their bucket counts and
+     * sum. Used to replay checkpointed per-shard telemetry into a live
+     * registry; integer adds keep the result bit-identical to having
+     * recorded the observations directly.
+     */
+    void absorb(const MetricsSnapshot &snapshot);
 
     /** Emit the snapshot as one JSON object (counters/gauges/histograms). */
     void writeJson(JsonWriter &writer) const;

@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -16,7 +18,9 @@
 
 #include "common/bitops.h"
 #include "common/cli.h"
+#include "common/fs.h"
 #include "common/log.h"
+#include "common/signal_guard.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -614,6 +618,74 @@ TEST(ProgressMeter, DisabledNeverPrints)
         meter.tick();
     meter.finish();
     EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Fs, AtomicWriteThenReadRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "relaxfault_fs_test.txt";
+    std::remove(path.c_str());
+    EXPECT_FALSE(fileExists(path));
+
+    const std::string content = "line one\nline two\n\x01 binary \xff\n";
+    ASSERT_TRUE(atomicWriteFile(path, content));
+    EXPECT_TRUE(fileExists(path));
+    std::string read_back;
+    ASSERT_TRUE(readFile(path, read_back));
+    EXPECT_EQ(read_back, content);
+
+    // Overwrite replaces the whole content (no append, no mixing).
+    ASSERT_TRUE(atomicWriteFile(path, "replaced"));
+    ASSERT_TRUE(readFile(path, read_back));
+    EXPECT_EQ(read_back, "replaced");
+    std::remove(path.c_str());
+}
+
+TEST(Fs, AtomicWriteToBadDirectoryFailsCleanly)
+{
+    EXPECT_FALSE(
+        atomicWriteFile("/nonexistent_dir_xyz/file.txt", "data"));
+    std::string out;
+    EXPECT_FALSE(readFile("/nonexistent_dir_xyz/file.txt", out));
+}
+
+TEST(Fs, SplitLinesDropsTerminatorsAndTrailingEmpty)
+{
+    const auto lines = splitLines("a\nbb\n\nccc\n");
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0], "a");
+    EXPECT_EQ(lines[1], "bb");
+    EXPECT_EQ(lines[2], "");
+    EXPECT_EQ(lines[3], "ccc");
+    // A torn final line (no terminator) is still returned — the caller
+    // decides whether it parses.
+    const auto torn = splitLines("a\npartial");
+    ASSERT_EQ(torn.size(), 2u);
+    EXPECT_EQ(torn[1], "partial");
+    EXPECT_TRUE(splitLines("").empty());
+}
+
+TEST(SignalGuardTest, SigintSetsFlagWithoutKilling)
+{
+    SignalGuard guard;
+    SignalGuard::reset();
+    EXPECT_FALSE(SignalGuard::stopRequested());
+    // One SIGINT is absorbed into the flag (a second would re-raise
+    // with default disposition — deliberately not tested in-process).
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    EXPECT_TRUE(SignalGuard::stopRequested());
+    EXPECT_EQ(SignalGuard::stopSignal(), SIGINT);
+    SignalGuard::reset();
+    EXPECT_FALSE(SignalGuard::stopRequested());
+}
+
+TEST(SignalGuardTest, RequestStopIsProgrammatic)
+{
+    SignalGuard::reset();
+    SignalGuard::requestStop();
+    EXPECT_TRUE(SignalGuard::stopRequested());
+    EXPECT_EQ(SignalGuard::stopSignal(), 0);
+    SignalGuard::reset();
 }
 
 TEST(ProgressMeter, FinishIsIdempotent)

@@ -354,6 +354,166 @@ TEST(ChipkillErasure, CleanCodewordWithErasureHintStaysClean)
     EXPECT_EQ(std::memcmp(copy, codeword, 18), 0);
 }
 
+// ---------------------------------------------------------------------
+// Differential tests against a brute-force reference decoder.
+//
+// The reference shares NO algebra with the production decoder: validity
+// is "re-encoding the 16 data symbols reproduces the stored check
+// symbols" (the codeword space is exactly the graph of encode, since
+// the two parity constraints have a unique solution per data vector),
+// and decoding is exhaustive search over all 18x255 single-symbol
+// corruptions. Distance 3 makes radius-1 spheres around codewords
+// disjoint, so on ANY received word — including double errors whose
+// syndrome aliases a single error — the two decoders must agree bit for
+// bit. Any divergence is a bug in the production syndrome algebra.
+
+bool
+refIsCodeword(const uint8_t word[18])
+{
+    uint8_t re[18];
+    std::memcpy(re, word, 18);
+    ChipkillCode::encode(re);
+    return re[16] == word[16] && re[17] == word[17];
+}
+
+struct RefResult
+{
+    EccStatus status = EccStatus::Ok;
+    unsigned position = 0;
+    uint8_t corrected[18] = {};
+};
+
+RefResult
+referenceDecode(const uint8_t word[18], bool check_uniqueness = false)
+{
+    RefResult result;
+    std::memcpy(result.corrected, word, 18);
+    if (refIsCodeword(word))
+        return result;
+    result.status = EccStatus::Uncorrectable;
+    unsigned matches = 0;
+    for (unsigned position = 0; position < 18; ++position) {
+        for (unsigned error = 1; error < 256; ++error) {
+            uint8_t candidate[18];
+            std::memcpy(candidate, word, 18);
+            candidate[position] ^= static_cast<uint8_t>(error);
+            if (!refIsCodeword(candidate))
+                continue;
+            ++matches;
+            result.status = EccStatus::Corrected;
+            result.position = position;
+            std::memcpy(result.corrected, candidate, 18);
+            if (!check_uniqueness)
+                return result;
+        }
+    }
+    // Disjoint radius-1 spheres: at most one codeword within distance 1.
+    EXPECT_LE(matches, 1u);
+    return result;
+}
+
+void
+expectAgreement(const uint8_t word[18])
+{
+    const RefResult reference = referenceDecode(word);
+    uint8_t decoded[18];
+    std::memcpy(decoded, word, 18);
+    const auto result = ChipkillCode::decode(decoded);
+    ASSERT_EQ(result.status, reference.status);
+    if (reference.status == EccStatus::Corrected) {
+        EXPECT_EQ(result.correctedSymbol, reference.position);
+    }
+    if (reference.status != EccStatus::Uncorrectable) {
+        EXPECT_EQ(std::memcmp(decoded, reference.corrected, 18), 0);
+    }
+}
+
+TEST(ChipkillDifferential, ExhaustiveSingleSymbolSweep)
+{
+    // Every position x every nonzero error value, on fixed base
+    // codewords: production must correct exactly, and must agree with
+    // the brute-force reference on position and restored word.
+    for (const uint64_t seed : {2024u, 2025u}) {
+        Rng rng(seed);
+        uint8_t codeword[18];
+        randomCodeword(rng, codeword);
+        for (unsigned position = 0; position < 18; ++position) {
+            for (unsigned error = 1; error < 256; ++error) {
+                uint8_t corrupted[18];
+                std::memcpy(corrupted, codeword, 18);
+                corrupted[position] ^= static_cast<uint8_t>(error);
+
+                const RefResult reference = referenceDecode(corrupted);
+                ASSERT_EQ(reference.status, EccStatus::Corrected);
+                ASSERT_EQ(reference.position, position);
+                ASSERT_EQ(
+                    std::memcmp(reference.corrected, codeword, 18), 0);
+
+                const auto result = ChipkillCode::decode(corrupted);
+                ASSERT_EQ(result.status, EccStatus::Corrected)
+                    << "position " << position << " error " << error;
+                ASSERT_EQ(result.correctedSymbol, position);
+                ASSERT_EQ(std::memcmp(corrupted, codeword, 18), 0);
+            }
+        }
+    }
+}
+
+TEST(ChipkillDifferential, AgreesOnArbitraryReceivedWords)
+{
+    // Uniform random words: usually far from any codeword (both say
+    // DUE), occasionally within distance 1 (both must correct alike).
+    Rng rng(30);
+    for (int i = 0; i < 1500; ++i) {
+        uint8_t word[18];
+        for (auto &symbol : word)
+            symbol = static_cast<uint8_t>(rng.uniformInt(256));
+        expectAgreement(word);
+    }
+}
+
+TEST(ChipkillDifferential, AgreesOnAliasingDoubleErrors)
+{
+    // Double errors are the adversarial case: ~7% alias onto a valid
+    // single-error syndrome and the production decoder "corrects" to a
+    // wrong codeword. The reference must reach the exact same wrong
+    // codeword — that is what disjoint spheres force.
+    Rng rng(31);
+    unsigned miscorrected = 0;
+    for (int i = 0; i < 1200; ++i) {
+        uint8_t word[18];
+        randomCodeword(rng, word);
+        const auto p1 = static_cast<unsigned>(rng.uniformInt(18));
+        auto p2 = static_cast<unsigned>(rng.uniformInt(18));
+        while (p2 == p1)
+            p2 = static_cast<unsigned>(rng.uniformInt(18));
+        word[p1] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        word[p2] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        const RefResult reference = referenceDecode(word);
+        if (reference.status == EccStatus::Corrected)
+            ++miscorrected;
+        expectAgreement(word);
+    }
+    // The aliasing case must actually be exercised (~7% of trials).
+    EXPECT_GT(miscorrected, 20u);
+}
+
+TEST(ChipkillDifferential, CorrectionUniqueWithinDistanceOne)
+{
+    // Full-scan uniqueness check (no early exit) on sampled words.
+    Rng rng(32);
+    for (int i = 0; i < 40; ++i) {
+        uint8_t word[18];
+        randomCodeword(rng, word);
+        const auto position = static_cast<unsigned>(rng.uniformInt(18));
+        word[position] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        const RefResult reference =
+            referenceDecode(word, /*check_uniqueness=*/true);
+        EXPECT_EQ(reference.status, EccStatus::Corrected);
+        EXPECT_EQ(reference.position, position);
+    }
+}
+
 TEST(LineCodecTest, ErasureDecodingSurvivesTwoKnownBadDevices)
 {
     Rng rng(24);

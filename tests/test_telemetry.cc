@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "core/relaxfault_controller.h"
 #include "repair/relaxfault_repair.h"
 #include "sim/lifetime.h"
+#include "telemetry/json_reader.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/run_record.h"
@@ -188,6 +190,115 @@ TEST(JsonWriter, ControlCharactersAndNonFinite)
         .endObject();
     writer.finish();
     EXPECT_EQ(os.str(), "{\"ctl\":\"\\u0001\\u001f\",\"inf\":null}");
+}
+
+// ---------------------------------------------------------------------
+// Writer -> parser round trips. The campaign checkpoint depends on two
+// exactness guarantees: %.17g doubles reparse bit-identically, and
+// integers beyond 2^53 keep their exact value (never pass through a
+// double). Control characters below 0x20 must round-trip through the
+// \uXXXX escapes the writer emits.
+
+std::string
+writeOneString(const std::string &text)
+{
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject().key("s").value(text).endObject();
+    writer.finish();
+    return os.str();
+}
+
+TEST(JsonRoundTrip, AllControlCharactersSurvive)
+{
+    // Every byte below 0x20, plus the two specially-escaped ones.
+    std::string text;
+    for (char c = 1; c < 0x20; ++c)
+        text.push_back(c);
+    text += "\"\\ plain";
+    const std::string doc = writeOneString(text);
+    // The wire form must not contain any raw control byte.
+    for (const char c : doc)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    const JsonParseResult parsed = parseJson(doc);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const JsonValue *value = parsed.value.find("s");
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->string(), text);
+}
+
+TEST(JsonRoundTrip, DoublesAreBitExact)
+{
+    const double cases[] = {0.0,
+                            1.5,
+                            -1.0 / 3.0,
+                            1e-308,          // Near-subnormal.
+                            1.7976931348623157e308,
+                            0.1,             // Not exact in binary.
+                            3.141592653589793,
+                            5e-324};         // Smallest subnormal.
+    for (const double expected : cases) {
+        std::ostringstream os;
+        JsonWriter writer(os);
+        writer.beginObject().key("d").value(expected).endObject();
+        writer.finish();
+        const JsonParseResult parsed = parseJson(os.str());
+        ASSERT_TRUE(parsed.ok) << parsed.error;
+        const double actual = parsed.value.find("d")->number();
+        uint64_t expected_bits = 0;
+        uint64_t actual_bits = 0;
+        std::memcpy(&expected_bits, &expected, sizeof expected);
+        std::memcpy(&actual_bits, &actual, sizeof actual);
+        EXPECT_EQ(actual_bits, expected_bits) << expected;
+    }
+}
+
+TEST(JsonRoundTrip, IntegersBeyondDoublePrecisionExact)
+{
+    const uint64_t big = (uint64_t{1} << 60) + 1;  // Rounds as double.
+    std::ostringstream os;
+    JsonWriter writer(os);
+    writer.beginObject()
+        .key("u").value(big)
+        .key("n").value(int64_t{-9007199254740993ll})
+        .endObject();
+    writer.finish();
+    const JsonParseResult parsed = parseJson(os.str());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.find("u")->asUint(), big);
+    EXPECT_EQ(parsed.value.find("n")->asInt(), -9007199254740993ll);
+}
+
+TEST(JsonParser, RejectsTornDocuments)
+{
+    // A torn checkpoint line is a prefix of a valid document, or two
+    // lines glued together; neither may parse.
+    const std::string doc =
+        R"({"schema":"relaxfault.ckpt.v1","trials":[1.5,2.5],"n":3})";
+    ASSERT_TRUE(parseJson(doc).ok);
+    for (size_t len = 0; len < doc.size(); ++len)
+        EXPECT_FALSE(parseJson(doc.substr(0, len)).ok)
+            << "prefix length " << len;
+    EXPECT_FALSE(parseJson(doc + "{\"next\":").ok);
+    EXPECT_FALSE(parseJson(doc + doc).ok);
+    EXPECT_FALSE(parseJson("{\"a\":01}").ok);     // Leading zero.
+    EXPECT_FALSE(parseJson("{\"a\":+1}").ok);     // Stray sign.
+    EXPECT_FALSE(parseJson("{\"a\" 1}").ok);      // Missing colon.
+    EXPECT_FALSE(parseJson("{\"a\":1,}").ok);     // Trailing comma.
+}
+
+TEST(JsonParser, ParsesEscapesAndStructure)
+{
+    const JsonParseResult parsed = parseJson(
+        "  {\"t\":\"a\\u0041\\n\\\"\",\"arr\":[null,true,false,-2]} ");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.find("t")->string(), "aA\n\"");
+    const auto &array = parsed.value.find("arr")->array();
+    ASSERT_EQ(array.size(), 4u);
+    EXPECT_TRUE(array[0].isNull());
+    EXPECT_TRUE(array[1].boolean());
+    EXPECT_FALSE(array[2].boolean());
+    EXPECT_EQ(array[3].asInt(), -2);
 }
 
 TEST(RunRecord, EmitsSchemaCompleteLine)

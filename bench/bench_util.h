@@ -14,7 +14,9 @@
 
 #include "cache/cache_geometry.h"
 #include "common/cli.h"
+#include "common/log.h"
 #include "dram/address_map.h"
+#include "repair/degradation.h"
 #include "repair/freefault_repair.h"
 #include "repair/no_repair.h"
 #include "repair/ppr_repair.h"
@@ -37,6 +39,37 @@ trialRunOptions(const CliOptions &options)
         static_cast<unsigned>(options.getNonNegativeInt("threads", 0));
     run.progress = options.has("progress");
     return run;
+}
+
+/**
+ * Parse `--degrade=retire|due|failstop` (default "due", the paper's
+ * behavior). The chosen policy changes simulation results, so callers
+ * must fold its name into their campaign fingerprint.
+ */
+inline DegradationPolicy
+degradeFlag(const CliOptions &options)
+{
+    const std::string name = options.getString("degrade", "due");
+    const auto policy = parseDegradationPolicy(name);
+    if (!policy.has_value())
+        fatal("--degrade=" + name +
+              " is not a policy (expected retire | due | failstop)");
+    return *policy;
+}
+
+/**
+ * Parse `--audit` / `--audit-every=N` into `AuditOptions`. Auditing is
+ * observation-only (it cannot change any result, only add `audit.*`
+ * counters), so it never enters a campaign fingerprint.
+ */
+inline AuditOptions
+auditFlag(const CliOptions &options)
+{
+    AuditOptions audit;
+    audit.enabled = options.has("audit");
+    audit.everyFaults = static_cast<unsigned>(
+        options.getPositiveInt("audit-every", 1));
+    return audit;
 }
 
 /** The paper's LLC: 8MiB, 16-way, 64B lines. */

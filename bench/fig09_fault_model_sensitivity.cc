@@ -92,14 +92,16 @@ main(int argc, char **argv)
     const CliOptions options(argc, argv,
                              withCampaignFlags({"trials", "seed", "nodes",
                                                 "threads", "progress",
-                                                "json"}));
+                                                "json", "audit",
+                                                "audit-every"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 909));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
 
-    const TrialRunOptions run = trialRunOptions(options);
+    TrialRunOptions run = trialRunOptions(options);
+    run.audit = auditFlag(options);
     BenchReport report(options, "fig09_fault_model_sensitivity");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);

@@ -24,23 +24,31 @@ main(int argc, char **argv)
     const CliOptions options(argc, argv,
                              withCampaignFlags({"trials", "seed", "nodes",
                                                 "threads", "progress",
-                                                "json"}));
+                                                "json", "degrade", "audit",
+                                                "audit-every"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
+    const DegradationPolicy degrade = degradeFlag(options);
 
-    const TrialRunOptions run = trialRunOptions(options);
+    TrialRunOptions run = trialRunOptions(options);
+    run.audit = auditFlag(options);
     BenchReport report(options, "fig12_due_rates");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
+    report.record().setConfig("degrade", degradationPolicyName(degrade));
 
+    // The degradation policy changes results, so it is part of the
+    // campaign identity; auditing is observation-only and is not.
     const CampaignOptions campaign = campaignOptions(options);
     CampaignRunner runner(
         campaignFingerprint("fig12_due_rates", seed, trials, campaign,
-                            "nodes=" + std::to_string(nodes)),
+                            "nodes=" + std::to_string(nodes) +
+                                ",degrade=" +
+                                degradationPolicyName(degrade)),
         campaign);
 
     for (const double fit : {1.0, 10.0}) {
@@ -48,6 +56,7 @@ main(int argc, char **argv)
         config.faultModel.fitScale = fit;
         config.nodesPerSystem = nodes;
         config.policy = ReplacePolicy::AfterDue;
+        config.degradation = degrade;
         std::cout << "Fig. 12" << (fit == 1.0 ? "a" : "b")
                   << ": expected DUEs per system, " << fit << "x FIT, "
                   << nodes << " nodes, " << trials << " trials\n\n";

@@ -23,23 +23,29 @@ main(int argc, char **argv)
     const CliOptions options(argc, argv,
                              withCampaignFlags({"trials", "seed", "nodes",
                                                 "threads", "progress",
-                                                "json"}));
+                                                "json", "degrade", "audit",
+                                                "audit-every"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1307));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
+    const DegradationPolicy degrade = degradeFlag(options);
 
-    const TrialRunOptions run = trialRunOptions(options);
+    TrialRunOptions run = trialRunOptions(options);
+    run.audit = auditFlag(options);
     BenchReport report(options, "fig13_sdc_rates");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
+    report.record().setConfig("degrade", degradationPolicyName(degrade));
 
     const CampaignOptions campaign = campaignOptions(options);
     CampaignRunner runner(
         campaignFingerprint("fig13_sdc_rates", seed, trials, campaign,
-                            "nodes=" + std::to_string(nodes)),
+                            "nodes=" + std::to_string(nodes) +
+                                ",degrade=" +
+                                degradationPolicyName(degrade)),
         campaign);
 
     for (const double fit : {1.0, 10.0}) {
@@ -47,6 +53,7 @@ main(int argc, char **argv)
         config.faultModel.fitScale = fit;
         config.nodesPerSystem = nodes;
         config.policy = ReplacePolicy::AfterDue;
+        config.degradation = degrade;
         std::cout << "Fig. 13" << (fit == 1.0 ? "a" : "b")
                   << ": expected SDCs per system, " << fit << "x FIT, "
                   << nodes << " nodes, " << trials << " trials\n\n";

@@ -26,23 +26,30 @@ main(int argc, char **argv)
     const CliOptions options(argc, argv,
                              withCampaignFlags({"trials", "seed", "nodes",
                                                 "threads", "progress",
-                                                "json"}));
+                                                "json", "degrade", "audit",
+                                                "audit-every"}));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1408));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
+    const DegradationPolicy degrade = degradeFlag(options);
 
-    const TrialRunOptions run = trialRunOptions(options);
+    TrialRunOptions run = trialRunOptions(options);
+    run.audit = auditFlag(options);
     BenchReport report(options, "fig14_dimm_replacements");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
+    report.record().setConfig("degrade", degradationPolicyName(degrade));
 
     const CampaignOptions campaign = campaignOptions(options);
     CampaignRunner runner(
         campaignFingerprint("fig14_dimm_replacements", seed, trials,
-                            campaign, "nodes=" + std::to_string(nodes)),
+                            campaign,
+                            "nodes=" + std::to_string(nodes) +
+                                ",degrade=" +
+                                degradationPolicyName(degrade)),
         campaign);
 
     const struct

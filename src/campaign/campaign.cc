@@ -4,7 +4,6 @@
 #include <chrono>
 #include <csignal>
 #include <exception>
-#include <thread>
 
 #include "common/log.h"
 #include "telemetry/metrics.h"
@@ -40,6 +39,8 @@ CampaignRunner::runShard(const std::string &unit, unsigned shard,
 {
     const uint64_t first = shardFirstTrial(trials, shards, shard);
     const uint64_t end = shardFirstTrial(trials, shards, shard + 1);
+    Clock &clock =
+        options_.clock != nullptr ? *options_.clock : Clock::steady();
 
     ShardRecord record;
     record.unit = unit;
@@ -65,16 +66,11 @@ CampaignRunner::runShard(const std::string &unit, unsigned shard,
                 unit + " shard " + std::to_string(shard + 1) + "/" +
                 std::to_string(shards);
 
-            const auto start = std::chrono::steady_clock::now();
+            const Clock::TimePoint start = clock.now();
             record.trials = simulator.runTrialRange(
                 first, static_cast<unsigned>(end - first), factory, seed,
                 shard_options);
-            const auto elapsed =
-                std::chrono::steady_clock::now() - start;
-            record.durationMs = static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    elapsed)
-                    .count());
+            record.durationMs = clock.elapsedMs(start);
             record.timestampMs = runTimestampMs();
             if (run_options.metrics != nullptr)
                 record.metrics = shard_metrics.snapshot();
@@ -90,7 +86,7 @@ CampaignRunner::runShard(const std::string &unit, unsigned shard,
                  std::to_string(shard) + " attempt " +
                  std::to_string(attempt) + " failed (" + error.what() +
                  "); retrying");
-            std::this_thread::sleep_for(std::chrono::milliseconds(
+            clock.sleepFor(std::chrono::milliseconds(
                 uint64_t{options_.retryBackoffMs} << (attempt - 1)));
         }
     }

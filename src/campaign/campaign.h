@@ -32,6 +32,7 @@
 #include <string>
 
 #include "campaign/checkpoint.h"
+#include "common/clock.h"
 #include "common/signal_guard.h"
 #include "sim/lifetime.h"
 
@@ -54,6 +55,13 @@ struct CampaignOptions
 
     /** Backoff before retry r is `retryBackoffMs << (r - 1)`. */
     unsigned retryBackoffMs = 50;
+
+    /**
+     * Time source for shard timing and retry backoff. Null uses the
+     * real `Clock::steady()`; tests inject a `FakeClock` so the retry
+     * path runs deterministically and without real sleeps.
+     */
+    Clock *clock = nullptr;
 
     /**
      * Test hook: raise SIGKILL immediately after this many shard

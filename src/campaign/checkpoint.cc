@@ -17,7 +17,7 @@ namespace {
  * Per-trial metric serialization order. Changing this order changes the
  * schema; bump kCheckpointSchema if you do.
  */
-constexpr unsigned kMetricFields = 8;
+constexpr unsigned kMetricFields = 12;
 
 void
 writeMetrics(JsonWriter &writer, const LifetimeMetrics &m)
@@ -31,6 +31,10 @@ writeMetrics(JsonWriter &writer, const LifetimeMetrics &m)
         .value(m.repairedFaults)
         .value(m.permanentFaults)
         .value(m.fullyRepairedNodes)
+        .value(m.budgetExhausted)
+        .value(m.degradedToRetirement)
+        .value(m.degradedDues)
+        .value(m.failStops)
         .endArray();
 }
 
@@ -53,6 +57,10 @@ parseMetrics(const JsonValue &value, LifetimeMetrics &out)
     out.repairedFaults = fields[5];
     out.permanentFaults = fields[6];
     out.fullyRepairedNodes = fields[7];
+    out.budgetExhausted = fields[8];
+    out.degradedToRetirement = fields[9];
+    out.degradedDues = fields[10];
+    out.failStops = fields[11];
     return true;
 }
 
@@ -292,7 +300,8 @@ CheckpointLog::load()
         stringOf(header.value, "schema") != kCheckpointSchema ||
         stringOf(header.value, "kind") != "campaign")
         fatal("campaign: checkpoint " + path_ +
-              " has no valid relaxfault.ckpt.v1 header");
+              " has no valid " + std::string(kCheckpointSchema) +
+              " header");
     CampaignFingerprint stored;
     stored.campaign = stringOf(header.value, "campaign");
     uint64_t shards = 1;

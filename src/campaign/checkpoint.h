@@ -1,6 +1,6 @@
 /**
  * @file
- * Crash-recoverable campaign checkpoint (schema `relaxfault.ckpt.v1`).
+ * Crash-recoverable campaign checkpoint (schema `relaxfault.ckpt.v2`).
  *
  * A checkpoint is a JSON-lines file: one header line identifying the
  * campaign (seed, trial count, shard count, config fingerprint) followed
@@ -40,7 +40,7 @@ class JsonValue;
 class JsonWriter;
 
 /** Schema identifier stamped into every checkpoint line. */
-inline constexpr const char *kCheckpointSchema = "relaxfault.ckpt.v1";
+inline constexpr const char *kCheckpointSchema = "relaxfault.ckpt.v2";
 
 /**
  * Identity of a campaign. A checkpoint written under one fingerprint

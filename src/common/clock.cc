@@ -1,0 +1,33 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace relaxfault {
+
+namespace {
+
+/** Real monotonic clock backed by std::this_thread::sleep_for. */
+class SteadyClock final : public Clock
+{
+  public:
+    TimePoint now() const override
+    {
+        return std::chrono::steady_clock::now();
+    }
+
+    void sleepFor(std::chrono::milliseconds duration) override
+    {
+        std::this_thread::sleep_for(duration);
+    }
+};
+
+} // namespace
+
+Clock &
+Clock::steady()
+{
+    static SteadyClock instance;
+    return instance;
+}
+
+} // namespace relaxfault

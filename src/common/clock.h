@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Injectable time source.
+ *
+ * Production code that sleeps or measures wall-clock durations (campaign
+ * retry backoff, shard timing) takes a `Clock` so tests can drive those
+ * paths deterministically, without real sleeps: `FakeClock` advances a
+ * virtual steady clock instantly and records every requested sleep.
+ */
+
+#ifndef RELAXFAULT_COMMON_CLOCK_H
+#define RELAXFAULT_COMMON_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace relaxfault {
+
+/** Abstract monotonic clock + sleep facility. */
+class Clock
+{
+  public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    virtual ~Clock() = default;
+
+    /** Current monotonic time. */
+    virtual TimePoint now() const = 0;
+
+    /** Block (really or virtually) for @p duration. */
+    virtual void sleepFor(std::chrono::milliseconds duration) = 0;
+
+    /** Milliseconds elapsed since @p start on this clock. */
+    uint64_t elapsedMs(TimePoint start) const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now() - start)
+                .count());
+    }
+
+    /** The process-wide real clock (std::steady_clock + real sleeps). */
+    static Clock &steady();
+};
+
+/**
+ * Deterministic virtual clock for tests: `now()` starts at the epoch,
+ * `sleepFor` advances it instantly and logs the request, and `advance`
+ * moves time without a sleep. Not thread-safe (single-threaded tests).
+ */
+class FakeClock final : public Clock
+{
+  public:
+    TimePoint now() const override { return now_; }
+
+    void sleepFor(std::chrono::milliseconds duration) override
+    {
+        now_ += duration;
+        sleeps_.push_back(duration);
+    }
+
+    /** Advance virtual time without recording a sleep. */
+    void advance(std::chrono::milliseconds duration) { now_ += duration; }
+
+    /** Every duration passed to sleepFor, in call order. */
+    const std::vector<std::chrono::milliseconds> &sleeps() const
+    {
+        return sleeps_;
+    }
+
+  private:
+    TimePoint now_{};  ///< Epoch of the virtual timeline.
+    std::vector<std::chrono::milliseconds> sleeps_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_CLOCK_H

@@ -1,6 +1,7 @@
 #include "core/fault_log.h"
 
 #include <istream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -9,7 +10,20 @@ namespace relaxfault {
 
 namespace {
 
-constexpr const char *kMagic = "relaxfault-faultlog-v1";
+constexpr const char *kMagic = "relaxfault-faultlog-v2";
+constexpr const char *kChecksumKey = "checksum ";
+
+/** FNV-1a 64-bit over the serialized log body. */
+uint64_t
+fnv1a64(const std::string &text)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<uint8_t>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
 
 void
 writeRegion(const FaultRegion &region, std::ostream &os)
@@ -91,20 +105,27 @@ readRegion(std::istream &is, FaultRegion &region)
 void
 writeFaultLog(const std::vector<FaultRecord> &faults, std::ostream &os)
 {
-    os << kMagic << '\n';
-    os << "faults " << faults.size() << '\n';
+    std::ostringstream body;
+    body << kMagic << '\n';
+    body << "faults " << faults.size() << '\n';
     for (const auto &fault : faults) {
-        os << "fault mode " << static_cast<unsigned>(fault.mode)
-           << " persistence " << static_cast<unsigned>(fault.persistence)
-           << " time " << fault.timeHours << " hardperm "
-           << fault.hardPermanent << " activation "
-           << fault.activationRatePerHour << " parts "
-           << fault.parts.size() << '\n';
+        body << "fault mode " << static_cast<unsigned>(fault.mode)
+             << " persistence " << static_cast<unsigned>(fault.persistence)
+             << " time " << fault.timeHours << " hardperm "
+             << fault.hardPermanent << " activation "
+             << fault.activationRatePerHour << " parts "
+             << fault.parts.size() << '\n';
         for (const auto &part : fault.parts) {
-            os << " part " << part.dimm << ' ' << part.device << '\n';
-            writeRegion(part.region, os);
+            body << " part " << part.dimm << ' ' << part.device << '\n';
+            writeRegion(part.region, body);
         }
     }
+    // Trailing integrity line over everything above it: a flipped bit
+    // anywhere in the durable log is detected at boot, not silently
+    // replayed into the repair tables.
+    const std::string text = body.str();
+    os << text << kChecksumKey << std::hex << fnv1a64(text) << std::dec
+       << '\n';
 }
 
 std::vector<FaultRecord>
@@ -112,19 +133,45 @@ readFaultLog(std::istream &is, unsigned *malformed)
 {
     std::vector<FaultRecord> faults;
     unsigned bad = 0;
-    std::string magic;
-    std::getline(is, magic);
-    if (magic != kMagic) {
+    const std::string text{std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>()};
+
+    const size_t magic_end = text.find('\n');
+    if (magic_end == std::string::npos ||
+        text.substr(0, magic_end) != kMagic) {
         if (malformed != nullptr)
             *malformed = 1;
         return faults;
     }
 
+    // Verify the trailing checksum line; a mismatch is counted as a
+    // malformed record but the body is still parsed best-effort (the
+    // caller decides whether to trust a partially damaged log).
+    std::string content = text;
+    const std::string needle = std::string(1, '\n') + kChecksumKey;
+    const size_t checksum_pos = text.rfind(needle);
+    if (checksum_pos == std::string::npos) {
+        ++bad;
+    } else {
+        content = text.substr(0, checksum_pos + 1);
+        uint64_t stored = 0;
+        std::istringstream checksum_line(
+            text.substr(checksum_pos + needle.size()));
+        checksum_line >> std::hex >> stored;
+        if (!checksum_line || stored != fnv1a64(content))
+            ++bad;
+    }
+
+    std::istringstream body(content);
+    std::string magic;
+    std::getline(body, magic);
+    std::istream &in = body;
+
     std::string token;
     size_t fault_count = 0;
-    if (!(is >> token >> fault_count) || token != "faults") {
+    if (!(in >> token >> fault_count) || token != "faults") {
         if (malformed != nullptr)
-            *malformed = 1;
+            *malformed = bad + 1;
         return faults;
     }
 
@@ -138,7 +185,7 @@ readFaultLog(std::istream &is, unsigned *malformed)
         // parts N
         std::string keys[6];
         ok = static_cast<bool>(
-            is >> token >> keys[0] >> mode >> keys[1] >> persistence >>
+            in >> token >> keys[0] >> mode >> keys[1] >> persistence >>
             keys[2] >> fault.timeHours >> keys[3] >>
             fault.hardPermanent >> keys[4] >>
             fault.activationRatePerHour >> keys[5] >> part_count);
@@ -149,9 +196,9 @@ readFaultLog(std::istream &is, unsigned *malformed)
             fault.persistence = static_cast<Persistence>(persistence);
             for (size_t p = 0; p < part_count && ok; ++p) {
                 DevicePart part;
-                ok = static_cast<bool>(is >> token >> part.dimm >>
+                ok = static_cast<bool>(in >> token >> part.dimm >>
                                        part.device) &&
-                     token == "part" && readRegion(is, part.region);
+                     token == "part" && readRegion(in, part.region);
                 if (ok)
                     fault.parts.push_back(std::move(part));
             }

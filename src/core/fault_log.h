@@ -29,7 +29,11 @@ void writeFaultLog(const std::vector<FaultRecord> &faults,
 /**
  * Parse a fault log. Malformed records are skipped and counted in
  * @p malformed (if provided); the format is versioned and a mismatched
- * version yields an empty result.
+ * version yields an empty result. The v2 format ends with an FNV-1a64
+ * checksum line over the whole body: a missing or mismatched checksum
+ * counts as one malformed record (the body is still parsed
+ * best-effort), so single-bit corruption of the durable log is always
+ * detected rather than silently replayed into the repair tables.
  */
 std::vector<FaultRecord> readFaultLog(std::istream &is,
                                       unsigned *malformed = nullptr);

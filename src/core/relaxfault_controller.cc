@@ -1,5 +1,6 @@
 #include "core/relaxfault_controller.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.h"
@@ -16,6 +17,9 @@ RelaxFaultController::RelaxFaultController(const ControllerConfig &config)
     if (config_.geometry.lineBytes != kLineBytes)
         fatal("RelaxFaultController: only 64B lines are supported");
     dram_.setFaultProbe(faults_.makeProbe());
+    if (config_.degradation == DegradationPolicy::RetirePages)
+        retirement_ = std::make_unique<PageRetirement>(
+            addressMap_, config_.retirePageBytes, config_.retireMaxBytes);
 }
 
 unsigned
@@ -151,6 +155,8 @@ void
 RelaxFaultController::write(uint64_t pa, const uint8_t data[kLineBytes])
 {
     ++stats_.writes;
+    if (failedStop_)
+        return;  // The node is down; writes are dropped, not absorbed.
     const LineCoord coord = addressMap_.decode(pa);
 
     uint8_t line[LineCodec::kLineBytes];
@@ -186,6 +192,11 @@ EccStatus
 RelaxFaultController::read(uint64_t pa, uint8_t data[kLineBytes])
 {
     ++stats_.reads;
+    if (failedStop_) {
+        std::memset(data, 0, kLineBytes);
+        ++stats_.uncorrectableReads;
+        return EccStatus::Uncorrectable;
+    }
     const LineCoord coord = addressMap_.decode(pa);
     uint8_t line[LineCodec::kLineBytes];
     const EccStatus status = fetchAndDecode(coord, line, true);
@@ -193,12 +204,55 @@ RelaxFaultController::read(uint64_t pa, uint8_t data[kLineBytes])
     return status;
 }
 
+size_t
+RelaxFaultController::findDuplicate(const FaultRecord &fault) const
+{
+    const std::vector<FaultRecord> &tracked = faults_.faults();
+    for (size_t i = 0; i < tracked.size(); ++i) {
+        if (tracked[i].permanent() && tracked[i].mode == fault.mode &&
+            tracked[i].parts == fault.parts)
+            return i;
+    }
+    return static_cast<size_t>(-1);
+}
+
+void
+RelaxFaultController::applyDegradation(const FaultRecord &fault)
+{
+    ++stats_.budgetExhausted;
+    switch (config_.degradation) {
+    case DegradationPolicy::RetirePages:
+        // Retirement unmaps the faulty frames but does not remap data:
+        // the fault stays in the tracked set unrepaired (the DRAM cells
+        // are still bad), it just stops being referenced.
+        if (retirement_ != nullptr && retirement_->tryRepair(fault)) {
+            ++stats_.degradedToRetirement;
+            return;
+        }
+        ++stats_.degradedDues;
+        return;
+    case DegradationPolicy::CountDue:
+        ++stats_.degradedDues;
+        return;
+    case DegradationPolicy::FailStop:
+        if (!failedStop_) {
+            ++stats_.failStops;
+            failedStop_ = true;
+        }
+        return;
+    }
+}
+
 bool
 RelaxFaultController::requestRepair(const FaultRecord &fault)
 {
-    const bool repaired = repair_.tryRepair(fault);
-    if (!repaired)
+    if (failedStop_)
         return false;
+    const bool repaired = repair_.tryRepair(fault);
+    if (!repaired) {
+        applyDegradation(fault);
+        return false;
+    }
     ++stats_.faultsRepaired;
     // Fill the remap lines now (paper Sec. 3.1: the controller streams
     // the sub-blocks through ECC when repair is set up). Filling at
@@ -224,6 +278,26 @@ bool
 RelaxFaultController::reportFault(const FaultRecord &fault)
 {
     ++stats_.faultsReported;
+    if (failedStop_)
+        return false;
+    if (fault.permanent()) {
+        // Retried error reports (and a scrubber re-finding known damage)
+        // deliver the same fault twice. Re-adding it would skew the
+        // probe's repaired-state view, and re-repairing it would burn
+        // budget on lines that are already locked.
+        const size_t duplicate = findDuplicate(fault);
+        if (duplicate != static_cast<size_t>(-1)) {
+            ++stats_.duplicateFaults;
+            if (faults_.repaired(duplicate))
+                return true;  // Already remapped; nothing to do.
+            // Known but unrepaired (e.g. budget was exhausted then):
+            // retry repair without re-registering the fault.
+            const bool repaired = requestRepair(fault);
+            if (repaired)
+                faults_.setRepaired(duplicate, true);
+            return repaired;
+        }
+    }
     const size_t index = faults_.addFault(fault);
     if (!fault.permanent())
         return true;  // Transients need no repair; ECC absorbed them.
@@ -237,6 +311,17 @@ void
 RelaxFaultController::setErrorObserver(ErrorObserver observer)
 {
     errorObserver_ = std::move(observer);
+}
+
+std::vector<uint64_t>
+RelaxFaultController::remapStoreKeys() const
+{
+    std::vector<uint64_t> keys;
+    keys.reserve(remapStore_.size());
+    for (const auto &[key, line] : remapStore_)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
 }
 
 void
@@ -265,6 +350,19 @@ RelaxFaultController::publishTelemetry(MetricRegistry &registry) const
         static_cast<int64_t>(s.faultsRepaired));
     registry.gauge("controller.remap_store_lines").set(
         static_cast<int64_t>(remapStore_.size()));
+    registry.gauge("controller.duplicate_faults").set(
+        static_cast<int64_t>(s.duplicateFaults));
+    registry.gauge("controller.budget_exhausted").set(
+        static_cast<int64_t>(s.budgetExhausted));
+    registry.gauge("controller.degraded_to_retirement").set(
+        static_cast<int64_t>(s.degradedToRetirement));
+    registry.gauge("controller.degraded_dues").set(
+        static_cast<int64_t>(s.degradedDues));
+    registry.gauge("controller.fail_stops").set(
+        static_cast<int64_t>(s.failStops));
+    if (retirement_ != nullptr)
+        registry.gauge("controller.retired_pages").set(
+            static_cast<int64_t>(retirement_->retiredPages()));
     repair_.publishTelemetry(registry);
 }
 

@@ -29,13 +29,17 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/cache_geometry.h"
 #include "dram/address_map.h"
 #include "dram/functional_dram.h"
 #include "ecc/chipkill.h"
 #include "faults/fault_set.h"
+#include "repair/degradation.h"
+#include "repair/page_retirement.h"
 #include "repair/relaxfault_repair.h"
 
 namespace relaxfault {
@@ -57,6 +61,17 @@ struct ControllerConfig
      * the cost of detection margin.
      */
     bool erasureDecoding = false;
+    /**
+     * What to do when the repair budget is exhausted (or repair fails
+     * for any other reason). The default, CountDue, matches the paper's
+     * evaluation: the fault stays unrepaired and shows up as detected
+     * uncorrectable errors. See DegradationPolicy.
+     */
+    DegradationPolicy degradation = DegradationPolicy::CountDue;
+    /** OS frame size for the RetirePages fallback. */
+    uint64_t retirePageBytes = 4096;
+    /** Retirement-capacity cap for the RetirePages fallback. */
+    uint64_t retireMaxBytes = 4ull * 1024 * 1024;
 };
 
 /** Table 1: on-chip metadata the mechanism adds. */
@@ -86,6 +101,11 @@ struct ControllerStats
     uint64_t bankFilterHits = 0;     ///< Faulty-bank table said "maybe".
     uint64_t faultsReported = 0;
     uint64_t faultsRepaired = 0;
+    uint64_t duplicateFaults = 0;    ///< Re-reports of tracked faults.
+    uint64_t budgetExhausted = 0;    ///< Repair attempts that failed.
+    uint64_t degradedToRetirement = 0;  ///< Fell back to page retirement.
+    uint64_t degradedDues = 0;       ///< Left unrepaired, counted as DUE.
+    uint64_t failStops = 0;          ///< Fail-stop transitions (0 or 1).
 };
 
 /** Functional RelaxFault memory controller over one node's memory. */
@@ -150,6 +170,19 @@ class RelaxFaultController
     const DramAddressMap &addressMap() const { return addressMap_; }
     const ControllerConfig &config() const { return config_; }
 
+    /**
+     * True once the FailStop degradation policy has tripped: reads
+     * return Uncorrectable and writes are dropped (the node is down, by
+     * design, rather than silently running with unrepaired faults).
+     */
+    bool failedStop() const { return failedStop_; }
+
+    /** The RetirePages fallback engine (null under other policies). */
+    const PageRetirement *retirement() const { return retirement_.get(); }
+
+    /** Remap-store keys in ascending order (audit walks). */
+    std::vector<uint64_t> remapStoreKeys() const;
+
     /** Backdoor for tests: the underlying DRAM array. */
     FunctionalDram &dram() { return dram_; }
 
@@ -173,6 +206,16 @@ class RelaxFaultController
                              uint8_t line[LineCodec::kLineBytes],
                              bool count_stats);
 
+    /**
+     * Index of a tracked permanent fault with the same mode and parts
+     * as @p fault, or npos. Retried error reports deliver the same
+     * damage twice; repairing it twice would burn budget for nothing.
+     */
+    size_t findDuplicate(const FaultRecord &fault) const;
+
+    /** Apply the configured degradation after a failed repair. */
+    void applyDegradation(const FaultRecord &fault);
+
     ControllerConfig config_;
     DramAddressMap addressMap_;
     FunctionalDram dram_;
@@ -181,6 +224,8 @@ class RelaxFaultController
     std::unordered_map<uint64_t, RemapLine> remapStore_;
     ControllerStats stats_;
     ErrorObserver errorObserver_;
+    std::unique_ptr<PageRetirement> retirement_;
+    bool failedStop_ = false;
 };
 
 } // namespace relaxfault

@@ -1,6 +1,7 @@
 #include "core/scrubber.h"
 
 #include <bit>
+#include <iterator>
 
 #include "telemetry/metrics.h"
 
@@ -40,11 +41,21 @@ FaultScrubber::scrub(unsigned channel, unsigned rank, unsigned bank,
             const unsigned line_dimm = coord.dimm(geometry);
             for (unsigned device = 0;
                  device < geometry.devicesPerRank(); ++device) {
-                if (device_mask & (1u << device)) {
-                    logs_[{line_dimm, device}].cells.insert(
-                        {coord.bank, coord.row,
-                         static_cast<uint16_t>(coord.colBlock)});
+                if (!(device_mask & (1u << device)))
+                    continue;
+                if (config_.maxObservations != 0 &&
+                    observations_ >= config_.maxObservations) {
+                    ++pending_.droppedObservations;
+                    continue;
                 }
+                const bool inserted =
+                    logs_[{line_dimm, device}]
+                        .cells
+                        .insert({coord.bank, coord.row,
+                                 static_cast<uint16_t>(coord.colBlock)})
+                        .second;
+                if (inserted)
+                    ++observations_;
             }
         });
 
@@ -164,15 +175,33 @@ FaultScrubber::inferAndRepair()
             ++report.faultsRepaired;
     }
     logs_.clear();
+    observations_ = 0;
     pending_ = Report{};
 
     ++totals_.inferPasses;
     totals_.linesScrubbed += report.linesScrubbed;
     totals_.correctedLines += report.correctedLines;
     totals_.uncorrectableLines += report.uncorrectableLines;
+    totals_.droppedObservations += report.droppedObservations;
     totals_.faultsInferred += report.faultsInferred;
     totals_.faultsRepaired += report.faultsRepaired;
     return report;
+}
+
+void
+FaultScrubber::corruptDropObservation(size_t index)
+{
+    for (auto &[key, log] : logs_) {
+        if (index >= log.cells.size()) {
+            index -= log.cells.size();
+            continue;
+        }
+        auto it = log.cells.begin();
+        std::advance(it, index);
+        log.cells.erase(it);
+        --observations_;
+        return;
+    }
 }
 
 void
@@ -192,6 +221,8 @@ FaultScrubber::publishTelemetry(MetricRegistry &registry) const
         static_cast<int64_t>(totals_.faultsInferred));
     registry.gauge("scrubber.faults_repaired").set(
         static_cast<int64_t>(totals_.faultsRepaired));
+    registry.gauge("scrubber.dropped_observations").set(
+        static_cast<int64_t>(totals_.droppedObservations));
 }
 
 } // namespace relaxfault

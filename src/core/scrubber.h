@@ -39,6 +39,13 @@ struct ScrubberConfig
     unsigned rowPromotionThreshold = 4;
     /** Distinct rows on one column block to call it a column fault. */
     unsigned columnPromotionThreshold = 3;
+    /**
+     * Cap on buffered observations between infer passes (hardware error
+     * logs are finite). Observations beyond the cap are dropped and
+     * counted; 0 means unbounded. A dropped observation is re-found by
+     * the next scrub pass — inference converges, it just takes longer.
+     */
+    size_t maxObservations = size_t{1} << 20;
 };
 
 /** Patrol scrubber over a RelaxFaultController. */
@@ -51,6 +58,7 @@ class FaultScrubber
         uint64_t linesScrubbed = 0;
         uint64_t correctedLines = 0;    ///< Lines with >=1 correction.
         uint64_t uncorrectableLines = 0;
+        uint64_t droppedObservations = 0;  ///< Log was at capacity.
         unsigned faultsInferred = 0;
         unsigned faultsRepaired = 0;
     };
@@ -63,6 +71,7 @@ class FaultScrubber
         uint64_t linesScrubbed = 0;
         uint64_t correctedLines = 0;
         uint64_t uncorrectableLines = 0;
+        uint64_t droppedObservations = 0;
         uint64_t faultsInferred = 0;
         uint64_t faultsRepaired = 0;
     };
@@ -87,7 +96,20 @@ class FaultScrubber
     /** Raw observation count (device-level corrected line slices). */
     size_t observationCount() const;
 
+    /** Configured thresholds and caps (audit walks). */
+    const ScrubberConfig &config() const { return config_; }
+
+    /** The report accumulating since the last infer pass. */
+    const Report &pending() const { return pending_; }
+
     const Totals &totals() const { return totals_; }
+
+    /**
+     * Fault-injection backdoor: erase the @p index-th buffered
+     * observation (iteration order of the device logs), modeling a lost
+     * ECC event. Never called by production paths.
+     */
+    void corruptDropObservation(size_t index);
 
     /** Snapshot-publish the cumulative totals as `scrubber.*` gauges. */
     void publishTelemetry(MetricRegistry &registry) const;
@@ -105,6 +127,7 @@ class FaultScrubber
     RelaxFaultController &controller_;
     ScrubberConfig config_;
     std::map<std::pair<unsigned, unsigned>, DeviceLog> logs_;
+    size_t observations_ = 0;  ///< Buffered cells, kept O(1) for the cap.
     Report pending_;
     Totals totals_;
 };

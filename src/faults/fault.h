@@ -48,6 +48,8 @@ struct DevicePart
     unsigned dimm = 0;    ///< Global DIMM (rank) index within the node.
     unsigned device = 0;  ///< Device within the rank.
     FaultRegion region;
+
+    bool operator==(const DevicePart &) const = default;
 };
 
 /**

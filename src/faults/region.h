@@ -36,6 +36,8 @@ struct RowSet
     /** Size of the intersection of two row sets. */
     static uint64_t intersectCount(const RowSet &a, const RowSet &b,
                                    const DramGeometry &geometry);
+
+    bool operator==(const RowSet &) const = default;
 };
 
 /** Set of column-block indices, same structure as RowSet. */
@@ -51,6 +53,8 @@ struct ColSet
     bool contains(uint16_t col) const;
     static uint64_t intersectCount(const ColSet &a, const ColSet &b,
                                    const DramGeometry &geometry);
+
+    bool operator==(const ColSet &) const = default;
 };
 
 /** One cross-product cluster of faulty cells within a device. */
@@ -60,6 +64,8 @@ struct RegionCluster
     RowSet rows;
     ColSet cols;
     uint32_t bitMask = 0xffffffffu; ///< Faulty bits within each slice.
+
+    bool operator==(const RegionCluster &) const = default;
 };
 
 /** Union of clusters describing all cells a fault disables in a device. */
@@ -141,6 +147,12 @@ class FaultRegion
 
     /** True if two slice masks err in at least one common ECC symbol. */
     static bool sharesSymbol(uint32_t mask_a, uint32_t mask_b);
+
+    /** Structural equality (duplicate-fault detection). */
+    bool operator==(const FaultRegion &other) const
+    {
+        return clusters_ == other.clusters_;
+    }
 
   private:
     std::vector<RegionCluster> clusters_;

@@ -1,0 +1,31 @@
+#include "repair/degradation.h"
+
+namespace relaxfault {
+
+const char *
+degradationPolicyName(DegradationPolicy policy)
+{
+    switch (policy) {
+      case DegradationPolicy::RetirePages:
+        return "retire";
+      case DegradationPolicy::CountDue:
+        return "due";
+      case DegradationPolicy::FailStop:
+        return "failstop";
+    }
+    return "due";
+}
+
+std::optional<DegradationPolicy>
+parseDegradationPolicy(const std::string &name)
+{
+    if (name == "retire")
+        return DegradationPolicy::RetirePages;
+    if (name == "due")
+        return DegradationPolicy::CountDue;
+    if (name == "failstop")
+        return DegradationPolicy::FailStop;
+    return std::nullopt;
+}
+
+} // namespace relaxfault

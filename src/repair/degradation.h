@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Graceful-degradation policy for the repair pipeline.
+ *
+ * The paper treats the repair budget as large enough in practice, but a
+ * correlated fault burst (Beigi et al.'s field data) can exhaust the
+ * way/capacity budget, and an audit can find the repair metadata itself
+ * corrupted. This policy makes the resulting behavior explicit and
+ * observable instead of silently dropping coverage:
+ *
+ *  - RetirePages: fall back to OS page retirement for the uncovered
+ *    fault (capacity is lost, but accesses stop hitting bad cells);
+ *  - CountDue: charge the uncovered fault to the DUE accounting and
+ *    carry on (the default — matches the pre-policy behavior where an
+ *    unrepaired fault simply stays exposed);
+ *  - FailStop: halt the node at the first uncovered fault (the
+ *    conservative HPC posture: better a clean crash than silent data
+ *    corruption).
+ */
+
+#ifndef RELAXFAULT_REPAIR_DEGRADATION_H
+#define RELAXFAULT_REPAIR_DEGRADATION_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace relaxfault {
+
+/** What to do when repair cannot cover a fault (budget/audit failure). */
+enum class DegradationPolicy : uint8_t
+{
+    RetirePages,  ///< Fall back to OS page retirement.
+    CountDue,     ///< Count a DUE against the fault and continue.
+    FailStop,     ///< Halt the node (fail-stop containment).
+};
+
+/** Flag spelling of a policy (`--degrade=` value). */
+const char *degradationPolicyName(DegradationPolicy policy);
+
+/** Parse a `--degrade=` value ("retire" | "due" | "failstop"). */
+std::optional<DegradationPolicy>
+parseDegradationPolicy(const std::string &name);
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_REPAIR_DEGRADATION_H

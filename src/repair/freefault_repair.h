@@ -49,6 +49,21 @@ class FreeFaultRepair : public RepairMechanism
     /** Whether the physical line holding @p pa is locked for repair. */
     bool lineRepaired(uint64_t pa) const;
 
+    /** Line-allocation state (audit walks). */
+    const RepairLineTracker &tracker() const { return tracker_; }
+
+    /** LLC set indexing in use (audit recomputes per-set loads). */
+    const SetIndexer &indexer() const { return indexer_; }
+
+    /** Address translation in use (audit rebuilds keys from faults). */
+    const DramAddressMap &addressMap() const { return map_; }
+
+    /**
+     * Fault-injection backdoor: mutable tracker access for the metadata
+     * fault injector. Never called by production paths.
+     */
+    RepairLineTracker &trackerForInjection() { return tracker_; }
+
   private:
     DramAddressMap map_;
     SetIndexer indexer_;

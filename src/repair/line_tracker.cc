@@ -59,6 +59,24 @@ RepairLineTracker::publishSetLoads(Log2Histogram &hist) const
     return occupied;
 }
 
+std::vector<uint64_t>
+RepairLineTracker::sortedKeys() const
+{
+    std::vector<uint64_t> keys(allocated_.begin(), allocated_.end());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+bool
+RepairLineTracker::corruptReplaceKey(uint64_t old_key, uint64_t new_key)
+{
+    if (allocated_.count(old_key) == 0 || allocated_.count(new_key) != 0)
+        return false;
+    allocated_.erase(old_key);
+    allocated_.insert(new_key);
+    return true;
+}
+
 void
 RepairLineTracker::reset()
 {

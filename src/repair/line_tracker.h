@@ -57,6 +57,32 @@ class RepairLineTracker
 
     void reset();
 
+    /** Every allocated key (audit: injectivity/coverage walks). */
+    const std::unordered_set<uint64_t> &allocatedKeys() const
+    {
+        return allocated_;
+    }
+
+    /** Allocated keys in ascending order (deterministic injection). */
+    std::vector<uint64_t> sortedKeys() const;
+
+    /**
+     * Fault-injection backdoor: replace @p old_key with @p new_key in
+     * the allocated-key table only, modeling a bit flip in the repair
+     * tag RAM. Per-set loads and line counts are left untouched (the
+     * hardware counters would not see a tag flip either). Returns false
+     * without changes if @p old_key is absent or @p new_key present.
+     * Never called by production paths.
+     */
+    bool corruptReplaceKey(uint64_t old_key, uint64_t new_key);
+
+    /**
+     * Fault-injection backdoor: overwrite one set's load counter,
+     * modeling a flip in the locked-way accounting. Never called by
+     * production paths.
+     */
+    void corruptSetLoad(uint64_t set, uint16_t value) { load_[set] = value; }
+
   private:
     RepairBudget budget_;
     std::vector<uint16_t> load_;

@@ -95,6 +95,16 @@ class RelaxFaultMap
     unsigned setBits() const { return setBits_; }
     unsigned colGroupBits() const { return colGroupBits_; }
     unsigned rowLowBits() const { return rowLowBits_; }
+
+    /** Width of the repair tag (rowHigh | bank | device | dimm). */
+    unsigned tagBits() const
+    {
+        return rowHighBits_ + dram_.bankBits() + dram_.deviceBits() +
+               indexBits(dram_.dimmsPerNode());
+    }
+
+    /** Geometry the map was built for (audit range checks). */
+    const DramGeometry &geometry() const { return dram_; }
     IndexMode indexMode() const { return mode_; }
     bool xorFoldEnabled() const
     {

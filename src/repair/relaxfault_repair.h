@@ -60,6 +60,31 @@ class RelaxFaultRepair : public RepairMechanism
 
     const RelaxFaultMap &map() const { return map_; }
 
+    /** Line-allocation state (audit walks). */
+    const RepairLineTracker &tracker() const { return tracker_; }
+
+    /** Faulty-bank table bits of one DIMM (audit walks). */
+    uint32_t faultyBankMask(unsigned dimm) const
+    {
+        return faultyBankTable_[dimm];
+    }
+
+    /**
+     * Fault-injection backdoor: mutable tracker access for the metadata
+     * fault injector. Never called by production paths.
+     */
+    RepairLineTracker &trackerForInjection() { return tracker_; }
+
+    /**
+     * Fault-injection backdoor: flip one faulty-bank-table bit,
+     * modeling an SEU in the filter SRAM. Never called by production
+     * paths.
+     */
+    void corruptBankTableBit(unsigned dimm, unsigned bank)
+    {
+        faultyBankTable_[dimm] ^= 1u << bank;
+    }
+
   private:
     DramGeometry dram_;
     RelaxFaultMap map_;

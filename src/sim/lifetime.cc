@@ -4,10 +4,28 @@
 #include <cmath>
 #include <vector>
 
+#include "audit/invariants.h"
 #include "common/log.h"
+#include "dram/address_map.h"
+#include "repair/page_retirement.h"
 #include "telemetry/metrics.h"
 
 namespace relaxfault {
+
+/**
+ * Per-trial invariant-audit accumulator. The auditor itself is shared
+ * and stateless; the counters are folded into `audit.*` telemetry by
+ * the trial loop, never into LifetimeMetrics — auditing cannot change
+ * simulation results.
+ */
+struct TrialAuditState
+{
+    const InvariantAuditor *auditor = nullptr;
+    unsigned everyFaults = 1;   ///< Audit cadence in permanent faults.
+    uint64_t sinceLast = 0;
+    uint64_t checks = 0;
+    uint64_t violations = 0;
+};
 
 LifetimeMetrics &
 LifetimeMetrics::operator+=(const LifetimeMetrics &other)
@@ -20,6 +38,10 @@ LifetimeMetrics::operator+=(const LifetimeMetrics &other)
     repairedFaults += other.repairedFaults;
     permanentFaults += other.permanentFaults;
     fullyRepairedNodes += other.fullyRepairedNodes;
+    budgetExhausted += other.budgetExhausted;
+    degradedToRetirement += other.degradedToRetirement;
+    degradedDues += other.degradedDues;
+    failStops += other.failStops;
     return *this;
 }
 
@@ -34,6 +56,10 @@ LifetimeMetrics::operator/=(double divisor)
     repairedFaults /= divisor;
     permanentFaults /= divisor;
     fullyRepairedNodes /= divisor;
+    budgetExhausted /= divisor;
+    degradedToRetirement /= divisor;
+    degradedDues /= divisor;
+    failStops /= divisor;
     return *this;
 }
 
@@ -48,6 +74,10 @@ LifetimeSummary::addTrial(const LifetimeMetrics &metrics)
     repairedFaults.add(metrics.repairedFaults);
     permanentFaults.add(metrics.permanentFaults);
     fullyRepairedNodes.add(metrics.fullyRepairedNodes);
+    budgetExhausted.add(metrics.budgetExhausted);
+    degradedToRetirement.add(metrics.degradedToRetirement);
+    degradedDues.add(metrics.degradedDues);
+    failStops.add(metrics.failStops);
 }
 
 void
@@ -61,6 +91,10 @@ LifetimeSummary::merge(const LifetimeSummary &other)
     repairedFaults.merge(other.repairedFaults);
     permanentFaults.merge(other.permanentFaults);
     fullyRepairedNodes.merge(other.fullyRepairedNodes);
+    budgetExhausted.merge(other.budgetExhausted);
+    degradedToRetirement.merge(other.degradedToRetirement);
+    degradedDues.merge(other.degradedDues);
+    failStops.merge(other.failStops);
 }
 
 LifetimeSimulator::LifetimeSimulator(const LifetimeConfig &config)
@@ -72,8 +106,10 @@ LifetimeSimulator::LifetimeSimulator(const LifetimeConfig &config)
 void
 LifetimeSimulator::simulateNode(const NodeSample &node,
                                 RepairMechanism *mechanism,
+                                PageRetirement *retirement,
                                 LifetimeMetrics &metrics, Rng &rng,
-                                MetricRegistry *telemetry) const
+                                MetricRegistry *telemetry,
+                                TrialAuditState *audit) const
 {
     if (node.faults.empty())
         return;
@@ -101,13 +137,66 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         size_t faultIndex;
     };
     std::vector<std::vector<LivePart>> active(dimms);
-    std::vector<bool> repaired(node.faults.size(), false);
+    // How each permanent fault is covered. Retired faults stop being
+    // accessed (like repaired ones) but hold no mechanism lines.
+    constexpr uint8_t kUncovered = 0;
+    constexpr uint8_t kByMechanism = 1;
+    constexpr uint8_t kByRetirement = 2;
+    std::vector<uint8_t> covered(node.faults.size(), kUncovered);
     std::vector<bool> multiDevCounted(dimms, false);
 
     bool any_permanent = false;
     bool all_repaired = true;
+    bool failed_stop = false;
     if (mechanism != nullptr)
         mechanism->reset();
+
+    // Degradation after a failed repair attempt. Only the non-default
+    // policies can alter coverage (and thereby results); CountDue just
+    // counts, so the default reproduces the seed behavior exactly.
+    auto degrade = [&](const FaultRecord &fault) -> uint8_t {
+        metrics.budgetExhausted += 1.0;
+        switch (config_.degradation) {
+        case DegradationPolicy::RetirePages:
+            if (retirement != nullptr && retirement->tryRepair(fault)) {
+                metrics.degradedToRetirement += 1.0;
+                return kByRetirement;
+            }
+            metrics.degradedDues += 1.0;
+            return kUncovered;
+        case DegradationPolicy::CountDue:
+            metrics.degradedDues += 1.0;
+            return kUncovered;
+        case DegradationPolicy::FailStop:
+            if (!failed_stop) {
+                failed_stop = true;
+                metrics.failStops += 1.0;
+            }
+            return kUncovered;
+        }
+        return kUncovered;
+    };
+
+    // One audit pass over the mechanism's structures against the faults
+    // it currently covers: mechanism-covered AND still live (a replaced
+    // DIMM's faults left the mechanism with the replacement). Read-only
+    // and RNG-free by construction.
+    auto runAudit = [&]() {
+        if (audit == nullptr || audit->auditor == nullptr ||
+            mechanism == nullptr)
+            return;
+        std::vector<bool> mech_covered(node.faults.size(), false);
+        for (const auto &parts : active) {
+            for (const auto &part : parts) {
+                if (covered[part.faultIndex] == kByMechanism)
+                    mech_covered[part.faultIndex] = true;
+            }
+        }
+        const AuditReport report = audit->auditor->auditMechanism(
+            *mechanism, node.faults, mech_covered);
+        audit->checks += report.checks;
+        audit->violations += report.violations;
+    };
 
     auto replaceDimm = [&](unsigned dimm) {
         metrics.replacements += 1.0;
@@ -119,7 +208,7 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         // mechanism state from the repaired faults still in service.
         mechanism->reset();
         for (size_t idx = 0; idx < node.faults.size(); ++idx) {
-            if (!repaired[idx])
+            if (covered[idx] != kByMechanism)
                 continue;
             bool still_live = false;
             for (const auto &parts : active) {
@@ -133,7 +222,7 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
             if (!still_live)
                 continue;
             if (!mechanism->tryRepair(node.faults[idx]))
-                repaired[idx] = false;
+                covered[idx] = degrade(node.faults[idx]);
         }
     };
 
@@ -166,7 +255,7 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         for (const auto &part : fault.parts) {
             std::vector<ActiveFaultPart> others;
             for (const auto &live : active[part.dimm]) {
-                if (repaired[live.faultIndex])
+                if (covered[live.faultIndex] != kUncovered)
                     continue;
                 others.push_back({live.device, live.region});
             }
@@ -187,11 +276,15 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
 
             const bool fixed =
                 mechanism != nullptr && mechanism->tryRepair(fault);
-            repaired[idx] = fixed;
-            if (fixed)
+            if (fixed) {
+                covered[idx] = kByMechanism;
                 metrics.repairedFaults += 1.0;
-            else
-                all_repaired = false;
+            } else {
+                if (mechanism != nullptr)
+                    covered[idx] = degrade(fault);
+                if (covered[idx] == kUncovered)
+                    all_repaired = false;
+            }
 
             for (const auto &part : fault.parts) {
                 if (!multiDevCounted[part.dimm]) {
@@ -207,13 +300,22 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
                     {part.device, &part.region, idx});
             }
 
-            if (!fixed &&
+            if (covered[idx] == kUncovered &&
                 config_.policy == ReplacePolicy::OnFrequentErrors) {
                 // An unrepaired permanent fault keeps producing corrected
                 // errors; frequent-enough streams trip the threshold.
+                // (A retired fault's frames are unmapped: no stream.)
                 trip_threshold = fault.hardPermanent ||
                     fault.activationRatePerHour >=
                         config_.replBActivationThresholdPerHour;
+            }
+
+            // Cadenced invariant audit after the repair machinery
+            // touched its structures for this fault.
+            if (audit != nullptr &&
+                ++audit->sinceLast >= audit->everyFaults) {
+                audit->sinceLast = 0;
+                runAudit();
             }
         }
 
@@ -221,7 +323,8 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         //     DUE/SDC if an overlapping access beats detection+repair.
         //     SDCs are expectations, so they scale by the probability;
         //     DUEs are events, so the race is sampled.
-        const bool repaired_new = fault.permanent() && repaired[idx];
+        const bool repaired_new =
+            fault.permanent() && covered[idx] != kUncovered;
         if (repaired_new) {
             sdc_expectation *= config_.dueBeforeRepairProb;
             if (due && !rng.bernoulli(config_.dueBeforeRepairProb))
@@ -251,6 +354,11 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
             for (const auto dimm : fault_dimms)
                 replaceDimm(dimm);
         }
+
+        // FailStop: the node is down; no further faults arrive at a
+        // running system. (Only reachable under the FailStop policy.)
+        if (failed_stop)
+            break;
     }
 
     if (any_permanent) {
@@ -261,23 +369,41 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         // repair-resource usage over nodes that actually needed repair.
         if (mechanism != nullptr && telemetry != nullptr)
             mechanism->publishTelemetry(*telemetry);
+        // End-of-node audit: the final resting state of the repair
+        // structures must satisfy every invariant too.
+        runAudit();
     }
 }
 
 LifetimeMetrics
 LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
                                   Rng &rng,
-                                  MetricRegistry *telemetry) const
+                                  MetricRegistry *telemetry,
+                                  TrialAuditState *audit) const
 {
     NodeFaultSampler sampler(config_.faultModel);
     std::unique_ptr<RepairMechanism> mechanism;
     if (factory)
         mechanism = factory();
 
+    // The RetirePages fallback engine; reset per node (its budget is a
+    // per-node capacity cap). No-repair rows degrade nothing, so no
+    // engine is built without a mechanism.
+    std::unique_ptr<PageRetirement> retirement;
+    if (mechanism != nullptr &&
+        config_.degradation == DegradationPolicy::RetirePages) {
+        retirement = std::make_unique<PageRetirement>(
+            DramAddressMap(config_.faultModel.geometry),
+            config_.retirePageBytes, config_.retireMaxBytes);
+    }
+
     LifetimeMetrics metrics;
     for (unsigned n = 0; n < config_.nodesPerSystem; ++n) {
         const NodeSample node = sampler.sampleNode(rng);
-        simulateNode(node, mechanism.get(), metrics, rng, telemetry);
+        if (retirement != nullptr)
+            retirement->reset();
+        simulateNode(node, mechanism.get(), retirement.get(), metrics,
+                     rng, telemetry, audit);
     }
     return metrics;
 }
@@ -326,6 +452,12 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
     Counter *c_repaired = nullptr;
     Counter *c_permanent = nullptr;
     Counter *c_fully_repaired = nullptr;
+    Counter *c_budget_exhausted = nullptr;
+    Counter *c_degraded_retire = nullptr;
+    Counter *c_degraded_dues = nullptr;
+    Counter *c_fail_stops = nullptr;
+    Counter *c_audit_checks = nullptr;
+    Counter *c_audit_violations = nullptr;
     Log2Histogram *h_trial_us = nullptr;
     if (telemetry != nullptr) {
         c_trials = &telemetry->counter("sim.trials");
@@ -339,18 +471,40 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
         c_permanent = &telemetry->counter("sim.permanent_faults");
         c_fully_repaired =
             &telemetry->counter("sim.fully_repaired_nodes");
+        c_budget_exhausted =
+            &telemetry->counter("repair.budget_exhausted");
+        c_degraded_retire =
+            &telemetry->counter("repair.degraded_to_retirement");
+        c_degraded_dues = &telemetry->counter("repair.degraded_dues");
+        c_fail_stops = &telemetry->counter("repair.fail_stops");
+        if (options.audit.enabled) {
+            c_audit_checks = &telemetry->counter("audit.checks");
+            c_audit_violations = &telemetry->counter("audit.violations");
+        }
         h_trial_us = &telemetry->histogram("sim.trial_us");
     }
+
+    // One shared read-only auditor; per-trial accumulators are local to
+    // the trial, so any thread may run any trial.
+    const InvariantAuditor auditor;
 
     parallelFor(
         count,
         [&](size_t begin, size_t end) {
             for (size_t t = begin; t < end; ++t) {
                 Rng trial_rng = Rng::forkAt(seed, first_trial + t);
+                TrialAuditState audit_state;
+                TrialAuditState *audit_ptr = nullptr;
+                if (options.audit.enabled && telemetry != nullptr) {
+                    audit_state.auditor = &auditor;
+                    audit_state.everyFaults =
+                        std::max(1u, options.audit.everyFaults);
+                    audit_ptr = &audit_state;
+                }
                 {
                     ScopedTimer timer(h_trial_us);
-                    per_trial[t] =
-                        runSystemTrial(factory, trial_rng, telemetry);
+                    per_trial[t] = runSystemTrial(factory, trial_rng,
+                                                  telemetry, audit_ptr);
                 }
                 if (telemetry != nullptr) {
                     const LifetimeMetrics &m = per_trial[t];
@@ -378,6 +532,22 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
                     c_fully_repaired->add(
                         static_cast<uint64_t>(
                             std::llround(m.fullyRepairedNodes)));
+                    c_budget_exhausted->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.budgetExhausted)));
+                    c_degraded_retire->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.degradedToRetirement)));
+                    c_degraded_dues->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.degradedDues)));
+                    c_fail_stops->add(
+                        static_cast<uint64_t>(
+                            std::llround(m.failStops)));
+                    if (audit_ptr != nullptr) {
+                        c_audit_checks->add(audit_state.checks);
+                        c_audit_violations->add(audit_state.violations);
+                    }
                 }
                 meter.tick();
             }

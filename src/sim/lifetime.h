@@ -30,12 +30,15 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "faults/fault_model.h"
+#include "repair/degradation.h"
 #include "repair/repair_mechanism.h"
 #include "sim/reliability.h"
 
 namespace relaxfault {
 
 class MetricRegistry;
+class PageRetirement;
+struct TrialAuditState;
 
 /** When DIMMs are replaced. */
 enum class ReplacePolicy : uint8_t
@@ -72,6 +75,21 @@ struct LifetimeConfig
      * reductions.
      */
     double dueBeforeRepairProb = 0.5;
+
+    /**
+     * What happens when the repair mechanism cannot cover a fault
+     * (budget exhausted, or the region exceeds any budget). The
+     * default, CountDue, reproduces the paper's evaluation exactly: the
+     * fault stays unrepaired and is accounted for through the normal
+     * DUE/SDC classification. RetirePages falls back to OS page
+     * retirement; FailStop takes the node down on first exhaustion.
+     * Only the default leaves every original metric untouched.
+     */
+    DegradationPolicy degradation = DegradationPolicy::CountDue;
+    /** OS frame size for the RetirePages fallback. */
+    uint64_t retirePageBytes = 4096;
+    /** Per-node retirement-capacity cap for the RetirePages fallback. */
+    uint64_t retireMaxBytes = 4ull * 1024 * 1024;
 };
 
 /** Aggregate outcomes of one simulated system lifetime. */
@@ -88,6 +106,14 @@ struct LifetimeMetrics
     double fullyRepairedNodes = 0;   ///< Faulty nodes with every
                                      ///< permanent fault repaired.
 
+    // Degradation accounting (all zero under the default CountDue
+    // policy with a mechanism that never exhausts its budget; none of
+    // these feed the original metrics above).
+    double budgetExhausted = 0;      ///< Repair attempts that failed.
+    double degradedToRetirement = 0; ///< Faults absorbed by retirement.
+    double degradedDues = 0;         ///< Faults left to DUE accounting.
+    double failStops = 0;            ///< Nodes taken down by FailStop.
+
     LifetimeMetrics &operator+=(const LifetimeMetrics &other);
     LifetimeMetrics &operator/=(double divisor);
 };
@@ -103,12 +129,31 @@ struct LifetimeSummary
     RunningStat repairedFaults;
     RunningStat permanentFaults;
     RunningStat fullyRepairedNodes;
+    RunningStat budgetExhausted;
+    RunningStat degradedToRetirement;
+    RunningStat degradedDues;
+    RunningStat failStops;
 
     /** Accumulate one trial's metrics. */
     void addTrial(const LifetimeMetrics &metrics);
 
     /** Fold another summary in (Chan's merge, metric by metric). */
     void merge(const LifetimeSummary &other);
+};
+
+/** Invariant-audit cadence during lifetime trials. */
+struct AuditOptions
+{
+    /**
+     * Walk the mechanism's structural invariants during simulation.
+     * The auditor is read-only and consumes no RNG, so enabling it
+     * cannot change any simulation result — outcomes land exclusively
+     * in the `audit.checks` / `audit.violations` telemetry counters.
+     */
+    bool enabled = false;
+
+    /** Audit after every Nth permanent fault of a node (>= 1). */
+    unsigned everyFaults = 1;
 };
 
 /** Execution knobs of a `runTrials` call; never affects its results. */
@@ -130,6 +175,9 @@ struct TrialRunOptions
      * histograms on completion. Null disables all of it.
      */
     MetricRegistry *metrics = nullptr;
+
+    /** Runtime invariant auditing (needs `metrics` for its counters). */
+    AuditOptions audit;
 };
 
 /** Monte Carlo engine over whole-system lifetimes. */
@@ -144,11 +192,13 @@ class LifetimeSimulator
 
     /**
      * Simulate one full system lifetime. A non-null @p metrics receives
-     * the trial mechanism's end-of-trial occupancy telemetry.
+     * the trial mechanism's end-of-trial occupancy telemetry; a
+     * non-null @p audit accumulates invariant-audit outcomes.
      */
     LifetimeMetrics runSystemTrial(const MechanismFactory &factory,
                                    Rng &rng,
-                                   MetricRegistry *metrics = nullptr) const;
+                                   MetricRegistry *metrics = nullptr,
+                                   TrialAuditState *audit = nullptr) const;
 
     /**
      * Run @p trials independent lifetimes in parallel and aggregate.
@@ -183,8 +233,10 @@ class LifetimeSimulator
   private:
     /** Process one node's mission; accumulates into @p metrics. */
     void simulateNode(const NodeSample &node, RepairMechanism *mechanism,
+                      PageRetirement *retirement,
                       LifetimeMetrics &metrics, Rng &rng,
-                      MetricRegistry *telemetry) const;
+                      MetricRegistry *telemetry,
+                      TrialAuditState *audit) const;
 
     LifetimeConfig config_;
     ReliabilityClassifier classifier_;

@@ -23,6 +23,7 @@
 
 #include "campaign/campaign.h"
 #include "campaign/checkpoint.h"
+#include "common/clock.h"
 #include "common/fs.h"
 #include "common/signal_guard.h"
 #include "repair/relaxfault_repair.h"
@@ -77,6 +78,10 @@ expectIdentical(const LifetimeSummary &a, const LifetimeSummary &b)
     expectIdentical(a.repairedFaults, b.repairedFaults);
     expectIdentical(a.permanentFaults, b.permanentFaults);
     expectIdentical(a.fullyRepairedNodes, b.fullyRepairedNodes);
+    expectIdentical(a.budgetExhausted, b.budgetExhausted);
+    expectIdentical(a.degradedToRetirement, b.degradedToRetirement);
+    expectIdentical(a.degradedDues, b.degradedDues);
+    expectIdentical(a.failStops, b.failStops);
 }
 
 /**
@@ -226,7 +231,10 @@ TEST(Checkpoint, WrongSchemaOrKindRejected)
     EXPECT_FALSE(CheckpointLog::parseShardLine(
         R"({"schema":"other.v9","kind":"shard","unit":"u"})", parsed));
     EXPECT_FALSE(CheckpointLog::parseShardLine(
-        R"({"schema":"relaxfault.ckpt.v1","kind":"campaign"})", parsed));
+        R"({"schema":"relaxfault.ckpt.v2","kind":"campaign"})", parsed));
+    EXPECT_FALSE(CheckpointLog::parseShardLine(
+        R"({"schema":"relaxfault.ckpt.v1","kind":"shard","unit":"u"})",
+        parsed));
 }
 
 // ---------------------------------------------------------------------
@@ -497,15 +505,17 @@ TEST(Campaign, FailedShardIsRetriedAndForensicallyLogged)
     constexpr uint64_t kSeed = 11;
 
     unsigned failures_injected = 0;
+    FakeClock clock;
     CampaignOptions options;
     options.checkpointPath = path;
     options.shards = kShards;
     options.maxAttempts = 3;
-    options.retryBackoffMs = 1;
+    options.retryBackoffMs = 50;
+    options.clock = &clock;  // Virtual backoff: no real sleeps.
     options.onShardStart = [&failures_injected](const std::string &,
                                                 unsigned shard,
                                                 unsigned attempt) {
-        if (shard == 1 && attempt == 1) {
+        if (shard == 1 && attempt <= 2) {
             ++failures_injected;
             throw std::runtime_error("injected shard failure");
         }
@@ -515,11 +525,16 @@ TEST(Campaign, FailedShardIsRetriedAndForensicallyLogged)
     const CampaignResult result = runner.runUnit(
         "matrix", simulator, {}, kTrials, kSeed, withThreads(1));
     ASSERT_FALSE(result.interrupted);
-    EXPECT_EQ(failures_injected, 1u);
+    EXPECT_EQ(failures_injected, 2u);
     EXPECT_EQ(result.shardsRun, kShards);
     const ShardRecord *retried = runner.log().find("matrix", 1);
     ASSERT_NE(retried, nullptr);
-    EXPECT_EQ(retried->attempt, 2u);
+    EXPECT_EQ(retried->attempt, 3u);
+
+    // Exponential backoff ran on the injected clock: 50ms then 100ms.
+    ASSERT_EQ(clock.sleeps().size(), 2u);
+    EXPECT_EQ(clock.sleeps()[0], std::chrono::milliseconds(50));
+    EXPECT_EQ(clock.sleeps()[1], std::chrono::milliseconds(100));
 
     // The failure left a forensic shard_failed line in the file.
     std::string content;

@@ -18,6 +18,7 @@
 
 #include "common/bitops.h"
 #include "common/cli.h"
+#include "common/clock.h"
 #include "common/fs.h"
 #include "common/log.h"
 #include "common/signal_guard.h"
@@ -703,6 +704,27 @@ TEST(ProgressMeter, FinishIsIdempotent)
         lines += c == '\n';
     EXPECT_EQ(lines, 1u) << output;
     EXPECT_NE(output.find("done"), std::string::npos);
+}
+
+TEST(Clock, FakeClockAdvancesVirtuallyAndRecordsSleeps)
+{
+    FakeClock clock;
+    const Clock::TimePoint start = clock.now();
+    clock.sleepFor(std::chrono::milliseconds(25));
+    clock.advance(std::chrono::milliseconds(10));
+    clock.sleepFor(std::chrono::milliseconds(40));
+    EXPECT_EQ(clock.elapsedMs(start), 75u);
+    ASSERT_EQ(clock.sleeps().size(), 2u);
+    EXPECT_EQ(clock.sleeps()[0], std::chrono::milliseconds(25));
+    EXPECT_EQ(clock.sleeps()[1], std::chrono::milliseconds(40));
+}
+
+TEST(Clock, SteadyClockIsMonotonic)
+{
+    Clock &clock = Clock::steady();
+    const Clock::TimePoint a = clock.now();
+    const Clock::TimePoint b = clock.now();
+    EXPECT_LE(a, b);
 }
 
 } // namespace

@@ -127,7 +127,37 @@ TEST(FaultLog, TruncatedRecordCounted)
     unsigned malformed = 0;
     const auto restored = readFaultLog(is, &malformed);
     EXPECT_TRUE(restored.empty());
-    EXPECT_EQ(malformed, 1u);
+    // Truncation destroys both the trailing checksum and the record.
+    EXPECT_GE(malformed, 1u);
+}
+
+TEST(FaultLog, ChecksumDetectsBitFlip)
+{
+    std::ostringstream os;
+    writeFaultLog({sampleishFault()}, os);
+    const std::string clean = os.str();
+
+    // Every single-character flip in the body must be detected: either
+    // the checksum mismatches, or the record itself fails to parse.
+    const size_t body_end = clean.rfind("\nchecksum ");
+    ASSERT_NE(body_end, std::string::npos);
+    for (size_t pos = 0; pos < body_end; pos += 7) {
+        std::string damaged = clean;
+        damaged[pos] = static_cast<char>(damaged[pos] ^ 0x08);
+        if (damaged[pos] == '\n' || clean[pos] == '\n')
+            continue;  // Line-structure damage, not a data flip.
+        std::istringstream is(damaged);
+        unsigned malformed = 0;
+        readFaultLog(is, &malformed);
+        EXPECT_GE(malformed, 1u) << "undetected flip at byte " << pos;
+    }
+
+    // And the pristine log still verifies.
+    std::istringstream is(clean);
+    unsigned malformed = 7;
+    const auto restored = readFaultLog(is, &malformed);
+    EXPECT_EQ(malformed, 0u);
+    EXPECT_EQ(restored.size(), 1u);
 }
 
 TEST(FaultLog, RebootRestoresRepairAndData)

@@ -274,7 +274,7 @@ TEST(JsonParser, RejectsTornDocuments)
     // A torn checkpoint line is a prefix of a valid document, or two
     // lines glued together; neither may parse.
     const std::string doc =
-        R"({"schema":"relaxfault.ckpt.v1","trials":[1.5,2.5],"n":3})";
+        R"({"schema":"relaxfault.ckpt.v2","trials":[1.5,2.5],"n":3})";
     ASSERT_TRUE(parseJson(doc).ok);
     for (size_t len = 0; len < doc.size(); ++len)
         EXPECT_FALSE(parseJson(doc.substr(0, len)).ok)

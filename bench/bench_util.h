@@ -22,6 +22,8 @@
 #include "repair/ppr_repair.h"
 #include "repair/relaxfault_repair.h"
 #include "sim/lifetime.h"
+#include "tracing/trace_export.h"
+#include "tracing/tracer.h"
 
 namespace relaxfault::bench {
 
@@ -70,6 +72,83 @@ auditFlag(const CliOptions &options)
     audit.everyFaults = static_cast<unsigned>(
         options.getPositiveInt("audit-every", 1));
     return audit;
+}
+
+/**
+ * Append the tracing flags to a bench's known-options list. Only the
+ * lifetime Monte Carlo benches (Figs. 9, 12, 13, 14) call this —
+ * tracing instruments the trial pipeline, so on every other bench
+ * `--trace` stays an unknown option and CliOptions exits(1). Keep it
+ * that way: a silently ignored `--trace` is a forensics run that
+ * produced no artifact (see also rejectTraceFlags in campaign_flags.h).
+ */
+inline std::vector<std::string>
+withTraceFlags(std::vector<std::string> known)
+{
+    known.insert(known.end(), {"trace", "trace-filter"});
+    return known;
+}
+
+/**
+ * A bench's causal-trace artifact, built from `--trace[=PATH]` and
+ * `--trace-filter=KINDS`. `tracer` is null when tracing is off — wire
+ * `get()` straight into `TrialRunOptions.tracer` and the disabled path
+ * costs one branch per would-be event.
+ */
+struct BenchTrace
+{
+    std::unique_ptr<Tracer> tracer;  ///< Null = tracing off.
+    std::string path;                ///< Aggregate trace output file.
+
+    Tracer *get() const { return tracer.get(); }
+
+    /**
+     * Publish the aggregate trace document (no-op when off). Callers
+     * skip this on an interrupted run, mirroring BenchReport::write —
+     * the per-shard campaign flushes are the partial-run artifact.
+     */
+    void write() const
+    {
+        if (tracer == nullptr)
+            return;
+        if (!writeTraceFile(*tracer, path))
+            fatal("cannot write --trace output file " + path);
+        inform("wrote " + path + " (" +
+               std::to_string(tracer->recorded()) + " events, " +
+               std::to_string(tracer->dropped()) + " dropped)");
+    }
+};
+
+/**
+ * Parse the tracing flags. Bare `--trace` defaults the output to
+ * `TRACE_<bench>.json`; `--trace-filter` without `--trace` is fatal
+ * (a filter with nothing to filter is a typo'd run), as is an unknown
+ * kind name in the filter spec. Tracing never changes results, so —
+ * like auditing — it does not enter campaign fingerprints.
+ */
+inline BenchTrace
+traceFlag(const CliOptions &options, const std::string &bench_name)
+{
+    BenchTrace trace;
+    if (!options.has("trace")) {
+        if (options.has("trace-filter"))
+            fatal("--trace-filter requires --trace (nothing to filter)");
+        return trace;
+    }
+    trace.path = options.getString("trace", "");
+    if (trace.path.empty())
+        trace.path = "TRACE_" + bench_name + ".json";
+    const std::string spec = options.getString("trace-filter", "all");
+    const auto filter = parseTraceFilter(spec);
+    if (!filter.has_value())
+        fatal("--trace-filter=" + spec +
+              " has an unknown event kind (expected a comma-separated "
+              "subset of fault,repair,scrub,budget,degrade,verdict,"
+              "replace,span,heartbeat, or \"all\")");
+    TracerConfig config;
+    config.filter = *filter;
+    trace.tracer = std::make_unique<Tracer>(config);
+    return trace;
 }
 
 /** The paper's LLC: 8MiB, 16-way, 64B lines. */

@@ -58,10 +58,29 @@ campaignFingerprint(const std::string &bench, uint64_t seed,
     return fingerprint;
 }
 
+/**
+ * Hard-reject the tracing flags on a bench with no trace support. The
+ * strict CliOptions parser already exits(1) while `--trace` /
+ * `--trace-filter` stay off such a bench's known list; this guard keeps
+ * that guarantee even if a future edit drifts them into a shared list.
+ * Unlike the campaign flags (warn-ignore below — harmless), a silently
+ * ignored `--trace` means a forensics run that never produces its
+ * artifact, so it is fatal.
+ */
+inline void
+rejectTraceFlags(const CliOptions &options, const std::string &bench)
+{
+    if (options.has("trace") || options.has("trace-filter"))
+        fatal(bench + ": --trace/--trace-filter are not supported here "
+                      "(causal tracing instruments the lifetime Monte "
+                      "Carlo benches: fig09, fig12, fig13, fig14)");
+}
+
 /** For benches with no sharded Monte Carlo: accept but warn-ignore. */
 inline void
 rejectCampaignFlags(const CliOptions &options, const std::string &bench)
 {
+    rejectTraceFlags(options, bench);
     if (options.has("checkpoint") || options.has("resume") ||
         options.has("shards"))
         warn(bench + ": --checkpoint/--resume/--shards have no effect "

@@ -55,6 +55,8 @@ runSweep(const std::vector<std::pair<double, double>> &points,
         const std::string unit =
             (sweep_factor ? "factor-sweep/" : "fraction-sweep/") +
             std::to_string(point_index++);
+        if (run.tracer != nullptr)
+            run.traceUnit = run.tracer->registerUnit(unit);
         const CampaignResult unit_result =
             runner.runUnit(unit, simulator, {}, trials, seed, run);
         if (unit_result.interrupted)
@@ -89,11 +91,11 @@ runSweep(const std::vector<std::pair<double, double>> &points,
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv,
-                             withCampaignFlags({"trials", "seed", "nodes",
-                                                "threads", "progress",
-                                                "json", "audit",
-                                                "audit-every"}));
+    const CliOptions options(
+        argc, argv,
+        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
+                                          "threads", "progress", "json",
+                                          "audit", "audit-every"})));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 909));
@@ -102,12 +104,16 @@ main(int argc, char **argv)
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
+    const BenchTrace trace =
+        traceFlag(options, "fig09_fault_model_sensitivity");
+    run.tracer = trace.get();
     BenchReport report(options, "fig09_fault_model_sensitivity");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
 
-    const CampaignOptions campaign = campaignOptions(options);
+    CampaignOptions campaign = campaignOptions(options);
+    campaign.tracePath = trace.path;
     CampaignRunner runner(
         campaignFingerprint("fig09_fault_model_sensitivity", seed, trials,
                             campaign, "nodes=" + std::to_string(nodes)),
@@ -140,5 +146,6 @@ main(int argc, char **argv)
     if (runner.interrupted())
         return runner.exitStatus();
     report.write();
+    trace.write();
     return 0;
 }

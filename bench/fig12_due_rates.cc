@@ -21,11 +21,12 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv,
-                             withCampaignFlags({"trials", "seed", "nodes",
-                                                "threads", "progress",
-                                                "json", "degrade", "audit",
-                                                "audit-every"}));
+    const CliOptions options(
+        argc, argv,
+        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
+                                          "threads", "progress", "json",
+                                          "degrade", "audit",
+                                          "audit-every"})));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
@@ -35,6 +36,8 @@ main(int argc, char **argv)
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
+    const BenchTrace trace = traceFlag(options, "fig12_due_rates");
+    run.tracer = trace.get();
     BenchReport report(options, "fig12_due_rates");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
@@ -42,8 +45,10 @@ main(int argc, char **argv)
     report.record().setConfig("degrade", degradationPolicyName(degrade));
 
     // The degradation policy changes results, so it is part of the
-    // campaign identity; auditing is observation-only and is not.
-    const CampaignOptions campaign = campaignOptions(options);
+    // campaign identity; auditing and tracing are observation-only and
+    // are not.
+    CampaignOptions campaign = campaignOptions(options);
+    campaign.tracePath = trace.path;
     CampaignRunner runner(
         campaignFingerprint("fig12_due_rates", seed, trials, campaign,
                             "nodes=" + std::to_string(nodes) +
@@ -71,5 +76,6 @@ main(int argc, char **argv)
     if (runner.interrupted())
         return runner.exitStatus();
     report.write();
+    trace.write();
     return 0;
 }

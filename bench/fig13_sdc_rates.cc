@@ -20,11 +20,12 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv,
-                             withCampaignFlags({"trials", "seed", "nodes",
-                                                "threads", "progress",
-                                                "json", "degrade", "audit",
-                                                "audit-every"}));
+    const CliOptions options(
+        argc, argv,
+        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
+                                          "threads", "progress", "json",
+                                          "degrade", "audit",
+                                          "audit-every"})));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1307));
@@ -34,13 +35,16 @@ main(int argc, char **argv)
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
+    const BenchTrace trace = traceFlag(options, "fig13_sdc_rates");
+    run.tracer = trace.get();
     BenchReport report(options, "fig13_sdc_rates");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
     report.record().setConfig("degrade", degradationPolicyName(degrade));
 
-    const CampaignOptions campaign = campaignOptions(options);
+    CampaignOptions campaign = campaignOptions(options);
+    campaign.tracePath = trace.path;
     CampaignRunner runner(
         campaignFingerprint("fig13_sdc_rates", seed, trials, campaign,
                             "nodes=" + std::to_string(nodes) +
@@ -68,5 +72,6 @@ main(int argc, char **argv)
     if (runner.interrupted())
         return runner.exitStatus();
     report.write();
+    trace.write();
     return 0;
 }

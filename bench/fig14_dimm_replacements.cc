@@ -23,11 +23,12 @@ using namespace relaxfault::bench;
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv,
-                             withCampaignFlags({"trials", "seed", "nodes",
-                                                "threads", "progress",
-                                                "json", "degrade", "audit",
-                                                "audit-every"}));
+    const CliOptions options(
+        argc, argv,
+        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
+                                          "threads", "progress", "json",
+                                          "degrade", "audit",
+                                          "audit-every"})));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1408));
@@ -37,13 +38,16 @@ main(int argc, char **argv)
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
+    const BenchTrace trace = traceFlag(options, "fig14_dimm_replacements");
+    run.tracer = trace.get();
     BenchReport report(options, "fig14_dimm_replacements");
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
     report.record().setConfig("degrade", degradationPolicyName(degrade));
 
-    const CampaignOptions campaign = campaignOptions(options);
+    CampaignOptions campaign = campaignOptions(options);
+    campaign.tracePath = trace.path;
     CampaignRunner runner(
         campaignFingerprint("fig14_dimm_replacements", seed, trials,
                             campaign,
@@ -90,5 +94,6 @@ main(int argc, char **argv)
     if (runner.interrupted())
         return runner.exitStatus();
     report.write();
+    trace.write();
     return 0;
 }

@@ -63,20 +63,22 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
     table.setHeader({"mechanism", metric_name, "95%CI", "vs-no-repair"});
     double baseline = 0.0;
     for (const auto &row : rows) {
+        // Units are keyed panel/mechanism so each matrix cell maps to a
+        // stable set of checkpoint shards (and trace unit labels).
+        const std::string unit =
+            panel.empty() ? row.label : panel + "/" + row.label;
         TrialRunOptions run = run_options;
         run.progressLabel = row.label + " trials";
         if (report != nullptr)
             run.metrics = report->metrics();
+        if (run.tracer != nullptr)
+            run.traceUnit = run.tracer->registerUnit(unit);
         const LifetimeSimulator::MechanismFactory factory =
             row.spec.kind == MechanismSpec::Kind::None
                 ? LifetimeSimulator::MechanismFactory{}
                 : makeFactory(row.spec, geometry);
         LifetimeSummary summary;
         if (campaign != nullptr) {
-            // Units are keyed panel/mechanism so each matrix cell maps
-            // to a stable set of checkpoint shards.
-            const std::string unit =
-                panel.empty() ? row.label : panel + "/" + row.label;
             const CampaignResult unit_result = campaign->runUnit(
                 unit, simulator, factory, trials, seed, run);
             if (unit_result.interrupted)

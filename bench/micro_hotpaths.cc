@@ -19,6 +19,7 @@
 #include "repair/relaxfault_map.h"
 #include "repair/relaxfault_repair.h"
 #include "telemetry/metrics.h"
+#include "tracing/tracer.h"
 
 namespace {
 
@@ -190,6 +191,62 @@ BM_TelemetryHistogramRecord(benchmark::State &state)
     benchmark::DoNotOptimize(hist.snapshot().count);
 }
 BENCHMARK(BM_TelemetryHistogramRecord);
+
+void
+BM_TracerDisabledEmit(benchmark::State &state)
+{
+    // tracer_overhead, disabled side: the null-sink branch every
+    // instrumented site pays when tracing is off. The pointer is
+    // volatile so the branch survives optimization, as it does in the
+    // engines (where the sink is a runtime argument).
+    TraceSink *volatile sink = nullptr;
+    uint64_t work = 0;
+    for (auto _ : state) {
+        TraceSink *const s = sink;
+        if (s != nullptr)
+            s->emit(TraceKind::FaultArrival, kFaultSampled, work, 1, 2);
+        benchmark::DoNotOptimize(++work);
+    }
+}
+BENCHMARK(BM_TracerDisabledEmit);
+
+void
+BM_TracerEnabledEmit(benchmark::State &state)
+{
+    // tracer_overhead, enabled side: one 64-byte ring store per event.
+    Tracer tracer;
+    const uint16_t unit = tracer.registerUnit("micro");
+    const TraceShardLease lease(&tracer);
+    TraceSink sink(&tracer, lease.shard(), unit);
+    sink.beginTrial(0);
+    uint64_t work = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sink.emit(TraceKind::FaultArrival, kFaultSampled, work, 1, 2));
+        ++work;
+    }
+}
+BENCHMARK(BM_TracerEnabledEmit);
+
+void
+BM_TracerFilteredEmit(benchmark::State &state)
+{
+    // Enabled tracer, filtered-out kind: the accepts() mask test.
+    TracerConfig config;
+    config.filter = traceKindBit(TraceKind::Verdict);
+    Tracer tracer(config);
+    const uint16_t unit = tracer.registerUnit("micro");
+    const TraceShardLease lease(&tracer);
+    TraceSink sink(&tracer, lease.shard(), unit);
+    sink.beginTrial(0);
+    uint64_t work = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sink.emit(TraceKind::FaultArrival, kFaultSampled, work, 1, 2));
+        ++work;
+    }
+}
+BENCHMARK(BM_TracerFilteredEmit);
 
 } // namespace
 

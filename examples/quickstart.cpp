@@ -7,28 +7,61 @@
  * that the data survives — then prints what the repair cost.
  *
  *   ./examples/quickstart
+ *   ./examples/quickstart --trace            # + causal event timeline
+ *   ./examples/quickstart --trace=repair.json --trace-filter=fault,repair
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 
 #include "common/cli.h"
+#include "common/log.h"
 #include "core/relaxfault_controller.h"
 #include "telemetry/metrics.h"
+#include "tracing/trace_export.h"
+#include "tracing/tracer.h"
 
 using namespace relaxfault;
 
 int
 main(int argc, char **argv)
 {
-    const CliOptions options(argc, argv, {});  // No flags; reject typos.
-    (void)options;
+    // Strict flags: anything besides the tracing pair is a fatal typo.
+    const CliOptions options(argc, argv, {"trace", "trace-filter"});
+
+    // Optional causal trace of everything the controller decides below
+    // (`tools/trace_query <file>` then reconstructs the timeline).
+    std::unique_ptr<Tracer> tracer;
+    std::string trace_path;
+    if (options.has("trace")) {
+        trace_path = options.getString("trace", "");
+        if (trace_path.empty())
+            trace_path = "TRACE_quickstart.json";
+        const std::string spec = options.getString("trace-filter", "all");
+        const auto filter = parseTraceFilter(spec);
+        if (!filter.has_value())
+            fatal("--trace-filter=" + spec + " has an unknown event kind");
+        TracerConfig trace_config;
+        trace_config.filter = *filter;
+        tracer = std::make_unique<Tracer>(trace_config);
+    } else if (options.has("trace-filter")) {
+        fatal("--trace-filter requires --trace (nothing to filter)");
+    }
+    const uint16_t trace_unit =
+        tracer != nullptr ? tracer->registerUnit("quickstart") : 0;
+    const TraceShardLease trace_lease(tracer.get());
+    TraceSink trace_sink(tracer.get(), trace_lease.shard(), trace_unit);
+    TraceSink *const trace =
+        trace_sink.enabled() ? &trace_sink : nullptr;
+
     // A node with the paper's configuration: 4 channels x 2 DIMMs of
     // 18 x4 devices (chipkill), 8MiB 16-way LLC, at most 1 repair way
     // per set and up to 2MiB of repair lines.
     ControllerConfig config;
     RelaxFaultController controller(config);
+    controller.setTraceSink(trace);
 
     // Write a recognizable pattern across one DRAM row.
     LineCoord where;           // channel 0, rank 0, bank 0, row 0.
@@ -87,5 +120,13 @@ main(int argc, char **argv)
     MetricRegistry registry;
     controller.publishTelemetry(registry);
     registry.printSummary(std::cout);
+
+    if (tracer != nullptr) {
+        if (!writeTraceFile(*tracer, trace_path))
+            fatal("cannot write --trace output file " + trace_path);
+        std::printf("\nwrote %s (%llu trace events)\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(tracer->recorded()));
+    }
     return 0;
 }

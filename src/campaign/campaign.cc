@@ -8,6 +8,8 @@
 #include "common/log.h"
 #include "telemetry/metrics.h"
 #include "telemetry/run_record.h"
+#include "tracing/trace_export.h"
+#include "tracing/tracer.h"
 
 namespace relaxfault {
 
@@ -66,14 +68,64 @@ CampaignRunner::runShard(const std::string &unit, unsigned shard,
                 unit + " shard " + std::to_string(shard + 1) + "/" +
                 std::to_string(shards);
 
+            // Like the private registry: a per-attempt tracer, so a
+            // failed attempt leaves no partial events behind and the
+            // flushed shard file carries exactly this shard's timeline.
+            std::unique_ptr<Tracer> shard_tracer;
+            if (run_options.tracer != nullptr) {
+                shard_tracer = std::make_unique<Tracer>(
+                    run_options.tracer->config());
+                const std::vector<std::string> labels =
+                    run_options.tracer->unitLabels();
+                const std::string &label =
+                    run_options.traceUnit < labels.size()
+                        ? labels[run_options.traceUnit]
+                        : unit;
+                shard_options.tracer = shard_tracer.get();
+                shard_options.traceUnit =
+                    shard_tracer->registerUnit(label);
+            }
+
             const Clock::TimePoint start = clock.now();
-            record.trials = simulator.runTrialRange(
-                first, static_cast<unsigned>(end - first), factory, seed,
-                shard_options);
-            record.durationMs = clock.elapsedMs(start);
+            {
+                // Shard heartbeats: a live-status record at start and a
+                // commit record with the wall duration, so trace
+                // forensics can see which shard was in flight when a
+                // campaign died.
+                const TraceShardLease hb_lease(shard_tracer.get());
+                TraceSink heartbeat(shard_tracer.get(),
+                                    hb_lease.shard(),
+                                    shard_options.traceUnit);
+                heartbeat.emitControl(TraceKind::Heartbeat,
+                                      kHeartbeatStart, first,
+                                      end - first, shard, 0);
+                record.trials = simulator.runTrialRange(
+                    first, static_cast<unsigned>(end - first), factory,
+                    seed, shard_options);
+                record.durationMs = clock.elapsedMs(start);
+                heartbeat.emitControl(TraceKind::Heartbeat,
+                                      kHeartbeatCommit, first,
+                                      end - first, shard,
+                                      record.durationMs);
+            }
             record.timestampMs = runTimestampMs();
             if (run_options.metrics != nullptr)
                 record.metrics = shard_metrics.snapshot();
+            if (shard_tracer != nullptr) {
+                // Publish this shard's trace atomically BEFORE the
+                // checkpoint commit: on-disk traces only ever describe
+                // shards the checkpoint will know about.
+                if (!options_.tracePath.empty()) {
+                    const std::string path =
+                        options_.tracePath + "." +
+                        traceSafeFileToken(unit) + ".shard" +
+                        std::to_string(shard) + ".json";
+                    if (!writeTraceFile(*shard_tracer, path))
+                        warn("campaign: failed to write shard trace " +
+                             path);
+                }
+                run_options.tracer->absorb(*shard_tracer);
+            }
             return record;
         } catch (const std::exception &error) {
             log_.noteFailure(unit, shard, attempt, error.what());
@@ -121,6 +173,19 @@ CampaignRunner::runUnit(const std::string &unit,
                 result.summary.addTrial(m);
             if (run_options.metrics != nullptr)
                 run_options.metrics->absorb(committed->metrics);
+            if (run_options.tracer != nullptr) {
+                // The skipped shard's events live in its flushed trace
+                // file from the original run; record the resume itself
+                // so the aggregate timeline shows the gap's provenance.
+                const TraceShardLease lease(run_options.tracer);
+                TraceSink sink(run_options.tracer, lease.shard(),
+                               run_options.traceUnit);
+                sink.emitControl(TraceKind::Heartbeat,
+                                 kHeartbeatResumed,
+                                 committed->firstTrial,
+                                 committed->trials.size(), shard,
+                                 committed->durationMs);
+            }
             ++result.shardsResumed;
             continue;
         }

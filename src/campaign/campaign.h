@@ -53,6 +53,17 @@ struct CampaignOptions
     /** Attempts per shard before giving up (fatal). */
     unsigned maxAttempts = 3;
 
+    /**
+     * Base path for per-shard trace flushes (only meaningful when the
+     * unit's `TrialRunOptions.tracer` is set). Each committed shard's
+     * events are published atomically to
+     * `<tracePath>.<unit>.shard<k>.json` before the checkpoint commit,
+     * so after a crash the trace files on disk always describe
+     * completed shards the checkpoint knows about. Empty keeps traces
+     * in memory only (they still reach the caller's tracer).
+     */
+    std::string tracePath;
+
     /** Backoff before retry r is `retryBackoffMs << (r - 1)`. */
     unsigned retryBackoffMs = 50;
 

@@ -5,6 +5,8 @@
 
 #include "common/log.h"
 #include "telemetry/metrics.h"
+#include "tracing/trace_payloads.h"
+#include "tracing/tracer.h"
 
 namespace relaxfault {
 
@@ -227,14 +229,23 @@ RelaxFaultController::applyDegradation(const FaultRecord &fault)
         // are still bad), it just stops being referenced.
         if (retirement_ != nullptr && retirement_->tryRepair(fault)) {
             ++stats_.degradedToRetirement;
+            if (trace_ != nullptr)
+                trace_->emit(TraceKind::Degradation, kDegradeRetire, 1);
             return;
         }
         ++stats_.degradedDues;
+        if (trace_ != nullptr)
+            trace_->emit(TraceKind::Degradation, kDegradeDue, 0);
         return;
     case DegradationPolicy::CountDue:
         ++stats_.degradedDues;
+        if (trace_ != nullptr)
+            trace_->emit(TraceKind::Degradation, kDegradeDue, 0);
         return;
     case DegradationPolicy::FailStop:
+        if (trace_ != nullptr)
+            trace_->emit(TraceKind::Degradation, kDegradeFailStop,
+                         failedStop_ ? 0 : 1);
         if (!failedStop_) {
             ++stats_.failStops;
             failedStop_ = true;
@@ -248,7 +259,7 @@ RelaxFaultController::requestRepair(const FaultRecord &fault)
 {
     if (failedStop_)
         return false;
-    const bool repaired = repair_.tryRepair(fault);
+    const bool repaired = repair_.tracedRepair(fault, trace_);
     if (!repaired) {
         applyDegradation(fault);
         return false;
@@ -278,6 +289,17 @@ bool
 RelaxFaultController::reportFault(const FaultRecord &fault)
 {
     ++stats_.faultsReported;
+    uint64_t report_id = 0;
+    if (trace_ != nullptr) {
+        trace_->setSimTime(fault.timeHours);
+        report_id = trace_->emit(TraceKind::FaultArrival, kFaultReported,
+                                 static_cast<uint64_t>(fault.mode),
+                                 traceFaultPermanence(fault),
+                                 traceFaultLocation(fault));
+    }
+    // Everything this report triggers — the repair decision and any
+    // degradation — descends from the report's arrival event.
+    const TraceParentScope report_scope(trace_, report_id);
     if (failedStop_)
         return false;
     if (fault.permanent()) {

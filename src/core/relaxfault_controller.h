@@ -45,6 +45,7 @@
 namespace relaxfault {
 
 class MetricRegistry;
+class TraceSink;
 
 /** Static configuration of a RelaxFault node. */
 struct ControllerConfig
@@ -157,6 +158,14 @@ class RelaxFaultController
     void setErrorObserver(ErrorObserver observer);
 
     /**
+     * Install (or clear, with nullptr) the causal trace sink: fault
+     * reports, repair decisions, and degradation actions are recorded
+     * with parent links (see `src/tracing/tracer.h`). Null costs one
+     * branch per reported fault and nothing on the read/write path.
+     */
+    void setTraceSink(TraceSink *trace) { trace_ = trace; }
+
+    /**
      * Snapshot-publish the datapath counters as `controller.*` gauges
      * and the repair engine's occupancy histograms. Publishing reads
      * existing counters — the read/write hot path is untouched, so this
@@ -224,6 +233,7 @@ class RelaxFaultController
     std::unordered_map<uint64_t, RemapLine> remapStore_;
     ControllerStats stats_;
     ErrorObserver errorObserver_;
+    TraceSink *trace_ = nullptr;
     std::unique_ptr<PageRetirement> retirement_;
     bool failedStop_ = false;
 };

@@ -4,6 +4,8 @@
 #include <iterator>
 
 #include "telemetry/metrics.h"
+#include "tracing/trace_payloads.h"
+#include "tracing/tracer.h"
 
 namespace relaxfault {
 
@@ -29,16 +31,30 @@ FaultScrubber::scrub(unsigned channel, unsigned rank, unsigned bank,
     const DramGeometry &geometry = controller_.config().geometry;
     const unsigned dimm = channel * geometry.ranksPerChannel + rank;
     ++totals_.scrubPasses;
+    const TraceSpan pass_span(trace_, TracePhase::ScrubPass);
 
     controller_.setErrorObserver(
         [&](const LineCoord &coord, uint32_t device_mask,
             EccStatus status) {
             if (status == EccStatus::Uncorrectable) {
                 ++pending_.uncorrectableLines;
+                if (trace_ != nullptr)
+                    trace_->emit(TraceKind::ScrubHit,
+                                 kScrubUncorrectable,
+                                 (uint64_t{coord.bank} << 48) |
+                                     (uint64_t{coord.row} << 16) |
+                                     coord.colBlock,
+                                 device_mask, coord.dimm(geometry));
                 return;
             }
             ++pending_.correctedLines;
             const unsigned line_dimm = coord.dimm(geometry);
+            if (trace_ != nullptr)
+                trace_->emit(TraceKind::ScrubHit, kScrubCorrected,
+                             (uint64_t{coord.bank} << 48) |
+                                 (uint64_t{coord.row} << 16) |
+                                 coord.colBlock,
+                             device_mask, line_dimm);
             for (unsigned device = 0;
                  device < geometry.devicesPerRank(); ++device) {
                 if (!(device_mask & (1u << device)))
@@ -152,6 +168,7 @@ FaultScrubber::inferRegion(const DeviceLog &log) const
 FaultScrubber::Report
 FaultScrubber::inferAndRepair()
 {
+    const TraceSpan pass_span(trace_, TracePhase::InferPass);
     Report report = pending_;
     for (const auto &[key, log] : logs_) {
         const auto &[dimm, device] = key;
@@ -171,6 +188,16 @@ FaultScrubber::inferAndRepair()
         fault.parts.push_back({dimm, device, std::move(region)});
 
         ++report.faultsInferred;
+        uint64_t inferred_id = 0;
+        if (trace_ != nullptr)
+            inferred_id =
+                trace_->emit(TraceKind::FaultArrival, kFaultInferred,
+                             static_cast<uint64_t>(fault.mode),
+                             traceFaultPermanence(fault),
+                             traceFaultLocation(fault));
+        // The repair decision (via the controller's shared sink)
+        // chains under the inferred arrival.
+        const TraceParentScope inferred_scope(trace_, inferred_id);
         if (controller_.requestRepair(fault))
             ++report.faultsRepaired;
     }

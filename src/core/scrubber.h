@@ -114,6 +114,14 @@ class FaultScrubber
     /** Snapshot-publish the cumulative totals as `scrubber.*` gauges. */
     void publishTelemetry(MetricRegistry &registry) const;
 
+    /**
+     * Install (or clear, with nullptr) the causal trace sink: scrub
+     * hits, inferred-fault arrivals, and pass timings are recorded.
+     * Pass the same sink as the controller's so repair decisions chain
+     * under the inferred fault that triggered them.
+     */
+    void setTraceSink(TraceSink *trace) { trace_ = trace; }
+
   private:
     /** Key: dimm, device. Value: observed (bank,row,col) cells. */
     struct DeviceLog
@@ -126,6 +134,7 @@ class FaultScrubber
 
     RelaxFaultController &controller_;
     ScrubberConfig config_;
+    TraceSink *trace_ = nullptr;
     std::map<std::pair<unsigned, unsigned>, DeviceLog> logs_;
     size_t observations_ = 0;  ///< Buffered cells, kept O(1) for the cap.
     Report pending_;

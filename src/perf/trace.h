@@ -8,6 +8,11 @@
  * the performance simulator, making experiments reproducible across
  * machines and lettings users drive the Table 3 system with real
  * application traces.
+ *
+ * Naming note: this is the DRAM *access* trace of the performance
+ * simulator. The causal *event* trace of the repair pipeline (what
+ * `--trace` on the lifetime benches produces) is a different artifact —
+ * see `src/tracing/trace_event.h`.
  */
 
 #ifndef RELAXFAULT_PERF_TRACE_H

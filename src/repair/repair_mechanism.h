@@ -22,6 +22,7 @@
 namespace relaxfault {
 
 class MetricRegistry;
+class TraceSink;
 
 /** Resource limits for LLC-based repair (paper: 1/4/16 ways). */
 struct RepairBudget
@@ -65,6 +66,16 @@ class RepairMechanism
      * add per-set load and bank-filter detail.
      */
     virtual void publishTelemetry(MetricRegistry &registry) const;
+
+    /**
+     * tryRepair plus causal tracing: records a RepairDecision event
+     * (occupancy after the attempt, the coalescing outcome in LLC
+     * lines, and the mechanism id) and, on failure, a BudgetExhausted
+     * event, both timed by a RepairAttempt span. A null @p trace is
+     * exactly tryRepair — one branch, no other cost — so the engines
+     * call this unconditionally.
+     */
+    bool tracedRepair(const FaultRecord &fault, TraceSink *trace);
 
     /** LLC bytes locked for repair. */
     uint64_t usedBytes() const { return usedLines() * 64; }

@@ -9,6 +9,8 @@
 #include "dram/address_map.h"
 #include "repair/page_retirement.h"
 #include "telemetry/metrics.h"
+#include "tracing/trace_payloads.h"
+#include "tracing/tracer.h"
 
 namespace relaxfault {
 
@@ -109,7 +111,8 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
                                 PageRetirement *retirement,
                                 LifetimeMetrics &metrics, Rng &rng,
                                 MetricRegistry *telemetry,
-                                TrialAuditState *audit) const
+                                TrialAuditState *audit,
+                                TraceSink *trace) const
 {
     if (node.faults.empty())
         return;
@@ -160,14 +163,24 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         case DegradationPolicy::RetirePages:
             if (retirement != nullptr && retirement->tryRepair(fault)) {
                 metrics.degradedToRetirement += 1.0;
+                if (trace != nullptr)
+                    trace->emit(TraceKind::Degradation, kDegradeRetire,
+                                1);
                 return kByRetirement;
             }
             metrics.degradedDues += 1.0;
+            if (trace != nullptr)
+                trace->emit(TraceKind::Degradation, kDegradeDue, 0);
             return kUncovered;
         case DegradationPolicy::CountDue:
             metrics.degradedDues += 1.0;
+            if (trace != nullptr)
+                trace->emit(TraceKind::Degradation, kDegradeDue, 0);
             return kUncovered;
         case DegradationPolicy::FailStop:
+            if (trace != nullptr)
+                trace->emit(TraceKind::Degradation, kDegradeFailStop,
+                            failed_stop ? 0 : 1);
             if (!failed_stop) {
                 failed_stop = true;
                 metrics.failStops += 1.0;
@@ -202,6 +215,12 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
         metrics.replacements += 1.0;
         replacedOnce[dimm] = true;
         active[dimm].clear();
+        uint64_t replace_id = 0;
+        if (trace != nullptr)
+            replace_id = trace->emit(TraceKind::Replacement, 0, dimm);
+        // Rebuilt repair decisions below become children of the
+        // replacement event, not of the fault that triggered it.
+        const TraceParentScope replace_scope(trace, replace_id);
         if (mechanism == nullptr)
             return;
         // The replaced DIMM's repair lines are released; rebuild the
@@ -221,7 +240,7 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
             }
             if (!still_live)
                 continue;
-            if (!mechanism->tryRepair(node.faults[idx]))
+            if (!mechanism->tracedRepair(node.faults[idx], trace))
                 covered[idx] = degrade(node.faults[idx]);
         }
     };
@@ -245,6 +264,20 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
             if (thinned_away)
                 continue;
         }
+
+        // The fault's arrival event roots this iteration's causal
+        // chain: classification verdicts, the repair decision, and any
+        // degradation or replacement below become its children.
+        uint64_t fault_id = 0;
+        if (trace != nullptr) {
+            trace->setSimTime(fault.timeHours);
+            fault_id = trace->emit(TraceKind::FaultArrival,
+                                   kFaultSampled,
+                                   static_cast<uint64_t>(fault.mode),
+                                   traceFaultPermanence(fault),
+                                   traceFaultLocation(fault));
+        }
+        const TraceParentScope fault_scope(trace, fault_id);
 
         // 1. Classify the new fault against what is already broken and
         //    unrepaired in each rank it touches. Counting is deferred
@@ -274,8 +307,8 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
             any_permanent = true;
             metrics.permanentFaults += 1.0;
 
-            const bool fixed =
-                mechanism != nullptr && mechanism->tryRepair(fault);
+            const bool fixed = mechanism != nullptr &&
+                               mechanism->tracedRepair(fault, trace);
             if (fixed) {
                 covered[idx] = kByMechanism;
                 metrics.repairedFaults += 1.0;
@@ -330,9 +363,17 @@ LifetimeSimulator::simulateNode(const NodeSample &node,
             if (due && !rng.bernoulli(config_.dueBeforeRepairProb))
                 due = false;
         }
-        if (due)
+        if (due) {
             metrics.dues += 1.0;
+            if (trace != nullptr)
+                trace->emit(TraceKind::Verdict, kVerdictDue, 0,
+                            due_dimms.size());
+        }
         metrics.sdcs += sdc_expectation;
+        if (trace != nullptr && sdc_expectation > 0.0)
+            trace->emit(TraceKind::Verdict, kVerdictSdc,
+                        static_cast<uint64_t>(
+                            std::llround(sdc_expectation * 1e6)));
 
         // 3. Replacement policy.
         if (config_.policy == ReplacePolicy::AfterDue && due &&
@@ -379,8 +420,10 @@ LifetimeMetrics
 LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
                                   Rng &rng,
                                   MetricRegistry *telemetry,
-                                  TrialAuditState *audit) const
+                                  TrialAuditState *audit,
+                                  TraceSink *trace) const
 {
+    const TraceSpan trial_span(trace, TracePhase::Trial);
     NodeFaultSampler sampler(config_.faultModel);
     std::unique_ptr<RepairMechanism> mechanism;
     if (factory)
@@ -402,8 +445,10 @@ LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
         const NodeSample node = sampler.sampleNode(rng);
         if (retirement != nullptr)
             retirement->reset();
+        if (trace != nullptr)
+            trace->setNode(n);
         simulateNode(node, mechanism.get(), retirement.get(), metrics,
-                     rng, telemetry, audit);
+                     rng, telemetry, audit, trace);
     }
     return metrics;
 }
@@ -491,8 +536,18 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
     parallelFor(
         count,
         [&](size_t begin, size_t end) {
+            // One shard lease per chunk: the ring is single-writer for
+            // the chunk's lifetime, then returns to the pool. A null
+            // tracer yields a null sink — the fully disabled path.
+            const TraceShardLease trace_lease(options.tracer);
+            TraceSink chunk_sink(options.tracer, trace_lease.shard(),
+                                 options.traceUnit);
+            TraceSink *const sink =
+                chunk_sink.enabled() ? &chunk_sink : nullptr;
             for (size_t t = begin; t < end; ++t) {
                 Rng trial_rng = Rng::forkAt(seed, first_trial + t);
+                if (sink != nullptr)
+                    sink->beginTrial(first_trial + t);
                 TrialAuditState audit_state;
                 TrialAuditState *audit_ptr = nullptr;
                 if (options.audit.enabled && telemetry != nullptr) {
@@ -503,8 +558,9 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
                 }
                 {
                     ScopedTimer timer(h_trial_us);
-                    per_trial[t] = runSystemTrial(factory, trial_rng,
-                                                  telemetry, audit_ptr);
+                    per_trial[t] =
+                        runSystemTrial(factory, trial_rng, telemetry,
+                                       audit_ptr, sink);
                 }
                 if (telemetry != nullptr) {
                     const LifetimeMetrics &m = per_trial[t];

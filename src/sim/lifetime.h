@@ -38,6 +38,8 @@ namespace relaxfault {
 
 class MetricRegistry;
 class PageRetirement;
+class Tracer;
+class TraceSink;
 struct TrialAuditState;
 
 /** When DIMMs are replaced. */
@@ -178,6 +180,19 @@ struct TrialRunOptions
 
     /** Runtime invariant auditing (needs `metrics` for its counters). */
     AuditOptions audit;
+
+    /**
+     * Optional causal event tracer. Each worker leases a bounded event
+     * shard and records fault arrivals, repair decisions, degradation
+     * actions, and DUE/SDC verdicts with trial ids and causal parents.
+     * Null is the disabled path: one predictable branch per would-be
+     * event, and results stay bit-identical to an untraced run (the
+     * tracer never consumes RNG). See `src/tracing/tracer.h`.
+     */
+    Tracer *tracer = nullptr;
+
+    /** Unit id (Tracer::registerUnit) trace events are attributed to. */
+    uint16_t traceUnit = 0;
 };
 
 /** Monte Carlo engine over whole-system lifetimes. */
@@ -198,7 +213,8 @@ class LifetimeSimulator
     LifetimeMetrics runSystemTrial(const MechanismFactory &factory,
                                    Rng &rng,
                                    MetricRegistry *metrics = nullptr,
-                                   TrialAuditState *audit = nullptr) const;
+                                   TrialAuditState *audit = nullptr,
+                                   TraceSink *trace = nullptr) const;
 
     /**
      * Run @p trials independent lifetimes in parallel and aggregate.
@@ -235,8 +251,8 @@ class LifetimeSimulator
     void simulateNode(const NodeSample &node, RepairMechanism *mechanism,
                       PageRetirement *retirement,
                       LifetimeMetrics &metrics, Rng &rng,
-                      MetricRegistry *telemetry,
-                      TrialAuditState *audit) const;
+                      MetricRegistry *telemetry, TrialAuditState *audit,
+                      TraceSink *trace) const;
 
     LifetimeConfig config_;
     ReliabilityClassifier classifier_;

@@ -1,0 +1,209 @@
+#include "tracing/trace_export.h"
+
+#include <sstream>
+
+#include "common/fs.h"
+#include "telemetry/json_reader.h"
+#include "telemetry/json_writer.h"
+#include "tracing/tracer.h"
+
+namespace relaxfault {
+
+namespace {
+
+/** Simulated hours → trace-event `ts` microseconds. */
+double
+tsMicros(double hours)
+{
+    return hours * 3600.0 * 1e6;
+}
+
+void
+writeEvent(JsonWriter &writer, const TraceEvent &event)
+{
+    const bool span = event.kind == TraceKind::Span;
+    writer.beginObject();
+    writer.key("name").value(traceEventName(event.kind, event.sub));
+    writer.key("cat").value(traceKindName(event.kind));
+    if (span) {
+        writer.key("ph").value("X");
+        writer.key("dur").value(static_cast<double>(event.a));
+    } else {
+        writer.key("ph").value("i");
+        writer.key("s").value("t");
+    }
+    writer.key("pid").value(uint64_t{event.unit});
+    writer.key("tid").value(event.trial);
+    writer.key("ts").value(tsMicros(event.timeHours));
+    writer.key("args").beginObject();
+    writer.key("id").value(event.id);
+    writer.key("parent").value(event.parent);
+    writer.key("trial").value(event.trial);
+    writer.key("node").value(uint64_t{event.node});
+    writer.key("sub").value(uint64_t{event.sub});
+    writer.key("a").value(event.a);
+    writer.key("b").value(event.b);
+    writer.key("c").value(event.c);
+    writer.key("t_hours").value(event.timeHours);
+    writer.endObject();
+    writer.endObject();
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+/** Exact u64 from a member; false if absent or not an integer. */
+bool
+readU64(const JsonValue &object, const char *key, uint64_t &out)
+{
+    const JsonValue *member = object.find(key);
+    if (member == nullptr || !member->isNumber())
+        return false;
+    out = member->asUint();
+    return true;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const Tracer &tracer, JsonWriter &writer)
+{
+    const std::vector<std::string> units = tracer.unitLabels();
+    const std::vector<TraceEvent> events = tracer.collect();
+
+    writer.beginObject();
+    writer.key("schema").value(kTraceSchema);
+    writer.key("displayTimeUnit").value("ms");
+    writer.key("otherData").beginObject();
+    writer.key("recorded_events").value(tracer.recorded());
+    writer.key("dropped_events").value(tracer.dropped());
+    writer.key("filter").value(traceFilterSpec(tracer.config().filter));
+    writer.key("units").beginArray();
+    for (const std::string &label : units)
+        writer.value(label);
+    writer.endArray();
+    writer.endObject();
+    writer.key("traceEvents").beginArray();
+    // One process_name metadata record per unit, so Perfetto shows the
+    // experiment-unit label instead of a bare pid.
+    for (size_t i = 0; i < units.size(); ++i) {
+        writer.beginObject();
+        writer.key("name").value("process_name");
+        writer.key("ph").value("M");
+        writer.key("pid").value(static_cast<uint64_t>(i));
+        writer.key("args").beginObject();
+        writer.key("name").value(units[i]);
+        writer.endObject();
+        writer.endObject();
+    }
+    for (const TraceEvent &event : events)
+        writeEvent(writer, event);
+    writer.endArray();
+    writer.endObject();
+}
+
+std::string
+chromeTraceText(const Tracer &tracer)
+{
+    std::ostringstream out;
+    JsonWriter writer(out);
+    writeChromeTrace(tracer, writer);
+    writer.finish();
+    out << '\n';
+    return out.str();
+}
+
+bool
+writeTraceFile(const Tracer &tracer, const std::string &path)
+{
+    return atomicWriteFile(path, chromeTraceText(tracer));
+}
+
+bool
+loadChromeTrace(std::string_view text, LoadedTrace &out,
+                std::string *error)
+{
+    const JsonParseResult parsed = parseJson(text);
+    if (!parsed.ok)
+        return fail(error, "trace parse error: " + parsed.error);
+    const JsonValue &root = parsed.value;
+    if (!root.isObject())
+        return fail(error, "trace root is not an object");
+    const JsonValue *schema = root.find("schema");
+    if (schema == nullptr || !schema->isString() ||
+        schema->string() != kTraceSchema)
+        return fail(error, "missing or unknown trace schema tag");
+
+    out = LoadedTrace{};
+    if (const JsonValue *other = root.find("otherData")) {
+        if (const JsonValue *dropped = other->find("dropped_events"))
+            if (dropped->isNumber())
+                out.droppedEvents = dropped->asUint();
+        if (const JsonValue *units = other->find("units"))
+            if (units->isArray())
+                for (const JsonValue &label : units->array())
+                    if (label.isString())
+                        out.units.push_back(label.string());
+    }
+
+    const JsonValue *events = root.find("traceEvents");
+    if (events == nullptr || !events->isArray())
+        return fail(error, "missing traceEvents array");
+    for (const JsonValue &record : events->array()) {
+        if (!record.isObject())
+            return fail(error, "traceEvents entry is not an object");
+        const JsonValue *ph = record.find("ph");
+        if (ph != nullptr && ph->isString() && ph->string() == "M")
+            continue;  // unit-name metadata, already in `units`
+        const JsonValue *cat = record.find("cat");
+        if (cat == nullptr || !cat->isString())
+            return fail(error, "event record missing cat");
+        const auto kind = parseTraceKind(cat->string());
+        if (!kind)
+            return fail(error, "unknown event cat: " + cat->string());
+        const JsonValue *args = record.find("args");
+        if (args == nullptr || !args->isObject())
+            return fail(error, "event record missing exact args");
+        TraceEvent event;
+        event.kind = *kind;
+        uint64_t node = 0;
+        uint64_t sub = 0;
+        uint64_t unit = 0;
+        if (!readU64(*args, "id", event.id) ||
+            !readU64(*args, "parent", event.parent) ||
+            !readU64(*args, "trial", event.trial) ||
+            !readU64(*args, "node", node) ||
+            !readU64(*args, "sub", sub) ||
+            !readU64(*args, "a", event.a) ||
+            !readU64(*args, "b", event.b) ||
+            !readU64(*args, "c", event.c) ||
+            !readU64(record, "pid", unit))
+            return fail(error, "event args missing exact fields");
+        event.node = static_cast<uint32_t>(node);
+        event.sub = static_cast<uint8_t>(sub);
+        event.unit = static_cast<uint16_t>(unit);
+        const JsonValue *hours = args->find("t_hours");
+        if (hours == nullptr || !hours->isNumber())
+            return fail(error, "event args missing t_hours");
+        event.timeHours = hours->number();
+        out.events.push_back(event);
+    }
+    return true;
+}
+
+bool
+loadChromeTraceFile(const std::string &path, LoadedTrace &out,
+                    std::string *error)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return fail(error, "cannot read trace file: " + path);
+    return loadChromeTrace(text, out, error);
+}
+
+} // namespace relaxfault

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event JSON export and re-import.
+ *
+ * The exported document is the "JSON Object Format" of the Chrome
+ * trace-event spec, so a traced run drops straight into Perfetto /
+ * `chrome://tracing`: instants (`ph:"i"`) for pipeline events, complete
+ * spans (`ph:"X"`) for phase timings, and one `process_name` metadata
+ * record per experiment unit. `pid` is the unit id, `tid` the trial, and
+ * `ts` the simulated mission time in microseconds.
+ *
+ * Every event additionally carries its exact payload in `args`
+ * (id/parent/trial/node/sub/a/b/c plus `t_hours`, the full-precision
+ * timestamp), which is what `loadChromeTrace` reads back — the
+ * round-trip is bit-exact even though `ts` alone would not be.
+ *
+ * Files are published through `atomicWriteFile`, the same crash-safe
+ * path the campaign checkpoints use, so a trace on disk is always a
+ * complete document (a torn write is rejected by the strict parser).
+ */
+
+#ifndef RELAXFAULT_TRACING_TRACE_EXPORT_H
+#define RELAXFAULT_TRACING_TRACE_EXPORT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tracing/trace_event.h"
+
+namespace relaxfault {
+
+class JsonWriter;
+class Tracer;
+
+/** Schema tag of the exported document. */
+inline constexpr const char *kTraceSchema = "relaxfault.trace.v1";
+
+/** Emit the full trace document through @p writer. */
+void writeChromeTrace(const Tracer &tracer, JsonWriter &writer);
+
+/** The trace document as a string. */
+std::string chromeTraceText(const Tracer &tracer);
+
+/**
+ * Publish the trace document to @p path atomically. Returns false on
+ * I/O error (old content, if any, is left intact).
+ */
+bool writeTraceFile(const Tracer &tracer, const std::string &path);
+
+/** A trace read back from its exported form. */
+struct LoadedTrace
+{
+    std::vector<std::string> units;  ///< Labels, indexed by unit id.
+    std::vector<TraceEvent> events;  ///< Sorted as Tracer::collect().
+    uint64_t droppedEvents = 0;      ///< Ring-overwrite losses at export.
+};
+
+/**
+ * Parse an exported trace document. Returns false (and sets @p error
+ * when non-null) on malformed JSON — including a torn/truncated file —
+ * a wrong schema tag, or an event record missing its exact-args block.
+ */
+bool loadChromeTrace(std::string_view text, LoadedTrace &out,
+                     std::string *error = nullptr);
+
+/** Load a trace file from disk via loadChromeTrace. */
+bool loadChromeTraceFile(const std::string &path, LoadedTrace &out,
+                         std::string *error = nullptr);
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TRACING_TRACE_EXPORT_H

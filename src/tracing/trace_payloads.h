@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared payload packing for FaultArrival trace events, used by every
+ * instrumented layer (lifetime engine, controller, scrubber) so
+ * `tools/trace_query` can decode arrivals uniformly.
+ */
+
+#ifndef RELAXFAULT_TRACING_TRACE_PAYLOADS_H
+#define RELAXFAULT_TRACING_TRACE_PAYLOADS_H
+
+#include "faults/fault.h"
+#include "tracing/trace_event.h"
+
+namespace relaxfault {
+
+/** FaultArrival payload c: part count, and part 0's dimm/device. */
+inline uint64_t
+traceFaultLocation(const FaultRecord &fault)
+{
+    uint64_t payload = static_cast<uint64_t>(fault.parts.size()) << 16;
+    if (!fault.parts.empty()) {
+        payload |= (static_cast<uint64_t>(fault.parts[0].dimm) & 0xff)
+                   << 8;
+        payload |= static_cast<uint64_t>(fault.parts[0].device) & 0xff;
+    }
+    return payload;
+}
+
+/** FaultArrival payload b: 0 transient, 1 hard, 2 intermittent. */
+inline uint64_t
+traceFaultPermanence(const FaultRecord &fault)
+{
+    if (!fault.permanent())
+        return 0;
+    return fault.hardPermanent ? 1 : 2;
+}
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TRACING_TRACE_PAYLOADS_H

@@ -5,20 +5,34 @@
  * bank-table + tag test (the per-miss filter), the chipkill codecs, and
  * the coalescer merge. These bound the logic the paper argues is cheap
  * enough to hide under a DRAM access.
+ *
+ * The chipkill/histogram benches run at the active SIMD dispatch level;
+ * pin with `RELAXFAULT_SIMD=scalar|sse2|avx2` to A/B the kernels. The
+ * `...Scalar` variants always run the reference path, so one run of one
+ * binary shows before/after. Unlike the figure benches this main wraps
+ * google-benchmark's, so only `--json[=PATH]` (schema
+ * `relaxfault.bench.v1`, default BENCH_micro.json) is handled here and
+ * everything else is google-benchmark's flag surface.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "cache/cache_geometry.h"
+#include "common/log.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/relaxfault_controller.h"
 #include "dram/address_map.h"
 #include "ecc/chipkill.h"
 #include "repair/relaxfault_map.h"
 #include "repair/relaxfault_repair.h"
 #include "telemetry/metrics.h"
+#include "telemetry/run_record.h"
 #include "tracing/tracer.h"
 
 namespace {
@@ -97,6 +111,7 @@ BENCHMARK(BM_ChipkillEncodeLine);
 void
 BM_ChipkillDecodeFaultyLine(benchmark::State &state)
 {
+    // The production read path: batched decode at the active SIMD level.
     uint8_t data[64] = {1, 2, 3};
     uint8_t clean[72];
     LineCodec::buildLine(data, clean);
@@ -104,10 +119,43 @@ BM_ChipkillDecodeFaultyLine(benchmark::State &state)
     for (auto _ : state) {
         std::memcpy(line, clean, 72);
         line[4 * 5 + 1] ^= 0x3c;  // One faulty device symbol.
-        benchmark::DoNotOptimize(LineCodec::decodeLine(line));
+        benchmark::DoNotOptimize(LineCodec::decodeLineBatched(line));
     }
 }
 BENCHMARK(BM_ChipkillDecodeFaultyLine);
+
+void
+BM_ChipkillDecodeFaultyLineScalar(benchmark::State &state)
+{
+    // The reference path (per-codeword table loops) regardless of the
+    // dispatch level — the in-binary "before" for the batched decode.
+    uint8_t data[64] = {1, 2, 3};
+    uint8_t clean[72];
+    LineCodec::buildLine(data, clean);
+    uint8_t line[72];
+    for (auto _ : state) {
+        std::memcpy(line, clean, 72);
+        line[4 * 5 + 1] ^= 0x3c;
+        benchmark::DoNotOptimize(LineCodec::decodeLine(line));
+    }
+}
+BENCHMARK(BM_ChipkillDecodeFaultyLineScalar);
+
+void
+BM_ChipkillDecodeCleanLine(benchmark::State &state)
+{
+    // The dominant case in a scrub pass: no error, one packed syndrome
+    // check answers for all four codewords.
+    uint8_t data[64] = {1, 2, 3};
+    uint8_t clean[72];
+    LineCodec::buildLine(data, clean);
+    uint8_t line[72];
+    for (auto _ : state) {
+        std::memcpy(line, clean, 72);
+        benchmark::DoNotOptimize(LineCodec::decodeLineBatched(line));
+    }
+}
+BENCHMARK(BM_ChipkillDecodeCleanLine);
 
 void
 BM_CoalescerMerge(benchmark::State &state)
@@ -193,6 +241,29 @@ BM_TelemetryHistogramRecord(benchmark::State &state)
 BENCHMARK(BM_TelemetryHistogramRecord);
 
 void
+BM_TelemetryHistogramRecordBatch(benchmark::State &state)
+{
+    // The lifetime engine's batched fill: stage kCapacity samples, then
+    // one positional recordBatch publish. Reported per sample.
+    MetricRegistry registry;
+    Log2Histogram &hist = registry.histogram("sim.trial_us");
+    uint64_t values[HistogramBatch::kCapacity];
+    uint64_t value = 1;
+    for (auto _ : state) {
+        for (auto &v : values) {
+            v = value;
+            value = (value * 7 + 3) & 0xffff;
+        }
+        hist.recordBatch(values, HistogramBatch::kCapacity);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(HistogramBatch::kCapacity));
+    benchmark::DoNotOptimize(hist.snapshot().count);
+}
+BENCHMARK(BM_TelemetryHistogramRecordBatch);
+
+void
 BM_TracerDisabledEmit(benchmark::State &state)
 {
     // tracer_overhead, disabled side: the null-sink branch every
@@ -248,6 +319,96 @@ BM_TracerFilteredEmit(benchmark::State &state)
 }
 BENCHMARK(BM_TracerFilteredEmit);
 
+/**
+ * Console reporter that also keeps each per-iteration run so main can
+ * emit a `relaxfault.bench.v1` record after the run.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double nsPerOp = 0.0;
+        int64_t iterations = 0;
+    };
+
+    void ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            Row row;
+            row.name = run.run_name.str();
+            row.iterations = run.iterations;
+            if (run.iterations > 0)
+                row.nsPerOp = run.real_accumulated_time * 1e9 /
+                              static_cast<double>(run.iterations);
+            rows_.push_back(std::move(row));
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    const std::vector<Row> &rows() const { return rows_; }
+
+  private:
+    std::vector<Row> rows_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel --json[=PATH] off before google-benchmark sees the argv (its
+    // strict flag parser would reject it); everything else passes
+    // through untouched.
+    std::string json_path;
+    bool json_enabled = false;
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json_enabled = true;
+            continue;
+        }
+        if (arg.rfind("--json=", 0) == 0) {
+            json_enabled = true;
+            json_path = arg.substr(7);
+            continue;
+        }
+        passthrough.push_back(argv[i]);
+    }
+    if (json_enabled && json_path.empty())
+        json_path = "BENCH_micro.json";
+
+    int filtered_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&filtered_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               passthrough.data()))
+        return 1;
+
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    if (json_enabled) {
+        relaxfault::RunRecord record("micro");
+        record.setConfig("simd",
+                         relaxfault::simdLevelName(
+                             relaxfault::activeSimdLevel()));
+        for (const CollectingReporter::Row &row : reporter.rows()) {
+            record.addRow()
+                .set("name", row.name)
+                .set("ns_per_op", row.nsPerOp)
+                .set("iterations", row.iterations);
+        }
+        std::ofstream out(json_path);
+        if (!out)
+            relaxfault::fatal("cannot open --json output file " +
+                              json_path);
+        record.writeJsonLine(out, nullptr);
+        relaxfault::inform("wrote " + json_path);
+    }
+    return 0;
+}

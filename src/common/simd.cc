@@ -1,0 +1,139 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+namespace {
+
+constexpr uint8_t kUninitialized = 0xff;
+
+/** Resolved level; kUninitialized until first use. */
+std::atomic<uint8_t> g_active_level{kUninitialized};
+
+bool
+cpuHasAvx2()
+{
+#if defined(RF_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+/** Level the process starts at: env override, else best supported. */
+SimdLevel
+resolveInitialLevel()
+{
+    const char *env = std::getenv("RELAXFAULT_SIMD");
+    if (env == nullptr || *env == '\0')
+        return bestSimdLevel();
+    const std::optional<SimdLevel> parsed = parseSimdLevel(env);
+    if (!parsed) {
+        fatal(std::string("RELAXFAULT_SIMD=") + env +
+              ": unknown level (expected scalar, sse2, or avx2)");
+    }
+    if (!simdLevelSupported(*parsed)) {
+        fatal(std::string("RELAXFAULT_SIMD=") + env +
+              ": level not supported on this machine");
+    }
+    return *parsed;
+}
+
+/**
+ * Resolve at startup, not first kernel use: a typo'd RELAXFAULT_SIMD
+ * must kill any binary immediately, including ones whose workload never
+ * reaches a dispatched kernel (a statistical-only run would otherwise
+ * silently accept the bad value). fatal() uses fprintf, so it is safe
+ * in a static initializer.
+ */
+const SimdLevel g_startup_level = activeSimdLevel();
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Scalar:
+        return "scalar";
+    case SimdLevel::Sse2:
+        return "sse2";
+    case SimdLevel::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+std::optional<SimdLevel>
+parseSimdLevel(const std::string &name)
+{
+    if (name == "scalar")
+        return SimdLevel::Scalar;
+    if (name == "sse2")
+        return SimdLevel::Sse2;
+    if (name == "avx2")
+        return SimdLevel::Avx2;
+    return std::nullopt;
+}
+
+bool
+simdLevelSupported(SimdLevel level)
+{
+    switch (level) {
+    case SimdLevel::Scalar:
+    case SimdLevel::Sse2:
+        // The SWAR tier is plain 64-bit integer code; always available.
+        return true;
+    case SimdLevel::Avx2:
+        return cpuHasAvx2();
+    }
+    return false;
+}
+
+SimdLevel
+bestSimdLevel()
+{
+    return cpuHasAvx2() ? SimdLevel::Avx2 : SimdLevel::Sse2;
+}
+
+std::vector<SimdLevel>
+supportedSimdLevels()
+{
+    std::vector<SimdLevel> levels{SimdLevel::Scalar, SimdLevel::Sse2};
+    if (simdLevelSupported(SimdLevel::Avx2))
+        levels.push_back(SimdLevel::Avx2);
+    return levels;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    const uint8_t cached = g_active_level.load(std::memory_order_relaxed);
+    if (cached != kUninitialized)
+        return static_cast<SimdLevel>(cached);
+    const SimdLevel initial = resolveInitialLevel();
+    // First resolver wins; racing threads resolve identically anyway
+    // (same env, same CPU).
+    uint8_t expected = kUninitialized;
+    g_active_level.compare_exchange_strong(
+        expected, static_cast<uint8_t>(initial), std::memory_order_relaxed);
+    return static_cast<SimdLevel>(
+        g_active_level.load(std::memory_order_relaxed));
+}
+
+void
+setActiveSimdLevel(SimdLevel level)
+{
+    if (!simdLevelSupported(level)) {
+        fatal(std::string("setActiveSimdLevel(") + simdLevelName(level) +
+              "): level not supported on this machine");
+    }
+    g_active_level.store(static_cast<uint8_t>(level),
+                         std::memory_order_relaxed);
+}
+
+} // namespace relaxfault

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the batched hot-path kernels.
+ *
+ * The decode/encode/histogram hot paths ship one kernel per dispatch
+ * level and pick at runtime: `scalar` is the reference implementation
+ * (bit-for-bit the seed behaviour), `sse2` is the portable 64/128-bit
+ * SWAR tier (SSE2-class on x86, NEON-class on ARM — plain uint64 ops
+ * the baseline ISA covers everywhere), and `avx2` is the 256-bit
+ * bit-sliced tier, compiled in a dedicated `-mavx2` translation unit
+ * and only selectable when the CPU reports AVX2.
+ *
+ * The level is process-global: detected once at startup (best
+ * supported wins), overridable with `RELAXFAULT_SIMD=scalar|sse2|avx2`
+ * for A/B runs and CI, and switchable from tests via
+ * `setActiveSimdLevel` so differential suites can sweep every level in
+ * one process. Every kernel pair is pinned bit-identical by the
+ * `ecc`/`simd`-labeled test suites, so the level never changes results
+ * — only speed.
+ */
+
+#ifndef RELAXFAULT_COMMON_SIMD_H
+#define RELAXFAULT_COMMON_SIMD_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace relaxfault {
+
+/** Dispatch level of the batched kernels, in increasing width. */
+enum class SimdLevel : uint8_t
+{
+    Scalar = 0,  ///< Reference implementation (seed behaviour).
+    Sse2 = 1,    ///< 64/128-bit SWAR tier (SSE2 / NEON class).
+    Avx2 = 2,    ///< 256-bit bit-sliced tier (x86 AVX2 only).
+};
+
+/** Stable lowercase name ("scalar", "sse2", "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/** Parse a level name; nullopt for anything unknown. */
+std::optional<SimdLevel> parseSimdLevel(const std::string &name);
+
+/** True when this build + CPU can execute @p level's kernels. */
+bool simdLevelSupported(SimdLevel level);
+
+/** The widest supported level on this machine. */
+SimdLevel bestSimdLevel();
+
+/** Every supported level, narrowest first (for test sweeps). */
+std::vector<SimdLevel> supportedSimdLevels();
+
+/**
+ * The level the dispatched kernels use right now. First call resolves
+ * it: `RELAXFAULT_SIMD` if set (fatal when unknown or unsupported —
+ * a typo'd A/B run must die loudly, not silently measure the wrong
+ * kernel), otherwise the best supported level.
+ */
+SimdLevel activeSimdLevel();
+
+/** Override the active level (tests); fatal if unsupported. */
+void setActiveSimdLevel(SimdLevel level);
+
+/**
+ * RAII level override for test sweeps: restores the previous level on
+ * scope exit even when an assertion fails out of the block.
+ */
+class ScopedSimdLevel
+{
+  public:
+    explicit ScopedSimdLevel(SimdLevel level) : previous_(activeSimdLevel())
+    {
+        setActiveSimdLevel(level);
+    }
+
+    ~ScopedSimdLevel() { setActiveSimdLevel(previous_); }
+
+    ScopedSimdLevel(const ScopedSimdLevel &) = delete;
+    ScopedSimdLevel &operator=(const ScopedSimdLevel &) = delete;
+
+  private:
+    SimdLevel previous_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_SIMD_H

@@ -90,7 +90,7 @@ RelaxFaultController::fetchAndDecode(const LineCoord &coord,
     }
 
     const LineCodec::LineResult decoded =
-        LineCodec::decodeLineWithErasures(line, erased_devices);
+        LineCodec::decodeLineBatched(line, erased_devices);
     if (count_stats) {
         if (decoded.status == EccStatus::Corrected)
             ++stats_.correctedReads;
@@ -145,7 +145,7 @@ RelaxFaultController::ensureFilled(const RemapUnit &unit)
                         filled_it->second.data() + i * slice_bytes,
                         slice_bytes);
         }
-        LineCodec::decodeLine(line);  // Best-effort correction.
+        LineCodec::decodeLineBatched(line);  // Best-effort correction.
         std::memcpy(filled.data() + i * slice_bytes,
                     line + unit.device * slice_bytes, slice_bytes);
     }
@@ -193,13 +193,19 @@ RelaxFaultController::write(uint64_t pa, const uint8_t data[kLineBytes])
 EccStatus
 RelaxFaultController::read(uint64_t pa, uint8_t data[kLineBytes])
 {
+    return readLine(addressMap_.decode(pa), data);
+}
+
+EccStatus
+RelaxFaultController::readLine(const LineCoord &coord,
+                               uint8_t data[kLineBytes])
+{
     ++stats_.reads;
     if (failedStop_) {
         std::memset(data, 0, kLineBytes);
         ++stats_.uncorrectableReads;
         return EccStatus::Uncorrectable;
     }
-    const LineCoord coord = addressMap_.decode(pa);
     uint8_t line[LineCodec::kLineBytes];
     const EccStatus status = fetchAndDecode(coord, line, true);
     LineCodec::extractData(line, data);

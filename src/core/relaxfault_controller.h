@@ -128,6 +128,14 @@ class RelaxFaultController
     EccStatus read(uint64_t pa, uint8_t data[kLineBytes]);
 
     /**
+     * Read one 64B line by DRAM coordinates, skipping the physical-
+     * address round trip — the scrubber's walk path, which iterates
+     * coordinates directly. Identical outcome and stats to
+     * `read(addressMap().encode(coord), data)`.
+     */
+    EccStatus readLine(const LineCoord &coord, uint8_t data[kLineBytes]);
+
+    /**
      * Report a discovered fault (e.g., from a scrubber or the ECC error
      * path). Permanent faults are injected into the DRAM array and
      * repair is attempted. Returns true if the fault was fully remapped.

@@ -84,8 +84,7 @@ FaultScrubber::scrub(unsigned channel, unsigned rank, unsigned bank,
         coord.row = row_begin + r;
         for (unsigned col = 0; col < geometry.colBlocksPerRow; ++col) {
             coord.colBlock = col;
-            controller_.read(controller_.addressMap().encode(coord),
-                             scratch);
+            controller_.readLine(coord, scratch);
             ++pending_.linesScrubbed;
         }
     }

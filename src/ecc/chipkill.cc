@@ -1,7 +1,9 @@
 #include "ecc/chipkill.h"
 
+#include <bit>
 #include <cstring>
 
+#include "common/simd.h"
 #include "ecc/gf256.h"
 
 namespace relaxfault {
@@ -134,13 +136,34 @@ ChipkillCode::decodeWithErasures(uint8_t codeword[kTotalSymbols],
 void
 LineCodec::encodeLine(uint8_t line[kLineBytes])
 {
-    uint8_t codeword[ChipkillCode::kTotalSymbols];
+    if (activeSimdLevel() == SimdLevel::Scalar) {
+        uint8_t codeword[ChipkillCode::kTotalSymbols];
+        for (unsigned w = 0; w < kCodewordsPerLine; ++w) {
+            for (unsigned d = 0; d < ChipkillCode::kTotalSymbols; ++d)
+                codeword[d] = line[4 * d + w];
+            ChipkillCode::encode(codeword);
+            line[4 * 16 + w] = codeword[16];
+            line[4 * 17 + w] = codeword[17];
+        }
+        return;
+    }
+
+    // Batched: with the check bytes zeroed, the packed syndromes are
+    // exactly the per-codeword data sums A = sum d_i and
+    // B = sum d_i * alpha^i that encode() computes, so one kernel pass
+    // replaces four 16-symbol table loops and only the four c16/c17
+    // solves stay scalar.
+    std::memset(line + kDataBytes, 0, kLineBytes - kDataBytes);
+    const PackedLineSyndromes packed = Gf256Batched::lineSyndromes(line);
+    const uint8_t alpha17 = Gf256::alphaPow(17);
+    const uint8_t denom = Gf256::add(Gf256::alphaPow(16), alpha17);
     for (unsigned w = 0; w < kCodewordsPerLine; ++w) {
-        for (unsigned d = 0; d < ChipkillCode::kTotalSymbols; ++d)
-            codeword[d] = line[4 * d + w];
-        ChipkillCode::encode(codeword);
-        line[4 * 16 + w] = codeword[16];
-        line[4 * 17 + w] = codeword[17];
+        const uint8_t a = static_cast<uint8_t>(packed.s0 >> (8 * w));
+        const uint8_t b = static_cast<uint8_t>(packed.s1 >> (8 * w));
+        const uint8_t c16 =
+            Gf256::div(Gf256::add(b, Gf256::mul(a, alpha17)), denom);
+        line[4 * 16 + w] = c16;
+        line[4 * 17 + w] = Gf256::add(a, c16);
     }
 }
 
@@ -177,6 +200,88 @@ LineCodec::decodeLineWithErasures(uint8_t line[kLineBytes],
           case EccStatus::Uncorrectable:
             result.status = EccStatus::Uncorrectable;
             break;
+        }
+    }
+    return result;
+}
+
+LineCodec::LineResult
+LineCodec::decodeLineBatched(uint8_t line[kLineBytes],
+                             uint32_t erased_device_mask)
+{
+    if (activeSimdLevel() == SimdLevel::Scalar)
+        return decodeLineWithErasures(line, erased_device_mask);
+
+    LineResult result;
+    const unsigned erasures =
+        static_cast<unsigned>(std::popcount(erased_device_mask & 0x3ffffu));
+    if (erasures > 2) {
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+
+    const PackedLineSyndromes packed = Gf256Batched::lineSyndromes(line);
+    if ((packed.s0 | packed.s1) == 0)
+        return result;  // All four codewords clean — the common case.
+
+    unsigned positions[2] = {0, 0};
+    for (unsigned d = 0, found = 0;
+         d < ChipkillCode::kTotalSymbols && found < erasures; ++d) {
+        if (erased_device_mask & (1u << d))
+            positions[found++] = d;
+    }
+
+    // Only faulty codewords reach the per-codeword verdict logic, and a
+    // verdict touches at most two line bytes — no extract/write-back.
+    for (unsigned w = 0; w < kCodewordsPerLine; ++w) {
+        const uint8_t s0 = static_cast<uint8_t>(packed.s0 >> (8 * w));
+        const uint8_t s1 = static_cast<uint8_t>(packed.s1 >> (8 * w));
+        if ((s0 | s1) == 0)
+            continue;
+
+        if (erasures == 0) {
+            if (s0 == 0 || s1 == 0) {
+                result.status = EccStatus::Uncorrectable;
+                continue;
+            }
+            const unsigned position =
+                (Gf256::logAlpha(s1) + 255 - Gf256::logAlpha(s0)) % 255;
+            if (position >= ChipkillCode::kTotalSymbols) {
+                result.status = EccStatus::Uncorrectable;
+                continue;
+            }
+            line[4 * position + w] =
+                Gf256::add(line[4 * position + w], s0);
+            ++result.correctedCodewords;
+            result.correctedDeviceMask |= 1u << position;
+            if (result.status == EccStatus::Ok)
+                result.status = EccStatus::Corrected;
+        } else if (erasures == 1) {
+            const unsigned p = positions[0];
+            if (s0 != 0 && Gf256::mul(s0, Gf256::alphaPow(p)) == s1) {
+                line[4 * p + w] = Gf256::add(line[4 * p + w], s0);
+                ++result.correctedCodewords;
+                result.correctedDeviceMask |= 1u << p;
+                if (result.status == EccStatus::Ok)
+                    result.status = EccStatus::Corrected;
+            } else {
+                result.status = EccStatus::Uncorrectable;
+            }
+        } else {
+            const uint8_t a1 = Gf256::alphaPow(positions[0]);
+            const uint8_t a2 = Gf256::alphaPow(positions[1]);
+            const uint8_t denom = Gf256::add(a1, a2);
+            const uint8_t e1 =
+                Gf256::div(Gf256::add(s1, Gf256::mul(s0, a2)), denom);
+            const uint8_t e2 = Gf256::add(s0, e1);
+            line[4 * positions[0] + w] =
+                Gf256::add(line[4 * positions[0] + w], e1);
+            line[4 * positions[1] + w] =
+                Gf256::add(line[4 * positions[1] + w], e2);
+            ++result.correctedCodewords;
+            result.correctedDeviceMask |= 1u << positions[0];
+            if (result.status == EccStatus::Ok)
+                result.status = EccStatus::Corrected;
         }
     }
     return result;

@@ -110,6 +110,20 @@ class LineCodec
     static LineResult decodeLineWithErasures(uint8_t line[kLineBytes],
                                              uint32_t erased_device_mask);
 
+    /**
+     * Decode all four codewords at once using the batched syndrome
+     * kernel selected by `activeSimdLevel()`. With mask 0 this is the
+     * fast path for plain reads: one packed syndrome pass classifies
+     * the whole line, a clean line costs a single compare, and a faulty
+     * codeword is fixed with an O(1) in-place byte flip — no per-symbol
+     * extract/write-back. Bit-identical to decodeLineWithErasures for
+     * every input (the scalar dispatch level literally calls it; the
+     * vector levels are pinned by the `ecc`/`simd` differential
+     * suites).
+     */
+    static LineResult decodeLineBatched(uint8_t line[kLineBytes],
+                                        uint32_t erased_device_mask = 0);
+
     /** Copy the 64 data bytes out of a 72B stored line. */
     static void extractData(const uint8_t line[kLineBytes],
                             uint8_t data[kDataBytes]);

@@ -1,6 +1,10 @@
 #include "ecc/gf256.h"
 
+#include <array>
+#include <cstring>
+
 #include "common/log.h"
+#include "common/simd.h"
 
 namespace relaxfault {
 
@@ -82,6 +86,116 @@ Gf256::logAlpha(uint8_t a)
     if (a == 0)
         panic("Gf256: log of zero");
     return tables().log[a];
+}
+
+namespace {
+
+inline uint32_t
+load32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline uint64_t
+load64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/**
+ * Per-byte-lane multiply of a packed word by the constant alpha^9 (the
+ * merge factor joining the two 9-device Horner halves): decompose the
+ * constant over the input's bit planes — lane bit b set contributes
+ * alpha^9 * x^b.
+ */
+constexpr std::array<uint32_t, 8> kAlpha9Planes = [] {
+    std::array<uint32_t, 8> planes{};
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        const uint8_t value =
+            gf256ct::mul(gf256ct::alphaPow(9), uint8_t(1u << bit));
+        planes[bit] = value * 0x01010101u;
+    }
+    return planes;
+}();
+
+inline uint32_t
+mulAlpha9Packed(uint32_t lanes)
+{
+    uint32_t product = 0;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        const uint32_t mask = ((lanes >> bit) & 0x01010101u) * 0xffu;
+        product ^= mask & kAlpha9Planes[bit];
+    }
+    return product;
+}
+
+} // namespace
+
+PackedLineSyndromes
+Gf256Batched::lineSyndromesScalar(const uint8_t *line)
+{
+    PackedLineSyndromes result;
+    for (unsigned w = 0; w < 4; ++w) {
+        uint8_t s0 = 0;
+        uint8_t s1 = 0;
+        for (unsigned d = 0; d < 18; ++d) {
+            const uint8_t symbol = line[4 * d + w];
+            s0 = Gf256::add(s0, symbol);
+            s1 = Gf256::add(s1, Gf256::mul(symbol, Gf256::alphaPow(d)));
+        }
+        result.s0 |= uint32_t(s0) << (8 * w);
+        result.s1 |= uint32_t(s1) << (8 * w);
+    }
+    return result;
+}
+
+PackedLineSyndromes
+Gf256Batched::lineSyndromesSwar(const uint8_t *line)
+{
+    PackedLineSyndromes result;
+
+    // S0: XOR-fold the whole line at uint64 granularity (72 = 9 x 8),
+    // then fold the halves; XOR is the field addition.
+    uint64_t fold = 0;
+    for (unsigned i = 0; i < kLineBytes; i += 8)
+        fold ^= load64(line + i);
+    result.s0 = static_cast<uint32_t>(fold) ^
+                static_cast<uint32_t>(fold >> 32);
+
+    // S1: Horner over the 18 devices, split into two 9-step chains that
+    // run in the halves of one uint64 — low covers devices 0-8, high
+    // covers 9-17 (as sum_d line[4(d+9)+w] * alpha^d). mulAlphaPacked's
+    // lane trick never crosses byte lanes, so the halves stay
+    // independent until the alpha^9 merge.
+    uint64_t state = 0;
+    for (int d = 8; d >= 0; --d) {
+        const uint64_t symbols =
+            uint64_t(load32(line + 4 * d)) |
+            (uint64_t(load32(line + 4 * (d + 9))) << 32);
+        state = mulAlphaPacked(state) ^ symbols;
+    }
+    const uint32_t low = static_cast<uint32_t>(state);
+    const uint32_t high = static_cast<uint32_t>(state >> 32);
+    result.s1 = low ^ mulAlpha9Packed(high);
+    return result;
+}
+
+PackedLineSyndromes
+Gf256Batched::lineSyndromes(const uint8_t *line)
+{
+    switch (activeSimdLevel()) {
+    case SimdLevel::Scalar:
+        return lineSyndromesScalar(line);
+    case SimdLevel::Sse2:
+        return lineSyndromesSwar(line);
+    case SimdLevel::Avx2:
+        return lineSyndromesAvx2(line);
+    }
+    return lineSyndromesScalar(line);
 }
 
 } // namespace relaxfault

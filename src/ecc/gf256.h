@@ -3,8 +3,17 @@
  * GF(2^8) arithmetic for the chipkill Reed-Solomon code.
  *
  * Field: polynomial basis over x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the
- * conventional choice. Multiplication and division go through log/exp
- * tables built once at startup.
+ * conventional choice. Scalar multiplication and division go through
+ * log/exp tables built once at startup.
+ *
+ * The batched side (`Gf256Batched`) computes the S0/S1 syndromes of all
+ * four codewords of a 72-byte line at once, table-free: the line layout
+ * stores device d's four codeword symbols contiguously at `line + 4*d`,
+ * so a 32-bit load is one symbol of each codeword and lane-parallel
+ * carry-less arithmetic (SWAR on uint64, bit-sliced AVX2 on ymm)
+ * evaluates four Horner chains for the price of one. Which kernel runs
+ * is picked by `activeSimdLevel()`; all of them are pinned bit-identical
+ * to the scalar reference by the `ecc`/`simd` test suites.
  */
 
 #ifndef RELAXFAULT_ECC_GF256_H
@@ -33,6 +42,102 @@ class Gf256
   private:
     struct Tables;
     static const Tables &tables();
+};
+
+/**
+ * Compile-time GF(2^8) arithmetic (same field as Gf256) for generating
+ * the constant tables the batched kernels bake in. Shift-and-reduce, no
+ * lookup tables, so it runs in constexpr context.
+ */
+namespace gf256ct {
+
+/** Carry-less multiply then reduce mod x^8+x^4+x^3+x^2+1. */
+constexpr uint8_t
+mul(uint8_t a, uint8_t b)
+{
+    unsigned product = 0;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        if (b & (1u << bit))
+            product ^= static_cast<unsigned>(a) << bit;
+    }
+    for (int bit = 14; bit >= 8; --bit) {
+        if (product & (1u << bit))
+            product ^= 0x11du << (bit - 8);
+    }
+    return static_cast<uint8_t>(product);
+}
+
+/** alpha^e for alpha = x = 0x02. */
+constexpr uint8_t
+alphaPow(unsigned exponent)
+{
+    uint8_t value = 1;
+    for (unsigned e = 0; e < exponent % 255; ++e)
+        value = mul(value, 2);
+    return value;
+}
+
+} // namespace gf256ct
+
+/**
+ * Per-codeword syndromes of a 72-byte line, four codewords wide: byte
+ * lane w of each word is codeword w's syndrome. A fault-free line has
+ * s0 == s1 == 0, so `(s0 | s1) == 0` is the one-compare clean-line test.
+ */
+struct PackedLineSyndromes
+{
+    uint32_t s0 = 0;
+    uint32_t s1 = 0;
+};
+
+/**
+ * Batched table-free syndrome kernels over a full 72-byte line.
+ *
+ * Every kernel computes, for each codeword w of the line,
+ *   S0_w = sum_d line[4d+w]  and  S1_w = sum_d line[4d+w] * alpha^d
+ * (sums in GF(2^8)), packed into byte lane w of the result words.
+ * The per-level kernels are exposed individually so the differential
+ * tests can compare them directly; production code calls the
+ * dispatching `lineSyndromes`.
+ */
+class Gf256Batched
+{
+  public:
+    /** A line is 18 devices x 4 codeword symbols. */
+    static constexpr unsigned kLineBytes = 72;
+
+    /** Syndromes at the active SIMD level (see activeSimdLevel()). */
+    static PackedLineSyndromes lineSyndromes(const uint8_t *line);
+
+    /** Reference kernel: per-codeword log/exp-table loops. */
+    static PackedLineSyndromes lineSyndromesScalar(const uint8_t *line);
+
+    /**
+     * SWAR kernel: two 9-device Horner chains packed in one uint64
+     * (devices 0-8 in the low half, 9-17 in the high half), merged with
+     * one constant multiply by alpha^9. Plain integer ops — this is the
+     * sse2/NEON-class tier and runs everywhere.
+     */
+    static PackedLineSyndromes lineSyndromesSwar(const uint8_t *line);
+
+    /**
+     * Bit-sliced AVX2 kernel: 8 constant planes C_b[4d+w] = alpha^d *
+     * x^b; each input bit plane selects its constant plane via byte
+     * masks and the selections XOR-fold to S1. Only callable when
+     * simdLevelSupported(SimdLevel::Avx2); panics otherwise.
+     */
+    static PackedLineSyndromes lineSyndromesAvx2(const uint8_t *line);
+
+    /**
+     * Multiply every byte lane of @p lanes by alpha (the Horner step):
+     * shift each lane left one bit and fold the carried-out x^8 term
+     * back as 0x1d.
+     */
+    static uint64_t mulAlphaPacked(uint64_t lanes)
+    {
+        const uint64_t carries = (lanes >> 7) & 0x0101010101010101ull;
+        return ((lanes & 0x7f7f7f7f7f7f7f7full) << 1) ^ (carries * 0x1d);
+    }
 };
 
 } // namespace relaxfault

@@ -544,6 +544,11 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
                                  options.traceUnit);
             TraceSink *const sink =
                 chunk_sink.enabled() ? &chunk_sink : nullptr;
+            // Per-trial latencies stage in a chunk-local batch and
+            // publish through the positional recordBatch fill — exact
+            // integer adds either way, so the merged histogram stays
+            // bit-identical to per-trial recording.
+            HistogramBatch trial_us_batch(h_trial_us);
             for (size_t t = begin; t < end; ++t) {
                 Rng trial_rng = Rng::forkAt(seed, first_trial + t);
                 if (sink != nullptr)
@@ -557,7 +562,7 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
                     audit_ptr = &audit_state;
                 }
                 {
-                    ScopedTimer timer(h_trial_us);
+                    ScopedTimer timer(&trial_us_batch);
                     per_trial[t] =
                         runSystemTrial(factory, trial_rng, telemetry,
                                        audit_ptr, sink);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/simd.h"
 #include "telemetry/json_writer.h"
 
 namespace relaxfault {
@@ -87,6 +88,44 @@ Log2Histogram::reset()
 }
 
 void
+Log2Histogram::recordBatch(const uint64_t *values, size_t count)
+{
+    if (count == 0)
+        return;
+    if (activeSimdLevel() == SimdLevel::Scalar) {
+        // Reference path: per-sample recording, two atomics each.
+        for (size_t i = 0; i < count; ++i)
+            record(values[i]);
+        return;
+    }
+    // Batched path: positional counting into a local dense array, then
+    // one fetch_add per occupied bucket (and one for the sum). The adds
+    // are the same exact integers in a different order, so the merged
+    // snapshot cannot differ from the reference path.
+    uint64_t local[kBuckets] = {};
+    uint64_t sum = 0;
+    for (size_t i = 0; i < count; ++i) {
+        ++local[bucketOf(values[i])];
+        sum += values[i];
+    }
+    Shard &shard = shards_[detail::telemetryShard()];
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (local[b] != 0)
+            shard.buckets[b].fetch_add(local[b],
+                                       std::memory_order_relaxed);
+    }
+    shard.sum.fetch_add(sum, std::memory_order_relaxed);
+}
+
+void
+HistogramBatch::flush()
+{
+    if (sink_ != nullptr && count_ > 0)
+        sink_->recordBatch(values_.data(), count_);
+    count_ = 0;
+}
+
+void
 Log2Histogram::absorb(const Log2HistogramSnapshot &snapshot)
 {
     Shard &shard = shards_[detail::telemetryShard()];
@@ -168,7 +207,7 @@ MetricsSnapshot::findHistogram(const std::string &name) const
 uint64_t
 ScopedTimer::elapsedUs() const
 {
-    if (sink_ == nullptr)
+    if (sink_ == nullptr && batch_ == nullptr)
         return 0;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     return static_cast<uint64_t>(

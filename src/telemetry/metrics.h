@@ -168,6 +168,17 @@ class Log2Histogram
         shard.sum.fetch_add(value, std::memory_order_relaxed);
     }
 
+    /**
+     * Record @p count observations at once. At the scalar SIMD level
+     * this is exactly the per-sample record() loop; the vector levels
+     * classify the batch into a local dense bucket array first and
+     * publish with one fetch_add per *occupied bucket* plus one for the
+     * sum, instead of two per sample. Every path performs the same
+     * exact integer adds, so the merged snapshot is bit-identical to
+     * per-sample recording (pinned by the telemetry property tests).
+     */
+    void recordBatch(const uint64_t *values, size_t count);
+
     /** Deterministically merged view over all shards. */
     Log2HistogramSnapshot snapshot() const;
 
@@ -186,9 +197,50 @@ class Log2Histogram
 };
 
 /**
+ * Bounded local staging buffer in front of a histogram: values pile up
+ * in plain memory and publish through recordBatch() when the buffer
+ * fills (or on destruction), amortizing the shard atomics over the
+ * batch. Single-owner — one batch per thread/chunk — and a null sink
+ * disables it entirely, mirroring the nullable-registry convention.
+ */
+class HistogramBatch
+{
+  public:
+    static constexpr size_t kCapacity = 256;
+
+    explicit HistogramBatch(Log2Histogram *sink) : sink_(sink) {}
+
+    ~HistogramBatch() { flush(); }
+
+    HistogramBatch(const HistogramBatch &) = delete;
+    HistogramBatch &operator=(const HistogramBatch &) = delete;
+
+    /** Stage one observation (published no later than destruction). */
+    void record(uint64_t value)
+    {
+        if (sink_ == nullptr)
+            return;
+        values_[count_++] = value;
+        if (count_ == kCapacity)
+            flush();
+    }
+
+    /** Publish everything staged so far. */
+    void flush();
+
+    bool enabled() const { return sink_ != nullptr; }
+
+  private:
+    Log2Histogram *sink_;
+    size_t count_ = 0;
+    std::array<uint64_t, kCapacity> values_{};
+};
+
+/**
  * RAII wall-clock timer: records elapsed microseconds into a histogram
- * on destruction. A null sink disables the timer entirely (no clock
- * read), so callers thread one through unconditionally.
+ * (directly, or staged through a HistogramBatch) on destruction. A null
+ * or disabled sink disables the timer entirely (no clock read), so
+ * callers thread one through unconditionally.
  */
 class ScopedTimer
 {
@@ -200,9 +252,21 @@ class ScopedTimer
     {
     }
 
+    /** A literal nullptr sink: fully disabled. */
+    explicit ScopedTimer(std::nullptr_t) : start_{} {}
+
+    explicit ScopedTimer(HistogramBatch *batch)
+        : batch_(batch && batch->enabled() ? batch : nullptr),
+          start_(batch_ ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{})
+    {
+    }
+
     ~ScopedTimer()
     {
-        if (sink_)
+        if (batch_)
+            batch_->record(elapsedUs());
+        else if (sink_)
             sink_->record(elapsedUs());
     }
 
@@ -213,7 +277,8 @@ class ScopedTimer
     uint64_t elapsedUs() const;
 
   private:
-    Log2Histogram *sink_;
+    Log2Histogram *sink_ = nullptr;
+    HistogramBatch *batch_ = nullptr;
     std::chrono::steady_clock::time_point start_;
 };
 

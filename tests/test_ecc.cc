@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "ecc/chipkill.h"
 #include "ecc/gf256.h"
 
@@ -511,6 +513,282 @@ TEST(ChipkillDifferential, CorrectionUniqueWithinDistanceOne)
             referenceDecode(word, /*check_uniqueness=*/true);
         EXPECT_EQ(reference.status, EccStatus::Corrected);
         EXPECT_EQ(reference.position, position);
+    }
+}
+
+TEST(ChipkillDifferential, ExhaustiveSingleSymbolSweepAllSimdLevels)
+{
+    // The 18x255 sweep once more, embedded at line level: every
+    // corruption goes through decodeLineBatched at every supported
+    // dispatch level and must restore the brute-force reference word
+    // bit for bit. The corrupted codeword lane rotates with the error
+    // value so all four lanes see every position.
+    Rng rng(2026);
+    uint8_t data[64];
+    for (auto &byte : data)
+        byte = static_cast<uint8_t>(rng.uniformInt(256));
+    uint8_t base[72];
+    LineCodec::buildLine(data, base);
+
+    const std::vector<SimdLevel> levels = supportedSimdLevels();
+    for (unsigned position = 0; position < 18; ++position) {
+        for (unsigned error = 1; error < 256; ++error) {
+            const unsigned lane = error % 4;
+            uint8_t corrupted[72];
+            std::memcpy(corrupted, base, 72);
+            corrupted[4 * position + lane] ^=
+                static_cast<uint8_t>(error);
+
+            // Brute-force reference on the affected codeword.
+            uint8_t word[18];
+            for (unsigned d = 0; d < 18; ++d)
+                word[d] = corrupted[4 * d + lane];
+            const RefResult reference = referenceDecode(word);
+            ASSERT_EQ(reference.status, EccStatus::Corrected);
+            ASSERT_EQ(reference.position, position);
+
+            for (const SimdLevel level : levels) {
+                ScopedSimdLevel scoped(level);
+                uint8_t line[72];
+                std::memcpy(line, corrupted, 72);
+                const auto result = LineCodec::decodeLineBatched(line);
+                ASSERT_EQ(result.status, EccStatus::Corrected)
+                    << "level " << simdLevelName(level) << " position "
+                    << position << " error " << error;
+                ASSERT_EQ(result.correctedCodewords, 1u);
+                ASSERT_EQ(result.correctedDeviceMask, 1u << position);
+                ASSERT_EQ(std::memcmp(line, base, 72), 0)
+                    << "level " << simdLevelName(level) << " position "
+                    << position << " error " << error;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Erasure decoding against the brute-force reference. Validity is still
+// "re-encode and compare"; the reference searches every assignment of
+// the erased symbols. With one erasure a candidate codeword is unique
+// when it exists (two candidates would be codewords at distance 1);
+// with two erasures exactly one candidate always exists (the two parity
+// constraints in the erased unknowns have a nonsingular 2x2 Vandermonde
+// system) — the reference verifies that uniqueness by exhaustion, which
+// is precisely why two erasures cost all detection margin.
+
+RefResult
+referenceDecodeWithErasures(const uint8_t word[18], uint32_t erasure_mask)
+{
+    RefResult result;
+    std::memcpy(result.corrected, word, 18);
+
+    unsigned positions[2] = {0, 0};
+    unsigned erasures = 0;
+    for (unsigned i = 0; i < 18; ++i) {
+        if (!(erasure_mask & (1u << i)))
+            continue;
+        if (erasures < 2)
+            positions[erasures] = i;
+        ++erasures;
+    }
+    if (erasures == 0)
+        return referenceDecode(word);
+    if (erasures > 2) {
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+
+    unsigned matches = 0;
+    uint8_t found[18] = {};
+    if (erasures == 1) {
+        for (unsigned v = 0; v < 256; ++v) {
+            uint8_t candidate[18];
+            std::memcpy(candidate, word, 18);
+            candidate[positions[0]] = static_cast<uint8_t>(v);
+            if (!refIsCodeword(candidate))
+                continue;
+            ++matches;
+            std::memcpy(found, candidate, 18);
+        }
+        EXPECT_LE(matches, 1u);
+    } else {
+        for (unsigned v1 = 0; v1 < 256; ++v1) {
+            for (unsigned v2 = 0; v2 < 256; ++v2) {
+                uint8_t candidate[18];
+                std::memcpy(candidate, word, 18);
+                candidate[positions[0]] = static_cast<uint8_t>(v1);
+                candidate[positions[1]] = static_cast<uint8_t>(v2);
+                if (!refIsCodeword(candidate))
+                    continue;
+                ++matches;
+                std::memcpy(found, candidate, 18);
+            }
+        }
+        // Nonsingular system: exactly one solution, always.
+        EXPECT_EQ(matches, 1u);
+    }
+
+    if (matches == 0) {
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+    if (std::memcmp(found, word, 18) == 0)
+        return result;  // Erased symbols were consistent: Ok.
+    result.status = EccStatus::Corrected;
+    result.position = positions[0];
+    std::memcpy(result.corrected, found, 18);
+    return result;
+}
+
+TEST(ChipkillErasureDifferential, SingleErasureSweepAgainstReference)
+{
+    // Every erasure position x {clean word, corrupted erased symbol,
+    // corrupted + stray error elsewhere}: production and reference must
+    // agree on verdict and bytes.
+    Rng rng(2027);
+    for (unsigned p = 0; p < 18; ++p) {
+        for (int kind = 0; kind < 3; ++kind) {
+            for (int rep = 0; rep < 8; ++rep) {
+                uint8_t word[18];
+                randomCodeword(rng, word);
+                if (kind >= 1)
+                    word[p] ^=
+                        static_cast<uint8_t>(1 + rng.uniformInt(255));
+                if (kind == 2) {
+                    auto q = static_cast<unsigned>(rng.uniformInt(18));
+                    while (q == p)
+                        q = static_cast<unsigned>(rng.uniformInt(18));
+                    word[q] ^=
+                        static_cast<uint8_t>(1 + rng.uniformInt(255));
+                }
+                const RefResult reference =
+                    referenceDecodeWithErasures(word, 1u << p);
+                uint8_t decoded[18];
+                std::memcpy(decoded, word, 18);
+                const auto result =
+                    ChipkillCode::decodeWithErasures(decoded, 1u << p);
+                ASSERT_EQ(result.status, reference.status)
+                    << "p " << p << " kind " << kind;
+                if (reference.status == EccStatus::Corrected)
+                    EXPECT_EQ(result.correctedSymbol, reference.position);
+                if (reference.status != EccStatus::Uncorrectable)
+                    EXPECT_EQ(
+                        std::memcmp(decoded, reference.corrected, 18), 0);
+            }
+        }
+    }
+}
+
+TEST(ChipkillErasureDifferential, TwoErasuresAgainstReference)
+{
+    // Random erasure pairs, random damage on neither/one/both erased
+    // symbols and occasionally a stray error elsewhere (which two
+    // erasures cannot detect — production and reference must reach the
+    // same unique wrong codeword).
+    Rng rng(2028);
+    for (int iter = 0; iter < 40; ++iter) {
+        uint8_t word[18];
+        randomCodeword(rng, word);
+        const auto p1 = static_cast<unsigned>(rng.uniformInt(18));
+        auto p2 = static_cast<unsigned>(rng.uniformInt(18));
+        while (p2 == p1)
+            p2 = static_cast<unsigned>(rng.uniformInt(18));
+        if (rng.bernoulli(0.7))
+            word[p1] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        if (rng.bernoulli(0.7))
+            word[p2] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        if (rng.bernoulli(0.25)) {
+            auto q = static_cast<unsigned>(rng.uniformInt(18));
+            while (q == p1 || q == p2)
+                q = static_cast<unsigned>(rng.uniformInt(18));
+            word[q] ^= static_cast<uint8_t>(1 + rng.uniformInt(255));
+        }
+        const uint32_t mask = (1u << p1) | (1u << p2);
+        const RefResult reference =
+            referenceDecodeWithErasures(word, mask);
+        uint8_t decoded[18];
+        std::memcpy(decoded, word, 18);
+        const auto result =
+            ChipkillCode::decodeWithErasures(decoded, mask);
+        ASSERT_EQ(result.status, reference.status);
+        if (reference.status == EccStatus::Corrected)
+            EXPECT_EQ(result.correctedSymbol, reference.position);
+        if (reference.status != EccStatus::Uncorrectable)
+            EXPECT_EQ(std::memcmp(decoded, reference.corrected, 18), 0);
+    }
+}
+
+TEST(ChipkillErasureDifferential, LineLevelAllSimdLevelsAgree)
+{
+    // Line-level erasure decoding: the scalar decodeLineWithErasures
+    // verdict/bytes, the batched decode at every dispatch level, and
+    // the per-codeword brute-force reference must all coincide.
+    Rng rng(2029);
+    const std::vector<SimdLevel> levels = supportedSimdLevels();
+    for (int iter = 0; iter < 30; ++iter) {
+        uint8_t data[64];
+        for (auto &byte : data)
+            byte = static_cast<uint8_t>(rng.uniformInt(256));
+        uint8_t line[72];
+        LineCodec::buildLine(data, line);
+
+        const auto p1 = static_cast<unsigned>(rng.uniformInt(18));
+        auto p2 = static_cast<unsigned>(rng.uniformInt(18));
+        while (p2 == p1)
+            p2 = static_cast<unsigned>(rng.uniformInt(18));
+        const uint32_t mask = (1u << p1) | (1u << p2);
+        for (unsigned w = 0; w < 4; ++w) {
+            if (rng.bernoulli(0.6))
+                line[4 * p1 + w] ^=
+                    static_cast<uint8_t>(1 + rng.uniformInt(255));
+            if (rng.bernoulli(0.6))
+                line[4 * p2 + w] ^=
+                    static_cast<uint8_t>(1 + rng.uniformInt(255));
+        }
+
+        // Scalar seed path is the byte-level oracle for the levels.
+        uint8_t expected[72];
+        std::memcpy(expected, line, 72);
+        const auto expected_result =
+            LineCodec::decodeLineWithErasures(expected, mask);
+
+        // Per-codeword reference pins the scalar oracle itself.
+        unsigned ref_corrected = 0;
+        bool ref_unc = false;
+        for (unsigned w = 0; w < 4; ++w) {
+            uint8_t word[18];
+            for (unsigned d = 0; d < 18; ++d)
+                word[d] = line[4 * d + w];
+            const RefResult reference =
+                referenceDecodeWithErasures(word, mask);
+            ref_unc |= reference.status == EccStatus::Uncorrectable;
+            ref_corrected += reference.status == EccStatus::Corrected;
+            if (reference.status != EccStatus::Uncorrectable) {
+                for (unsigned d = 0; d < 18; ++d)
+                    ASSERT_EQ(expected[4 * d + w],
+                              reference.corrected[d]);
+            }
+        }
+        ASSERT_EQ(expected_result.status,
+                  ref_unc ? EccStatus::Uncorrectable
+                          : (ref_corrected > 0 ? EccStatus::Corrected
+                                               : EccStatus::Ok));
+        ASSERT_EQ(expected_result.correctedCodewords, ref_corrected);
+
+        for (const SimdLevel level : levels) {
+            ScopedSimdLevel scoped(level);
+            uint8_t batched[72];
+            std::memcpy(batched, line, 72);
+            const auto result =
+                LineCodec::decodeLineBatched(batched, mask);
+            ASSERT_EQ(result.status, expected_result.status)
+                << "level " << simdLevelName(level);
+            ASSERT_EQ(result.correctedCodewords,
+                      expected_result.correctedCodewords);
+            ASSERT_EQ(result.correctedDeviceMask,
+                      expected_result.correctedDeviceMask);
+            ASSERT_EQ(std::memcmp(batched, expected, 72), 0)
+                << "level " << simdLevelName(level);
+        }
     }
 }
 

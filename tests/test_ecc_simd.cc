@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Fuzz equivalence suite for the SIMD dispatch layer (ctest label
+ * `simd`): random lines x random <=3-symbol error/erasure patterns,
+ * asserting the batched decode's verdicts and corrected bytes are
+ * bit-identical to the scalar reference at every supported dispatch
+ * level, and that the per-level syndrome kernels agree on arbitrary
+ * byte patterns. The scalar reference is the seed implementation, so
+ * green here means the vectorized hot path cannot have changed any
+ * simulator output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "ecc/chipkill.h"
+#include "ecc/gf256.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(SimdDispatch, LevelNamesRoundTrip)
+{
+    for (const SimdLevel level :
+         {SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2}) {
+        const auto parsed = parseSimdLevel(simdLevelName(level));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, level);
+    }
+    EXPECT_FALSE(parseSimdLevel("").has_value());
+    EXPECT_FALSE(parseSimdLevel("avx512").has_value());
+    EXPECT_FALSE(parseSimdLevel("SCALAR").has_value());
+}
+
+TEST(SimdDispatch, SupportedLevelsAreOrderedAndUsable)
+{
+    const std::vector<SimdLevel> levels = supportedSimdLevels();
+    ASSERT_GE(levels.size(), 2u);  // Scalar and SWAR always exist.
+    EXPECT_EQ(levels.front(), SimdLevel::Scalar);
+    for (size_t i = 1; i < levels.size(); ++i)
+        EXPECT_LT(static_cast<int>(levels[i - 1]),
+                  static_cast<int>(levels[i]));
+    for (const SimdLevel level : levels) {
+        EXPECT_TRUE(simdLevelSupported(level));
+        ScopedSimdLevel scoped(level);
+        EXPECT_EQ(activeSimdLevel(), level);
+    }
+    EXPECT_EQ(bestSimdLevel(), levels.back());
+}
+
+TEST(SimdDispatch, ScopedOverrideRestores)
+{
+    const SimdLevel before = activeSimdLevel();
+    {
+        ScopedSimdLevel scoped(SimdLevel::Scalar);
+        EXPECT_EQ(activeSimdLevel(), SimdLevel::Scalar);
+    }
+    EXPECT_EQ(activeSimdLevel(), before);
+}
+
+TEST(SimdSyndromes, KernelsAgreeOnArbitraryBytes)
+{
+    // The syndrome kernels must agree on ANY 72-byte pattern, not just
+    // near-codewords — corrupted lines can be arbitrarily far from the
+    // code space.
+    Rng rng(40);
+    const bool avx2 = simdLevelSupported(SimdLevel::Avx2);
+    for (int iter = 0; iter < 50000; ++iter) {
+        uint8_t line[Gf256Batched::kLineBytes];
+        for (auto &byte : line)
+            byte = static_cast<uint8_t>(rng.uniformInt(256));
+        const PackedLineSyndromes reference =
+            Gf256Batched::lineSyndromesScalar(line);
+        const PackedLineSyndromes swar =
+            Gf256Batched::lineSyndromesSwar(line);
+        ASSERT_EQ(swar.s0, reference.s0) << "iter " << iter;
+        ASSERT_EQ(swar.s1, reference.s1) << "iter " << iter;
+        if (avx2) {
+            const PackedLineSyndromes vec =
+                Gf256Batched::lineSyndromesAvx2(line);
+            ASSERT_EQ(vec.s0, reference.s0) << "iter " << iter;
+            ASSERT_EQ(vec.s1, reference.s1) << "iter " << iter;
+        }
+    }
+}
+
+TEST(SimdSyndromes, CleanLinesHaveZeroSyndromes)
+{
+    Rng rng(41);
+    for (int iter = 0; iter < 2000; ++iter) {
+        uint8_t data[LineCodec::kDataBytes];
+        for (auto &byte : data)
+            byte = static_cast<uint8_t>(rng.uniformInt(256));
+        uint8_t line[LineCodec::kLineBytes];
+        LineCodec::buildLine(data, line);
+        for (const SimdLevel level : supportedSimdLevels()) {
+            ScopedSimdLevel scoped(level);
+            const PackedLineSyndromes packed =
+                Gf256Batched::lineSyndromes(line);
+            ASSERT_EQ(packed.s0 | packed.s1, 0u)
+                << "level " << simdLevelName(level);
+        }
+    }
+}
+
+TEST(SimdSyndromes, MulAlphaPackedMatchesTableMultiply)
+{
+    for (unsigned value = 0; value < 256; ++value) {
+        const uint64_t lanes = 0x0101010101010101ull * value;
+        const uint64_t product = Gf256Batched::mulAlphaPacked(lanes);
+        const uint8_t expected =
+            Gf256::mul(static_cast<uint8_t>(value), 2);
+        for (unsigned lane = 0; lane < 8; ++lane)
+            ASSERT_EQ(static_cast<uint8_t>(product >> (8 * lane)),
+                      expected);
+    }
+}
+
+/**
+ * One fuzz case: a random line with up to 3 corrupted symbols and an
+ * optional erasure mask, decoded by the scalar seed path and by
+ * decodeLineBatched at every supported level. Everything must match:
+ * status, corrected-codeword count, device mask, and all 72 bytes.
+ */
+void
+fuzzDecodeCase(Rng &rng, int iter)
+{
+    uint8_t data[LineCodec::kDataBytes];
+    for (auto &byte : data)
+        byte = static_cast<uint8_t>(rng.uniformInt(256));
+    uint8_t line[LineCodec::kLineBytes];
+    {
+        // Build through the scalar path so every level decodes the
+        // exact same input regardless of encode dispatch.
+        ScopedSimdLevel scoped(SimdLevel::Scalar);
+        LineCodec::buildLine(data, line);
+    }
+
+    const unsigned corruptions = static_cast<unsigned>(rng.uniformInt(4));
+    for (unsigned i = 0; i < corruptions; ++i)
+        line[rng.uniformInt(LineCodec::kLineBytes)] ^=
+            static_cast<uint8_t>(1 + rng.uniformInt(255));
+
+    // Erasure mask: none (plain decode), 1-2 devices (erasure solve),
+    // or occasionally 3+ (must refuse identically). Erased devices
+    // sometimes coincide with the corrupted ones, sometimes not.
+    uint32_t erased = 0;
+    const int mask_kind = static_cast<int>(rng.uniformInt(4));
+    if (mask_kind > 0) {
+        const unsigned devices = static_cast<unsigned>(
+            1 + rng.uniformInt(mask_kind == 3 ? 4 : 2));
+        for (unsigned i = 0; i < devices; ++i)
+            erased |= 1u << rng.uniformInt(18);
+    }
+
+    uint8_t expected[LineCodec::kLineBytes];
+    std::memcpy(expected, line, LineCodec::kLineBytes);
+    LineCodec::LineResult expected_result;
+    {
+        ScopedSimdLevel scoped(SimdLevel::Scalar);
+        expected_result = erased == 0
+            ? LineCodec::decodeLine(expected)
+            : LineCodec::decodeLineWithErasures(expected, erased);
+    }
+
+    for (const SimdLevel level : supportedSimdLevels()) {
+        ScopedSimdLevel scoped(level);
+        uint8_t batched[LineCodec::kLineBytes];
+        std::memcpy(batched, line, LineCodec::kLineBytes);
+        const auto result = LineCodec::decodeLineBatched(batched, erased);
+        ASSERT_EQ(result.status, expected_result.status)
+            << "iter " << iter << " level " << simdLevelName(level)
+            << " erased 0x" << std::hex << erased;
+        ASSERT_EQ(result.correctedCodewords,
+                  expected_result.correctedCodewords)
+            << "iter " << iter << " level " << simdLevelName(level);
+        ASSERT_EQ(result.correctedDeviceMask,
+                  expected_result.correctedDeviceMask)
+            << "iter " << iter << " level " << simdLevelName(level);
+        ASSERT_EQ(
+            std::memcmp(batched, expected, LineCodec::kLineBytes), 0)
+            << "iter " << iter << " level " << simdLevelName(level)
+            << " erased 0x" << std::hex << erased;
+    }
+}
+
+TEST(SimdDecodeFuzz, BatchedMatchesScalarOnRandomPatterns)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 20000; ++iter)
+        fuzzDecodeCase(rng, iter);
+}
+
+TEST(SimdDecodeFuzz, WholeDeviceFailuresAllLevels)
+{
+    // The chipkill headline case: one whole device out, all four
+    // codewords corrected, at every level, for every device.
+    Rng rng(43);
+    for (unsigned device = 0; device < 18; ++device) {
+        uint8_t data[LineCodec::kDataBytes];
+        for (auto &byte : data)
+            byte = static_cast<uint8_t>(rng.uniformInt(256));
+        uint8_t clean[LineCodec::kLineBytes];
+        {
+            ScopedSimdLevel scoped(SimdLevel::Scalar);
+            LineCodec::buildLine(data, clean);
+        }
+        uint8_t corrupted[LineCodec::kLineBytes];
+        std::memcpy(corrupted, clean, LineCodec::kLineBytes);
+        for (unsigned w = 0; w < 4; ++w)
+            corrupted[4 * device + w] ^=
+                static_cast<uint8_t>(1 + rng.uniformInt(255));
+        for (const SimdLevel level : supportedSimdLevels()) {
+            ScopedSimdLevel scoped(level);
+            uint8_t line[LineCodec::kLineBytes];
+            std::memcpy(line, corrupted, LineCodec::kLineBytes);
+            const auto result = LineCodec::decodeLineBatched(line);
+            ASSERT_EQ(result.status, EccStatus::Corrected);
+            ASSERT_EQ(result.correctedCodewords, 4u);
+            ASSERT_EQ(result.correctedDeviceMask, 1u << device);
+            ASSERT_EQ(
+                std::memcmp(line, clean, LineCodec::kLineBytes), 0);
+        }
+    }
+}
+
+TEST(SimdEncodeFuzz, EncodeLineMatchesScalarAtEveryLevel)
+{
+    Rng rng(44);
+    for (int iter = 0; iter < 20000; ++iter) {
+        uint8_t stale[LineCodec::kLineBytes];
+        for (auto &byte : stale)
+            byte = static_cast<uint8_t>(rng.uniformInt(256));
+
+        // Stale garbage in the check bytes must not leak into the
+        // encode result on any path.
+        uint8_t expected[LineCodec::kLineBytes];
+        std::memcpy(expected, stale, LineCodec::kLineBytes);
+        {
+            ScopedSimdLevel scoped(SimdLevel::Scalar);
+            LineCodec::encodeLine(expected);
+        }
+        for (const SimdLevel level : supportedSimdLevels()) {
+            ScopedSimdLevel scoped(level);
+            uint8_t line[LineCodec::kLineBytes];
+            std::memcpy(line, stale, LineCodec::kLineBytes);
+            LineCodec::encodeLine(line);
+            ASSERT_EQ(
+                std::memcmp(line, expected, LineCodec::kLineBytes), 0)
+                << "iter " << iter << " level " << simdLevelName(level);
+        }
+    }
+}
+
+} // namespace
+} // namespace relaxfault

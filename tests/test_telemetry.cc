@@ -17,6 +17,7 @@
 #include "cache/cache_geometry.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/relaxfault_controller.h"
 #include "repair/relaxfault_repair.h"
 #include "sim/lifetime.h"
@@ -120,6 +121,114 @@ TEST(Log2Histogram, ShardedRecordsMergeExactly)
         else
             EXPECT_TRUE(hist.snapshot() == serial);
     }
+}
+
+// ---------------------------------------------------------------------
+// recordBatch is the SIMD-era bulk fill path; its contract is that the
+// merged snapshot is bit-identical to per-sample record() for ANY input
+// distribution at EVERY dispatch level. The adversarial distributions
+// below aim at the bucket classifier's edges (0, max, powers of two)
+// and at the sparse-vs-dense publish strategy (all-same vs all-spread).
+
+/** Snapshot produced by the naive per-sample reference loop. */
+Log2HistogramSnapshot
+referenceFill(const std::vector<uint64_t> &values)
+{
+    Log2Histogram hist;
+    for (const uint64_t value : values)
+        hist.record(value);
+    return hist.snapshot();
+}
+
+void
+expectBatchMatchesReference(const std::vector<uint64_t> &values,
+                            const char *label)
+{
+    const Log2HistogramSnapshot expected = referenceFill(values);
+    for (const SimdLevel level : supportedSimdLevels()) {
+        ScopedSimdLevel scoped(level);
+        Log2Histogram hist;
+        hist.recordBatch(values.data(), values.size());
+        EXPECT_TRUE(hist.snapshot() == expected)
+            << label << " at level " << simdLevelName(level);
+    }
+}
+
+TEST(Log2HistogramBatch, AdversarialDistributionsMatchNaiveLoop)
+{
+    expectBatchMatchesReference({}, "empty");
+    expectBatchMatchesReference(std::vector<uint64_t>(1000, 0), "all-zero");
+    expectBatchMatchesReference(
+        std::vector<uint64_t>(1000, ~uint64_t{0}), "all-max");
+
+    // Every power-of-two edge: 2^k - 1, 2^k, 2^k + 1 for k = 0..63.
+    // These straddle bucket boundaries, where a vectorized classifier
+    // would be most likely to be off by one.
+    std::vector<uint64_t> edges;
+    for (unsigned k = 0; k < 64; ++k) {
+        const uint64_t pow2 = uint64_t{1} << k;
+        edges.push_back(pow2 - 1);
+        edges.push_back(pow2);
+        edges.push_back(pow2 + 1);
+    }
+    expectBatchMatchesReference(edges, "power-of-two-edges");
+
+    // Single-bucket spike (sparse publish: one occupied bucket) and a
+    // full 64-bit spread (dense publish: most buckets occupied).
+    expectBatchMatchesReference(std::vector<uint64_t>(777, 42), "spike");
+    Rng rng(51);
+    std::vector<uint64_t> spread;
+    for (int i = 0; i < 4096; ++i)
+        spread.push_back(rng.next() >> rng.uniformInt(64));
+    expectBatchMatchesReference(spread, "random-spread");
+}
+
+TEST(Log2HistogramBatch, SumOverflowWrapsIdentically)
+{
+    // Two max values overflow the uint64 sum; the wrapped result must
+    // be the same wrapped result the per-sample loop produces.
+    expectBatchMatchesReference(
+        {~uint64_t{0}, ~uint64_t{0}, 5}, "sum-overflow");
+}
+
+TEST(HistogramBatch, StagesAndFlushesThroughRecordBatch)
+{
+    MetricRegistry registry;
+    Log2Histogram &hist = registry.histogram("test.batched");
+    const size_t total = HistogramBatch::kCapacity * 2 + 17;
+    Log2Histogram reference;
+    {
+        HistogramBatch batch(&hist);
+        EXPECT_TRUE(batch.enabled());
+        for (size_t i = 0; i < total; ++i) {
+            batch.record(i * 37);
+            reference.record(i * 37);
+        }
+        // Everything before the last partial buffer is already visible.
+        EXPECT_GE(hist.snapshot().count, HistogramBatch::kCapacity * 2);
+    }  // Destructor flushes the tail.
+    EXPECT_TRUE(hist.snapshot() == reference.snapshot());
+}
+
+TEST(HistogramBatch, NullSinkIsDisabledAndFree)
+{
+    HistogramBatch batch(nullptr);
+    EXPECT_FALSE(batch.enabled());
+    for (int i = 0; i < 10000; ++i)
+        batch.record(i);  // Must not touch the (absent) staging buffer.
+    { ScopedTimer timer(&batch); }  // Disabled batch disables the timer.
+}
+
+TEST(ScopedTimer, RecordsThroughHistogramBatch)
+{
+    MetricRegistry registry;
+    Log2Histogram &hist = registry.histogram("test.timer_batch");
+    {
+        HistogramBatch batch(&hist);
+        { ScopedTimer timer(&batch); }
+        { ScopedTimer timer(&batch); }
+    }
+    EXPECT_EQ(hist.snapshot().count, 2u);
 }
 
 TEST(MetricRegistry, LookupIsStableAndIdempotent)

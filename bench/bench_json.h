@@ -17,8 +17,11 @@
 #include <fstream>
 #include <string>
 
+#include <algorithm>
+
 #include "common/cli.h"
 #include "common/log.h"
+#include "common/process.h"
 #include "telemetry/metrics.h"
 #include "telemetry/run_record.h"
 
@@ -57,6 +60,11 @@ class BenchReport
     {
         if (!enabled_)
             return;
+        // Every artifact carries the run's peak RSS. Max — not set —
+        // so a worker-pool bench that already stamped its workers' max
+        // keeps whichever process was the high-water mark.
+        Gauge &rss = registry_.gauge("sim.peak_rss_bytes");
+        rss.set(std::max(rss.value(), peakRssBytes()));
         std::ofstream out(path_);
         if (!out)
             fatal("cannot open --json output file " + path_);

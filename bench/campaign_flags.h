@@ -76,11 +76,45 @@ rejectTraceFlags(const CliOptions &options, const std::string &bench)
                       "Carlo benches: fig09, fig12, fig13, fig14)");
 }
 
+/** Append `--workers` (multi-process campaign mode) to a bench's list. */
+inline std::vector<std::string>
+withWorkerFlags(std::vector<std::string> known)
+{
+    known.push_back("workers");
+    return known;
+}
+
+/** Parsed `--workers` count; 0 (the default) keeps execution in-process. */
+inline unsigned
+workerCount(const CliOptions &options)
+{
+    return static_cast<unsigned>(options.getNonNegativeInt("workers", 0));
+}
+
+/**
+ * Hard-reject `--workers` on a bench with no worker pool. The strict
+ * parser already exits(1) while `workers` stays off the bench's known
+ * list; like the trace guard above, this keeps the rejection even if a
+ * future edit drifts the flag into a shared list. Fatal rather than
+ * warn-ignore: a silently single-process "--workers=8" run reports
+ * timings the operator will misread as multi-process numbers.
+ */
+inline void
+rejectWorkerFlags(const CliOptions &options, const std::string &bench)
+{
+    if (options.has("workers"))
+        fatal(bench + ": --workers is not supported here (multi-process "
+                      "execution drives the sharded lifetime Monte "
+                      "Carlo benches: fig09, fig12, fig13, fig14, and "
+                      "fleet_scale)");
+}
+
 /** For benches with no sharded Monte Carlo: accept but warn-ignore. */
 inline void
 rejectCampaignFlags(const CliOptions &options, const std::string &bench)
 {
     rejectTraceFlags(options, bench);
+    rejectWorkerFlags(options, bench);
     if (options.has("checkpoint") || options.has("resume") ||
         options.has("shards"))
         warn(bench + ": --checkpoint/--resume/--shards have no effect "

@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "campaign_flags.h"
 #include "common/table.h"
+#include "worker_flags.h"
 
 using namespace relaxfault;
 using namespace relaxfault::bench;
@@ -29,7 +30,7 @@ bool
 runSweep(const std::vector<std::pair<double, double>> &points,
          bool sweep_factor, unsigned nodes, unsigned trials, uint64_t seed,
          const TrialRunOptions &run_options, BenchReport &report,
-         CampaignRunner &runner)
+         CampaignRunner *runner, WorkerCampaignRunner *pool)
 {
     TextTable table;
     table.setHeader({sweep_factor ? "acceleration" : "fraction(%)",
@@ -58,7 +59,9 @@ runSweep(const std::vector<std::pair<double, double>> &points,
         if (run.tracer != nullptr)
             run.traceUnit = run.tracer->registerUnit(unit);
         const CampaignResult unit_result =
-            runner.runUnit(unit, simulator, {}, trials, seed, run);
+            pool != nullptr
+                ? pool->runUnit(unit, simulator, {}, trials, seed, run)
+                : runner->runUnit(unit, simulator, {}, trials, seed, run);
         if (unit_result.interrupted)
             return false;
         const LifetimeSummary &summary = unit_result.summary;
@@ -93,9 +96,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
-                                          "threads", "progress", "json",
-                                          "audit", "audit-every"})));
+        withTraceFlags(withWorkerFlags(
+            withCampaignFlags({"trials", "seed", "nodes", "threads",
+                               "progress", "json", "audit",
+                               "audit-every"}))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 909));
@@ -114,10 +118,14 @@ main(int argc, char **argv)
 
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
-    CampaignRunner runner(
+    const CampaignFingerprint fingerprint =
         campaignFingerprint("fig09_fault_model_sensitivity", seed, trials,
-                            campaign, "nodes=" + std::to_string(nodes)),
-        campaign);
+                            campaign, "nodes=" + std::to_string(nodes));
+    const std::unique_ptr<WorkerCampaignRunner> pool = makeWorkerPool(
+        options, "fig09_fault_model_sensitivity", fingerprint, campaign);
+    std::unique_ptr<CampaignRunner> runner;
+    if (pool == nullptr)
+        runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
 
     std::cout << "Fig. 9a/9b: acceleration-factor sweep at 0.1% of nodes "
                  "and DIMMs (" << nodes << " nodes, " << trials
@@ -128,7 +136,7 @@ main(int argc, char **argv)
                                {150.0, 0.001},
                                {200.0, 0.001}},
                               true, nodes, trials, seed, run, report,
-                              runner);
+                              runner.get(), pool.get());
 
     if (completed) {
         std::cout << "\nFig. 9c/9d: accelerated-fraction sweep at 100x ("
@@ -141,10 +149,11 @@ main(int argc, char **argv)
                               {100.0, 0.004},
                               {100.0, 0.005}},
                              false, nodes, trials, seed, run, report,
-                             runner);
+                             runner.get(), pool.get());
     }
-    if (runner.interrupted())
-        return runner.exitStatus();
+    if (SignalGuard::stopRequested())
+        return 128 + SignalGuard::stopSignal();
+    stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
     return 0;

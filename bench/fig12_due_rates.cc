@@ -14,6 +14,7 @@
 
 #include "campaign_flags.h"
 #include "lifetime_tables.h"
+#include "worker_flags.h"
 
 using namespace relaxfault;
 using namespace relaxfault::bench;
@@ -23,10 +24,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
-                                          "threads", "progress", "json",
-                                          "degrade", "audit",
-                                          "audit-every"})));
+        withTraceFlags(withWorkerFlags(
+            withCampaignFlags({"trials", "seed", "nodes", "threads",
+                               "progress", "json", "degrade", "audit",
+                               "audit-every"}))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
@@ -49,12 +50,18 @@ main(int argc, char **argv)
     // are not.
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
-    CampaignRunner runner(
+    const CampaignFingerprint fingerprint =
         campaignFingerprint("fig12_due_rates", seed, trials, campaign,
                             "nodes=" + std::to_string(nodes) +
                                 ",degrade=" +
-                                degradationPolicyName(degrade)),
-        campaign);
+                                degradationPolicyName(degrade));
+    // --workers>0 swaps the in-process campaign runner for the forked
+    // worker pool; results are bit-identical either way.
+    const std::unique_ptr<WorkerCampaignRunner> pool =
+        makeWorkerPool(options, "fig12_due_rates", fingerprint, campaign);
+    std::unique_ptr<CampaignRunner> runner;
+    if (pool == nullptr)
+        runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
 
     for (const double fit : {1.0, 10.0}) {
         LifetimeConfig config;
@@ -69,12 +76,14 @@ main(int argc, char **argv)
                              [](const LifetimeSummary &s)
                                  -> const RunningStat & { return s.dues; },
                              "DUEs", run, &report,
-                             fit == 1.0 ? "1x-fit" : "10x-fit", &runner))
+                             fit == 1.0 ? "1x-fit" : "10x-fit",
+                             runner.get(), pool.get()))
             break;
         std::cout << "\n";
     }
-    if (runner.interrupted())
-        return runner.exitStatus();
+    if (SignalGuard::stopRequested())
+        return 128 + SignalGuard::stopSignal();
+    stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
     return 0;

@@ -13,6 +13,7 @@
 
 #include "campaign_flags.h"
 #include "lifetime_tables.h"
+#include "worker_flags.h"
 
 using namespace relaxfault;
 using namespace relaxfault::bench;
@@ -22,10 +23,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
-                                          "threads", "progress", "json",
-                                          "degrade", "audit",
-                                          "audit-every"})));
+        withTraceFlags(withWorkerFlags(
+            withCampaignFlags({"trials", "seed", "nodes", "threads",
+                               "progress", "json", "degrade", "audit",
+                               "audit-every"}))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1307));
@@ -45,12 +46,16 @@ main(int argc, char **argv)
 
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
-    CampaignRunner runner(
+    const CampaignFingerprint fingerprint =
         campaignFingerprint("fig13_sdc_rates", seed, trials, campaign,
                             "nodes=" + std::to_string(nodes) +
                                 ",degrade=" +
-                                degradationPolicyName(degrade)),
-        campaign);
+                                degradationPolicyName(degrade));
+    const std::unique_ptr<WorkerCampaignRunner> pool =
+        makeWorkerPool(options, "fig13_sdc_rates", fingerprint, campaign);
+    std::unique_ptr<CampaignRunner> runner;
+    if (pool == nullptr)
+        runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
 
     for (const double fit : {1.0, 10.0}) {
         LifetimeConfig config;
@@ -65,12 +70,14 @@ main(int argc, char **argv)
                              [](const LifetimeSummary &s)
                                  -> const RunningStat & { return s.sdcs; },
                              "SDCs", run, &report,
-                             fit == 1.0 ? "1x-fit" : "10x-fit", &runner))
+                             fit == 1.0 ? "1x-fit" : "10x-fit",
+                             runner.get(), pool.get()))
             break;
         std::cout << "\n";
     }
-    if (runner.interrupted())
-        return runner.exitStatus();
+    if (SignalGuard::stopRequested())
+        return 128 + SignalGuard::stopSignal();
+    stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
     return 0;

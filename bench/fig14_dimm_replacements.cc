@@ -16,6 +16,7 @@
 
 #include "campaign_flags.h"
 #include "lifetime_tables.h"
+#include "worker_flags.h"
 
 using namespace relaxfault;
 using namespace relaxfault::bench;
@@ -25,10 +26,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withCampaignFlags({"trials", "seed", "nodes",
-                                          "threads", "progress", "json",
-                                          "degrade", "audit",
-                                          "audit-every"})));
+        withTraceFlags(withWorkerFlags(
+            withCampaignFlags({"trials", "seed", "nodes", "threads",
+                               "progress", "json", "degrade", "audit",
+                               "audit-every"}))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1408));
@@ -48,13 +49,17 @@ main(int argc, char **argv)
 
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
-    CampaignRunner runner(
+    const CampaignFingerprint fingerprint =
         campaignFingerprint("fig14_dimm_replacements", seed, trials,
                             campaign,
                             "nodes=" + std::to_string(nodes) +
                                 ",degrade=" +
-                                degradationPolicyName(degrade)),
-        campaign);
+                                degradationPolicyName(degrade));
+    const std::unique_ptr<WorkerCampaignRunner> pool = makeWorkerPool(
+        options, "fig14_dimm_replacements", fingerprint, campaign);
+    std::unique_ptr<CampaignRunner> runner;
+    if (pool == nullptr)
+        runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
 
     const struct
     {
@@ -82,7 +87,7 @@ main(int argc, char **argv)
                 [](const LifetimeSummary &s) -> const RunningStat &
                 { return s.replacements; },
                 "replacements", run, &report,
-                std::string("14") + panel, &runner);
+                std::string("14") + panel, runner.get(), pool.get());
             if (!completed)
                 break;
             std::cout << "\n";
@@ -91,8 +96,9 @@ main(int argc, char **argv)
         if (!completed)
             break;
     }
-    if (runner.interrupted())
-        return runner.exitStatus();
+    if (SignalGuard::stopRequested())
+        return 128 + SignalGuard::stopSignal();
+    stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
     return 0;

@@ -17,6 +17,7 @@
 #include "bench_util.h"
 #include "campaign/campaign.h"
 #include "common/table.h"
+#include "fleet/worker_pool.h"
 
 namespace relaxfault::bench {
 
@@ -32,6 +33,8 @@ using MetricFn = std::function<const RunningStat &(const LifetimeSummary &)>;
  * bit-identical either way); returns false if a stop signal interrupted
  * the matrix, in which case the table is not printed and the caller
  * should exit with `campaign->exitStatus()` without writing its report.
+ * A non-null @p workers distributes each unit's shards over forked
+ * worker processes instead (also bit-identical; ignores @p campaign).
  */
 inline bool
 runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
@@ -40,7 +43,8 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 const TrialRunOptions &run_options = {},
                 BenchReport *report = nullptr,
                 const std::string &panel = "",
-                CampaignRunner *campaign = nullptr)
+                CampaignRunner *campaign = nullptr,
+                WorkerCampaignRunner *workers = nullptr)
 {
     const DramGeometry geometry = base_config.faultModel.geometry;
     const LifetimeSimulator simulator(base_config);
@@ -78,7 +82,13 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 ? LifetimeSimulator::MechanismFactory{}
                 : makeFactory(row.spec, geometry);
         LifetimeSummary summary;
-        if (campaign != nullptr) {
+        if (workers != nullptr) {
+            const CampaignResult unit_result = workers->runUnit(
+                unit, simulator, factory, trials, seed, run);
+            if (unit_result.interrupted)
+                return false;
+            summary = unit_result.summary;
+        } else if (campaign != nullptr) {
             const CampaignResult unit_result = campaign->runUnit(
                 unit, simulator, factory, trials, seed, run);
             if (unit_result.interrupted)

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared `--workers=N` support for the sharded Monte Carlo benches.
+ *
+ * `--workers=N` (N > 0) switches a bench's campaign execution from the
+ * in-process `CampaignRunner` to the multi-process
+ * `WorkerCampaignRunner`: shards are distributed over N forked worker
+ * processes through a shared-memory ring and merged deterministically,
+ * so the printed tables and JSON rows are bit-identical to the
+ * in-process path. `--checkpoint`/`--resume`/`--shards` compose: worker
+ * `k` commits to `<checkpoint>.worker<k>` and resume re-runs only the
+ * missing shards. Tracing is incompatible with worker mode (trace
+ * buffers are per-process and have no merge path) and is rejected.
+ */
+
+#ifndef RELAXFAULT_BENCH_WORKER_FLAGS_H
+#define RELAXFAULT_BENCH_WORKER_FLAGS_H
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "bench_json.h"
+#include "campaign_flags.h"
+#include "fleet/worker_pool.h"
+
+namespace relaxfault::bench {
+
+/**
+ * Build the worker pool when `--workers` > 0 (null keeps the bench on
+ * its in-process runner). Fatal when combined with `--trace`.
+ */
+inline std::unique_ptr<WorkerCampaignRunner>
+makeWorkerPool(const CliOptions &options, const std::string &bench,
+               const CampaignFingerprint &fingerprint,
+               const CampaignOptions &campaign)
+{
+    const unsigned workers = workerCount(options);
+    if (workers == 0)
+        return nullptr;
+    if (options.has("trace"))
+        fatal(bench + ": --workers does not support --trace (trace "
+                      "buffers are per-process; run tracing in-process)");
+    WorkerOptions worker_options;
+    worker_options.workers = workers;
+    worker_options.checkpointPath = campaign.checkpointPath;
+    worker_options.resume = campaign.resume;
+    worker_options.shards = campaign.shards;
+    return std::make_unique<WorkerCampaignRunner>(fingerprint,
+                                                  worker_options);
+}
+
+/**
+ * Fold the pool's per-worker peak RSS into the report's
+ * `sim.peak_rss_bytes` gauge (max semantics; `BenchReport::write` then
+ * maxes in the parent's own peak). No-op without a pool or `--json`.
+ */
+inline void
+stampWorkerRss(BenchReport &report, const WorkerCampaignRunner *pool)
+{
+    if (pool == nullptr || report.metrics() == nullptr)
+        return;
+    Gauge &gauge = report.metrics()->gauge(kPeakRssGauge);
+    gauge.set(std::max(gauge.value(), pool->workerPeakRssBytes()));
+}
+
+} // namespace relaxfault::bench
+
+#endif // RELAXFAULT_BENCH_WORKER_FLAGS_H

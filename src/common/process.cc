@@ -1,0 +1,86 @@
+#include "common/process.h"
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+pid_t
+spawnProcess(const std::function<int()> &body)
+{
+    // Flush before forking so buffered output is not duplicated into
+    // the child's copy of the stdio buffers.
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0)
+        fatal(std::string("fork failed: ") + std::strerror(errno));
+    if (pid == 0) {
+        int status = 127;
+        try {
+            status = body();
+        } catch (...) {
+            status = 125;
+        }
+        std::fflush(nullptr);
+        _exit(status);
+    }
+    return pid;
+}
+
+ProcessStatus
+waitProcess(pid_t pid)
+{
+    ProcessStatus status;
+    status.pid = pid;
+    int wstatus = 0;
+    for (;;) {
+        const pid_t reaped = waitpid(pid, &wstatus, 0);
+        if (reaped == pid)
+            break;
+        if (reaped < 0 && errno == EINTR)
+            continue;  // Stop signal interrupted the wait; keep reaping.
+        fatal("waitpid(" + std::to_string(pid) +
+              ") failed: " + std::strerror(errno));
+    }
+    if (WIFEXITED(wstatus)) {
+        status.exited = true;
+        status.exitCode = WEXITSTATUS(wstatus);
+    } else if (WIFSIGNALED(wstatus)) {
+        status.signaled = true;
+        status.termSignal = WTERMSIG(wstatus);
+    }
+    return status;
+}
+
+int64_t
+peakRssBytes()
+{
+    // VmHWM is the kernel's high-water mark of the resident set; it
+    // survives frees, which is exactly the "envelope" the fleet bench
+    // reports.
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        const int64_t kib = std::strtoll(line.c_str() + 6, nullptr, 10);
+        if (kib > 0)
+            return kib * 1024;
+        break;
+    }
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0)
+        return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+    return 0;
+}
+
+} // namespace relaxfault

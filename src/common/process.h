@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal process utilities for the multi-process campaign worker mode:
+ * fork-based spawning of C++ closures, EINTR-tolerant reaping, and a
+ * peak-RSS probe for the fleet benches' memory envelope reporting.
+ *
+ * Workers are forked, never exec'd: a worker inherits the parent's
+ * address space (simulator, factories, options) by copy-on-write and
+ * runs a closure, so shard bodies need no serialization. Workers must
+ * exit through `_exit` (done by `spawnProcess` itself) so the parent's
+ * stdio buffers and atexit handlers never run twice.
+ */
+
+#ifndef RELAXFAULT_COMMON_PROCESS_H
+#define RELAXFAULT_COMMON_PROCESS_H
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+
+namespace relaxfault {
+
+/** Outcome of a reaped child process. */
+struct ProcessStatus
+{
+    pid_t pid = -1;
+    bool exited = false;     ///< Terminated via exit/_exit.
+    int exitCode = 0;        ///< Valid when `exited`.
+    bool signaled = false;   ///< Terminated by a signal (e.g. SIGKILL).
+    int termSignal = 0;      ///< Valid when `signaled`.
+
+    /** Clean completion: exited with status 0. */
+    bool ok() const { return exited && exitCode == 0; }
+};
+
+/**
+ * Fork a child that runs @p body and `_exit`s with its return value.
+ * Returns the child's pid in the parent; fatal if fork fails. The body
+ * runs after the fork, so everything it captured is a copy-on-write
+ * snapshot of the parent at spawn time.
+ */
+pid_t spawnProcess(const std::function<int()> &body);
+
+/**
+ * Reap @p pid, retrying on EINTR (a SignalGuard stop flag interrupts
+ * the wait but the child is still ours to collect). Fatal if waitpid
+ * fails for any other reason — losing track of a worker would leak its
+ * shard lease.
+ */
+ProcessStatus waitProcess(pid_t pid);
+
+/**
+ * Peak resident set size of the calling process in bytes (VmHWM from
+ * /proc/self/status, falling back to getrusage's ru_maxrss). Returns 0
+ * only if both probes fail.
+ */
+int64_t peakRssBytes();
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_PROCESS_H

@@ -1,0 +1,137 @@
+#include "common/shm_ring.h"
+
+#include <sys/mman.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+ShmRing
+ShmRing::create(size_t capacity)
+{
+    if (capacity < 2)
+        capacity = 2;
+    capacity = std::bit_ceil(capacity);
+    const size_t bytes = sizeof(Header) + capacity * sizeof(Slot);
+    void *map = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (map == MAP_FAILED)
+        fatal(std::string("shm_ring: mmap failed: ") +
+              std::strerror(errno));
+    ShmRing ring(map, bytes);
+    ring.header_ = new (map) Header;
+    ring.header_->capacity = capacity;
+    ring.header_->mask = capacity - 1;
+    ring.slots_ = reinterpret_cast<Slot *>(
+        static_cast<char *>(map) + sizeof(Header));
+    for (size_t i = 0; i < capacity; ++i) {
+        Slot *slot = new (&ring.slots_[i]) Slot;
+        // Slot i is free for the producer whose claimed position is i.
+        slot->sequence.store(i, std::memory_order_relaxed);
+        slot->value = 0;
+    }
+    return ring;
+}
+
+ShmRing::ShmRing(void *map, size_t bytes) : map_(map), bytes_(bytes) {}
+
+ShmRing::~ShmRing()
+{
+    if (map_ != nullptr)
+        munmap(map_, bytes_);
+}
+
+ShmRing::ShmRing(ShmRing &&other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      header_(std::exchange(other.header_, nullptr)),
+      slots_(std::exchange(other.slots_, nullptr))
+{
+}
+
+ShmRing &
+ShmRing::operator=(ShmRing &&other) noexcept
+{
+    if (this != &other) {
+        if (map_ != nullptr)
+            munmap(map_, bytes_);
+        map_ = std::exchange(other.map_, nullptr);
+        bytes_ = std::exchange(other.bytes_, 0);
+        header_ = std::exchange(other.header_, nullptr);
+        slots_ = std::exchange(other.slots_, nullptr);
+    }
+    return *this;
+}
+
+bool
+ShmRing::tryPush(uint64_t value)
+{
+    Header &h = *header_;
+    uint64_t pos = h.head.load(std::memory_order_relaxed);
+    for (;;) {
+        Slot &slot = slots_[pos & h.mask];
+        const uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+        const auto diff =
+            static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+        if (diff == 0) {
+            // Slot free for this lap; claim the position.
+            if (h.head.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed))
+            {
+                slot.value = value;
+                slot.sequence.store(pos + 1, std::memory_order_release);
+                return true;
+            }
+            // CAS refreshed pos; retry with the new position.
+        } else if (diff < 0) {
+            return false;  // Full: the slot still holds last lap's value.
+        } else {
+            pos = h.head.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+bool
+ShmRing::tryPop(uint64_t &value)
+{
+    Header &h = *header_;
+    uint64_t pos = h.tail.load(std::memory_order_relaxed);
+    for (;;) {
+        Slot &slot = slots_[pos & h.mask];
+        const uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+        const auto diff =
+            static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+        if (diff == 0) {
+            if (h.tail.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed))
+            {
+                value = slot.value;
+                // Recycle the slot for the producer one lap ahead.
+                slot.sequence.store(pos + h.capacity,
+                                    std::memory_order_release);
+                return true;
+            }
+        } else if (diff < 0) {
+            return false;  // Empty: no producer published this slot yet.
+        } else {
+            pos = h.tail.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+size_t
+ShmRing::sizeApprox() const
+{
+    const uint64_t head = header_->head.load(std::memory_order_acquire);
+    const uint64_t tail = header_->tail.load(std::memory_order_acquire);
+    return head >= tail ? static_cast<size_t>(head - tail) : 0;
+}
+
+} // namespace relaxfault

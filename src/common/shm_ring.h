@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bounded lock-free MPMC ring of 64-bit descriptors in shared memory.
+ *
+ * The ring is the shard work queue of the multi-process campaign mode:
+ * the parent enqueues shard descriptors, forked workers dequeue them.
+ * It lives in an anonymous `MAP_SHARED` mapping created *before* the
+ * fork, so parent and children operate on the same physical pages with
+ * plain C++ atomics — no named segments to leak and nothing to clean up
+ * beyond `munmap`.
+ *
+ * The algorithm is the classic bounded MPMC design: each slot pairs a
+ * sequence counter with a value. A producer claims slot `head & mask`
+ * when the slot's sequence equals `head` (slot empty for this lap),
+ * writes the value, then publishes by storing `head + 1` with release
+ * order. A consumer symmetrically waits for sequence `tail + 1`, reads
+ * the value, and recycles the slot by storing `tail + capacity`. The
+ * acquire loads pair with those release stores, so a popped value is
+ * always fully written, from any process. Per-producer FIFO follows
+ * from the monotone head counter (a producer's later push claims a
+ * strictly later position).
+ *
+ * tryPush/tryPop never block and never spin unboundedly: full/empty are
+ * detected by a sequence lagging the claimed position and reported as
+ * `false`.
+ */
+
+#ifndef RELAXFAULT_COMMON_SHM_RING_H
+#define RELAXFAULT_COMMON_SHM_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace relaxfault {
+
+/** MPMC fixed-capacity queue of uint64 values, fork-shareable. */
+class ShmRing
+{
+  public:
+    /**
+     * Allocate a ring with at least @p capacity slots (rounded up to a
+     * power of two, minimum 2) in anonymous shared memory. Fatal on
+     * mmap failure. Create the ring before forking the processes that
+     * will share it.
+     */
+    static ShmRing create(size_t capacity);
+
+    ~ShmRing();
+
+    ShmRing(ShmRing &&other) noexcept;
+    ShmRing &operator=(ShmRing &&other) noexcept;
+    ShmRing(const ShmRing &) = delete;
+    ShmRing &operator=(const ShmRing &) = delete;
+
+    /** Enqueue @p value; false if the ring is full. */
+    bool tryPush(uint64_t value);
+
+    /** Dequeue into @p value; false if the ring is empty. */
+    bool tryPop(uint64_t &value);
+
+    /** Slot count (power of two). */
+    size_t capacity() const { return header_->capacity; }
+
+    /** Approximate occupancy (exact when no other process is active). */
+    size_t sizeApprox() const;
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> sequence;
+        uint64_t value;
+    };
+
+    struct Header
+    {
+        uint64_t capacity = 0;
+        uint64_t mask = 0;
+        alignas(64) std::atomic<uint64_t> head{0};  ///< Next push position.
+        alignas(64) std::atomic<uint64_t> tail{0};  ///< Next pop position.
+    };
+
+    static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                  "shared-memory ring requires lock-free 64-bit atomics");
+
+    ShmRing(void *map, size_t bytes);
+
+    void *map_ = nullptr;
+    size_t bytes_ = 0;
+    Header *header_ = nullptr;
+    Slot *slots_ = nullptr;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_COMMON_SHM_RING_H

@@ -1,5 +1,11 @@
 #include "common/signal_guard.h"
 
+#include <signal.h>
+
+#include <atomic>
+
+#include "common/log.h"
+
 namespace relaxfault {
 
 namespace {
@@ -7,9 +13,28 @@ namespace {
 volatile std::sig_atomic_t g_stop_requested = 0;
 volatile std::sig_atomic_t g_stop_signal = 0;
 
+/**
+ * Registered worker children, 0 = empty slot. Lock-free atomics are
+ * safe to read from the handler; writes happen only on the normal path
+ * (adopt/release/clear) in the parent.
+ */
+std::atomic<pid_t> g_children[SignalGuard::kMaxForwardedChildren] = {};
+
+static_assert(std::atomic<pid_t>::is_always_lock_free,
+              "signal handler reads the child registry");
+
 extern "C" void
 stopFlagHandler(int signum)
 {
+    // Forward to live workers FIRST — before the parent acts on its own
+    // flag (checkpoint flush, exit) — so Ctrl-C can never leave workers
+    // holding shard leases behind an already-gone parent. kill(2) is
+    // async-signal-safe; a stale pid yields a harmless ESRCH.
+    for (const auto &slot : g_children) {
+        const pid_t pid = slot.load(std::memory_order_relaxed);
+        if (pid > 0)
+            kill(pid, signum);
+    }
     if (g_stop_requested) {
         // Second signal: restore the default action and re-raise so the
         // operator can force-kill a run stuck inside a shard.
@@ -64,6 +89,46 @@ SignalGuard::reset()
 {
     g_stop_requested = 0;
     g_stop_signal = 0;
+}
+
+void
+SignalGuard::adoptChild(pid_t pid)
+{
+    for (auto &slot : g_children) {
+        pid_t expected = 0;
+        if (slot.compare_exchange_strong(expected, pid,
+                                         std::memory_order_relaxed))
+            return;
+    }
+    fatal("signal guard: child registry full; a worker would not "
+          "receive forwarded stop signals");
+}
+
+void
+SignalGuard::releaseChild(pid_t pid)
+{
+    for (auto &slot : g_children) {
+        pid_t expected = pid;
+        if (slot.compare_exchange_strong(expected, 0,
+                                         std::memory_order_relaxed))
+            return;
+    }
+}
+
+void
+SignalGuard::clearChildren()
+{
+    for (auto &slot : g_children)
+        slot.store(0, std::memory_order_relaxed);
+}
+
+unsigned
+SignalGuard::childCount()
+{
+    unsigned count = 0;
+    for (const auto &slot : g_children)
+        count += slot.load(std::memory_order_relaxed) > 0 ? 1u : 0u;
+    return count;
 }
 
 } // namespace relaxfault

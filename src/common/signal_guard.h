@@ -8,10 +8,20 @@
  * A second signal while the flag is already set re-raises with the
  * default disposition, so an impatient operator can still kill a run
  * that is stuck inside a shard.
+ *
+ * Multi-process campaigns additionally register their live worker
+ * children (`adoptChild`): the handler forwards SIGINT/SIGTERM to every
+ * registered pid *inside the signal handler itself* (kill(2) is
+ * async-signal-safe), before the parent gets anywhere near its own
+ * checkpoint flush. Ctrl-C on the parent therefore can never orphan
+ * workers holding shard leases — each worker sees the same signal, sets
+ * its own stop flag, finishes its in-flight shard, commits, and exits.
  */
 
 #ifndef RELAXFAULT_COMMON_SIGNAL_GUARD_H
 #define RELAXFAULT_COMMON_SIGNAL_GUARD_H
+
+#include <sys/types.h>
 
 #include <csignal>
 
@@ -38,6 +48,30 @@ class SignalGuard
 
     /** Clear the flag (a resumed run starts with a clean slate). */
     static void reset();
+
+    /**
+     * Register a live worker child: SIGINT/SIGTERM received from here
+     * on are forwarded to it from inside the handler. Bounded registry
+     * (`kMaxForwardedChildren` slots); fatal if it overflows, because a
+     * silently unforwarded worker would be orphaned on Ctrl-C.
+     */
+    static void adoptChild(pid_t pid);
+
+    /** Unregister a reaped child (stop forwarding to its pid). */
+    static void releaseChild(pid_t pid);
+
+    /**
+     * Drop every registration. Forked children inherit the parent's
+     * registry and must call this first: a worker forwarding to its
+     * siblings would double-deliver signals the parent already routes.
+     */
+    static void clearChildren();
+
+    /** Registered (unreleased) children; for tests and diagnostics. */
+    static unsigned childCount();
+
+    /** Capacity of the forwarding registry. */
+    static constexpr unsigned kMaxForwardedChildren = 64;
 
   private:
     struct sigaction previousInt_;

@@ -146,6 +146,15 @@ NodeFaultSampler::makeFault(unsigned dimm, FaultMode mode,
     return fault;
 }
 
+FaultRecord
+NodeFaultSampler::sampleFaultAt(unsigned dimm, Rng &rng) const
+{
+    FaultMode mode;
+    Persistence persistence;
+    pickProcess(rng, mode, persistence);
+    return makeFault(dimm, mode, persistence, rng);
+}
+
 NodeSample
 NodeFaultSampler::sampleNode(Rng &rng) const
 {

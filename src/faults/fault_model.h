@@ -105,10 +105,28 @@ class NodeFaultSampler
 
     const FaultModelConfig &config() const { return config_; }
 
-  private:
-    /** Rate factor of a DIMM given its and its node's acceleration. */
+    /**
+     * Rate factor of a DIMM given its and its node's acceleration,
+     * relative to `fitScale * nominal`. Public so the fleet engine's
+     * skip-ahead sampler can build its aggregate arrival means from the
+     * exact same per-DIMM rates this sampler uses.
+     */
     double dimmFactor(bool node_accel, bool dimm_accel) const;
 
+    /**
+     * Attribute one fault that has already been assigned to @p dimm:
+     * draws (mode, persistence) from the rate table and the fault's
+     * time/device/region attributes. This is `sampleNode`'s inner
+     * per-fault step; the fleet engine's skip-ahead sampler calls it
+     * after drawing one aggregate arrival count, so both paths consume
+     * identical per-fault draws.
+     */
+    FaultRecord sampleFaultAt(unsigned dimm, Rng &rng) const;
+
+    /** Sum of all (mode x persistence) process rates, in FIT. */
+    double perDeviceFitTotal() const { return perDeviceFitTotal_; }
+
+  private:
     /** Draw acceleration flags into @p sample. */
     void sampleAcceleration(NodeSample &sample, Rng &rng) const;
 

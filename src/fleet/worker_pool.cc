@@ -1,0 +1,313 @@
+#include "fleet/worker_pool.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "common/clock.h"
+#include "common/fs.h"
+#include "common/log.h"
+#include "common/parallel.h"
+#include "common/process.h"
+#include "common/shm_ring.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_record.h"
+
+namespace relaxfault {
+
+std::string
+WorkerCampaignRunner::workerLogPath(const std::string &base,
+                                    unsigned slot)
+{
+    return base + ".worker" + std::to_string(slot);
+}
+
+WorkerCampaignRunner::WorkerCampaignRunner(CampaignFingerprint fingerprint,
+                                           WorkerOptions options)
+    : fingerprint_(std::move(fingerprint)), options_(std::move(options))
+{
+    options_.workers =
+        std::clamp(options_.workers, 1u, kMaxWorkers);
+    if (options_.shards == 0)
+        options_.shards = 1;
+    if (options_.maxRounds == 0)
+        options_.maxRounds = 1;
+
+    if (options_.checkpointPath.empty()) {
+        // Private scratch checkpoints: crash-safe within this run (a
+        // killed worker's committed shards still merge), but gone with
+        // the runner — cross-run resume needs --checkpoint.
+        char tmpl[] = "/tmp/relaxfault_fleet.XXXXXX";
+        if (::mkdtemp(tmpl) == nullptr)
+            fatal("fleet: cannot create temporary checkpoint dir");
+        tempDir_ = tmpl;
+        basePath_ = tempDir_ + "/ckpt";
+    } else {
+        basePath_ = options_.checkpointPath;
+    }
+
+    if (!options_.resume) {
+        // A stale worker log would resurrect shards of a previous run.
+        for (unsigned slot = 0; slot < kMaxWorkers; ++slot) {
+            const std::string path = workerLogPath(basePath_, slot);
+            if (fileExists(path))
+                std::remove(path.c_str());
+        }
+    }
+}
+
+WorkerCampaignRunner::~WorkerCampaignRunner()
+{
+    if (tempDir_.empty())
+        return;
+    for (unsigned slot = 0; slot < kMaxWorkers; ++slot)
+        std::remove(workerLogPath(basePath_, slot).c_str());
+    ::rmdir(tempDir_.c_str());
+}
+
+int
+WorkerCampaignRunner::workerMain(ShmRing &ring, const ShardBody &body,
+                                 unsigned slot, unsigned shards) const
+{
+    // The forked child inherited the parent's forwarding registry;
+    // drop it so a worker never forwards signals to its siblings (the
+    // parent already routes to every live worker).
+    SignalGuard::clearChildren();
+
+    const std::string path = workerLogPath(basePath_, slot);
+    CheckpointLog log(path, fingerprint_, /*resume=*/fileExists(path));
+
+    unsigned popped = 0;
+    uint64_t shard = 0;
+    while (!SignalGuard::stopRequested() && ring.tryPop(shard)) {
+        ++popped;
+        if (slot == 0 && options_.killBeforeCommit != 0 &&
+            popped >= options_.killBeforeCommit) {
+            // Crash-recovery worst case: die holding the shard lease,
+            // before any work or commit. The shard id is gone from the
+            // ring; only a later round (or resume) can recover it.
+            std::raise(SIGKILL);
+        }
+        const ShardRecord record =
+            body(static_cast<unsigned>(shard), shards);
+        log.commit(record);
+    }
+    return 0;
+}
+
+CampaignResult
+WorkerCampaignRunner::runUnitImpl(const std::string &unit,
+                                  unsigned trials,
+                                  MetricRegistry *metrics,
+                                  const ShardBody &body)
+{
+    const unsigned shards =
+        std::max(1u, std::min(options_.shards, trials));
+
+    CampaignResult result;
+    std::map<unsigned, ShardRecord> committed;
+    const auto collect = [&]() {
+        for (unsigned slot = 0; slot < kMaxWorkers; ++slot) {
+            const std::string path = workerLogPath(basePath_, slot);
+            if (!fileExists(path))
+                continue;
+            // Loading validates the header against this campaign's
+            // fingerprint — the cross-process guard: a worker log from
+            // a different experiment is fatal, never silently merged.
+            const CheckpointLog log(path, fingerprint_,
+                                    /*resume=*/true);
+            for (unsigned shard = 0; shard < shards; ++shard) {
+                if (committed.count(shard) != 0)
+                    continue;
+                const ShardRecord *record = log.find(unit, shard);
+                if (record != nullptr)
+                    committed.emplace(shard, *record);
+            }
+        }
+    };
+    if (options_.resume)
+        collect();
+    result.shardsResumed = static_cast<unsigned>(committed.size());
+
+    unsigned round = 0;
+    while (committed.size() < shards && !SignalGuard::stopRequested()) {
+        ++round;
+        if (round > options_.maxRounds) {
+            fatal("fleet: unit '" + unit + "' still missing " +
+                  std::to_string(shards - committed.size()) +
+                  " shard(s) after " + std::to_string(options_.maxRounds) +
+                  " worker round(s); inspect " + basePath_ +
+                  ".worker* and resume");
+        }
+
+        std::vector<unsigned> pending;
+        for (unsigned shard = 0; shard < shards; ++shard) {
+            if (committed.count(shard) == 0)
+                pending.push_back(shard);
+        }
+
+        // Fresh ring per round: capacity >= pending, so every push
+        // succeeds and workers drain it to empty.
+        ShmRing ring = ShmRing::create(pending.size());
+        for (const unsigned shard : pending) {
+            if (!ring.tryPush(shard))
+                panic("fleet: shard ring refused a descriptor below "
+                      "capacity");
+        }
+
+        const unsigned live = static_cast<unsigned>(
+            std::min<size_t>(options_.workers, pending.size()));
+        std::vector<pid_t> pids(live);
+        for (unsigned slot = 0; slot < live; ++slot) {
+            pids[slot] = spawnProcess([this, &ring, &body, slot,
+                                       shards]() {
+                return workerMain(ring, body, slot, shards);
+            });
+            SignalGuard::adoptChild(pids[slot]);
+        }
+
+        unsigned failures = 0;
+        for (unsigned slot = 0; slot < live; ++slot) {
+            const ProcessStatus status = waitProcess(pids[slot]);
+            SignalGuard::releaseChild(pids[slot]);
+            if (status.ok())
+                continue;
+            ++failures;
+            if (status.signaled) {
+                warn("fleet: worker " + std::to_string(slot) +
+                     " killed by signal " +
+                     std::to_string(status.termSignal));
+            } else {
+                warn("fleet: worker " + std::to_string(slot) +
+                     " exited with status " +
+                     std::to_string(status.exitCode));
+            }
+        }
+
+        collect();
+        if (failures != 0 && committed.size() < shards &&
+            !SignalGuard::stopRequested()) {
+            warn("fleet: round " + std::to_string(round) + " left " +
+                 std::to_string(shards - committed.size()) +
+                 " shard(s) uncommitted; spawning a fresh round");
+        }
+    }
+
+    if (committed.size() < shards) {
+        result.interrupted = true;
+        inform("fleet: stop requested; unit '" + unit + "' at " +
+               std::to_string(committed.size()) + "/" +
+               std::to_string(shards) + " shards" +
+               (tempDir_.empty() ? " (resume with --resume)" : ""));
+        return result;
+    }
+
+    // Deterministic merge: global shard order, independent of which
+    // worker (or round, or prior run) committed each record. The peak
+    // RSS gauge merges with max semantics, so it is stripped from the
+    // snapshot before the additive absorb.
+    for (unsigned shard = 0; shard < shards; ++shard) {
+        MetricsSnapshot snapshot = committed.at(shard).metrics;
+        for (const LifetimeMetrics &m : committed.at(shard).trials)
+            result.summary.addTrial(m);
+        workerPeakRss_ =
+            std::max(workerPeakRss_, snapshot.takeGauge(kPeakRssGauge));
+        if (metrics != nullptr)
+            metrics->absorb(snapshot);
+    }
+    result.shardsRun = shards - result.shardsResumed;
+    return result;
+}
+
+CampaignResult
+WorkerCampaignRunner::runUnit(const std::string &unit,
+                              const LifetimeSimulator &simulator,
+                              const LifetimeSimulator::MechanismFactory &factory,
+                              unsigned trials, uint64_t seed,
+                              const TrialRunOptions &run_options)
+{
+    if (run_options.tracer != nullptr)
+        fatal("fleet: worker mode does not support tracing");
+
+    const ShardBody body = [&](unsigned shard, unsigned shards) {
+        const uint64_t first =
+            CampaignRunner::shardFirstTrial(trials, shards, shard);
+        const uint64_t end =
+            CampaignRunner::shardFirstTrial(trials, shards, shard + 1);
+
+        ShardRecord record;
+        record.unit = unit;
+        record.shard = shard;
+        record.firstTrial = first;
+        record.threads = resolveThreads(run_options.parallel);
+        record.gitRev = runGitRev();
+
+        MetricRegistry shard_metrics;
+        TrialRunOptions shard_options = run_options;
+        shard_options.progress = false;
+        shard_options.metrics =
+            run_options.metrics != nullptr ? &shard_metrics : nullptr;
+
+        Clock &clock = Clock::steady();
+        const Clock::TimePoint start = clock.now();
+        record.trials = simulator.runTrialRange(
+            first, static_cast<unsigned>(end - first), factory, seed,
+            shard_options);
+        record.durationMs = clock.elapsedMs(start);
+        record.timestampMs = runTimestampMs();
+        if (shard_options.metrics != nullptr)
+            record.metrics = shard_metrics.snapshot();
+        record.metrics.setGauge(kPeakRssGauge, peakRssBytes());
+        return record;
+    };
+    return runUnitImpl(unit, trials, run_options.metrics, body);
+}
+
+CampaignResult
+WorkerCampaignRunner::runUnitFleet(const std::string &unit,
+                                   const FleetSimulator &simulator,
+                                   const FleetSimulator::MechanismFactory &factory,
+                                   unsigned trials, uint64_t seed,
+                                   const FleetTrialOptions &run_options)
+{
+    const ShardBody body = [&](unsigned shard, unsigned shards) {
+        const uint64_t first =
+            CampaignRunner::shardFirstTrial(trials, shards, shard);
+        const uint64_t end =
+            CampaignRunner::shardFirstTrial(trials, shards, shard + 1);
+
+        ShardRecord record;
+        record.unit = unit;
+        record.shard = shard;
+        record.firstTrial = first;
+        record.threads = resolveThreads(run_options.parallel);
+        record.gitRev = runGitRev();
+
+        MetricRegistry shard_metrics;
+        FleetTrialOptions shard_options = run_options;
+        shard_options.progress = false;
+        shard_options.metrics =
+            run_options.metrics != nullptr ? &shard_metrics : nullptr;
+
+        Clock &clock = Clock::steady();
+        const Clock::TimePoint start = clock.now();
+        record.trials = simulator.runTrialRange(
+            first, static_cast<unsigned>(end - first), factory, seed,
+            shard_options);
+        record.durationMs = clock.elapsedMs(start);
+        record.timestampMs = runTimestampMs();
+        if (shard_options.metrics != nullptr)
+            record.metrics = shard_metrics.snapshot();
+        record.metrics.setGauge(kPeakRssGauge, peakRssBytes());
+        return record;
+    };
+    return runUnitImpl(unit, trials, run_options.metrics, body);
+}
+
+} // namespace relaxfault

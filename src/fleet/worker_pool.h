@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Multi-process campaign execution: forked workers over a lock-free
+ * shard queue.
+ *
+ * The parent enqueues every uncommitted shard id of a unit into a
+ * `ShmRing` (created before the fork, so all processes share it), forks
+ * `--workers` children with `spawnProcess`, and waits. Each worker pops
+ * shard descriptors, runs them through the supplied shard body, and
+ * commits every finished shard durably to its OWN checkpoint file
+ * (`<base>.worker<slot>`, ordinary `relaxfault.ckpt.v2` logs) — no
+ * cross-process write contention, and the atomic-commit crash contract
+ * is exactly the single-process one, per worker.
+ *
+ * The parent then merges: it scans all worker logs, folds the committed
+ * shard records back together in global shard order, and absorbs their
+ * telemetry. Because shard results depend only on (seed, trial index) —
+ * never on which process ran them — the merged summary and counters are
+ * bit-identical to a single-process run at ANY worker count, and every
+ * worker log doubles as a resume point: a worker killed mid-shard loses
+ * only its in-flight lease; the next round (or a `--resume` rerun)
+ * re-enqueues exactly the missing shards.
+ *
+ * Signals: the parent's `SignalGuard` forwards SIGINT/SIGTERM to every
+ * live worker from inside the handler, so each worker flushes its
+ * in-flight shard and commits before exiting; the parent reports
+ * `interrupted()` just like the single-process campaign runner.
+ */
+
+#ifndef RELAXFAULT_FLEET_WORKER_POOL_H
+#define RELAXFAULT_FLEET_WORKER_POOL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "common/signal_guard.h"
+#include "fleet/fleet_sim.h"
+
+namespace relaxfault {
+
+class ShmRing;
+
+/**
+ * Gauge stamped by every worker (and by `BenchReport`) with the
+ * process's peak RSS in bytes. Merged with max — not add — semantics:
+ * the pool strips it from absorbed snapshots and exposes the max via
+ * `workerPeakRssBytes()`.
+ */
+inline constexpr const char *kPeakRssGauge = "sim.peak_rss_bytes";
+
+/** Execution policy of a worker pool (never affects its results). */
+struct WorkerOptions
+{
+    /** Worker processes (clamped to [1, kMaxWorkers]). */
+    unsigned workers = 2;
+
+    /**
+     * Base checkpoint path; worker `k` commits to `<base>.worker<k>`.
+     * Empty uses a private temporary directory (removed on destruction)
+     * — crash-safe within the run, but not resumable across runs.
+     */
+    std::string checkpointPath;
+
+    /** Load existing worker logs and skip their committed shards. */
+    bool resume = false;
+
+    /** Trial shards per unit (clamped to the trial count, min 1). */
+    unsigned shards = 1;
+
+    /**
+     * Worker generations per unit: a crashed worker loses its in-flight
+     * shard lease, and the next round re-enqueues exactly the missing
+     * shards with fresh workers. Exhausting the rounds with shards
+     * still missing is fatal (min 1).
+     */
+    unsigned maxRounds = 2;
+
+    /**
+     * Test hook: worker slot 0 raises SIGKILL immediately after taking
+     * its Nth shard lease, BEFORE running or committing it — the
+     * crash-recovery worst case (a lost lease). 0 disables.
+     */
+    unsigned killBeforeCommit = 0;
+};
+
+/**
+ * Campaign runner that distributes a unit's shards over forked worker
+ * processes. Mirrors `CampaignRunner`'s contract: telemetry lands in
+ * the caller's registry exactly as a straight run would put it there,
+ * and the summary is bit-identical to the single-process path.
+ */
+class WorkerCampaignRunner
+{
+  public:
+    WorkerCampaignRunner(CampaignFingerprint fingerprint,
+                         WorkerOptions options);
+    ~WorkerCampaignRunner();
+
+    WorkerCampaignRunner(const WorkerCampaignRunner &) = delete;
+    WorkerCampaignRunner &operator=(const WorkerCampaignRunner &) = delete;
+
+    /** Run a unit on the classic engine across the worker pool. */
+    CampaignResult runUnit(const std::string &unit,
+                           const LifetimeSimulator &simulator,
+                           const LifetimeSimulator::MechanismFactory &factory,
+                           unsigned trials, uint64_t seed,
+                           const TrialRunOptions &run_options = {});
+
+    /** Run a unit on the fleet engine across the worker pool. */
+    CampaignResult runUnitFleet(const std::string &unit,
+                                const FleetSimulator &simulator,
+                                const FleetSimulator::MechanismFactory &factory,
+                                unsigned trials, uint64_t seed,
+                                const FleetTrialOptions &run_options = {});
+
+    /** True once a stop signal halted the pool. */
+    bool interrupted() const { return SignalGuard::stopRequested(); }
+
+    /** Exit status for an interrupted run (128 + signal). */
+    int exitStatus() const { return 128 + SignalGuard::stopSignal(); }
+
+    /** Max peak RSS any merged worker shard reported, in bytes. */
+    int64_t workerPeakRssBytes() const { return workerPeakRss_; }
+
+    /** Base path worker logs derive from (temp-dir path when private). */
+    const std::string &checkpointBasePath() const { return basePath_; }
+
+    /** Worker slot @p slot's checkpoint file under @p base. */
+    static std::string workerLogPath(const std::string &base,
+                                     unsigned slot);
+
+    /** Pool size cap (== the signal-forwarding registry capacity). */
+    static constexpr unsigned kMaxWorkers =
+        SignalGuard::kMaxForwardedChildren;
+
+  private:
+    /** Runs one shard start-to-finish; executed inside a worker. */
+    using ShardBody =
+        std::function<ShardRecord(unsigned shard, unsigned shards)>;
+
+    CampaignResult runUnitImpl(const std::string &unit, unsigned trials,
+                               MetricRegistry *metrics,
+                               const ShardBody &body);
+
+    /** Worker child main loop: pop, run, commit; 0 on clean exit. */
+    int workerMain(ShmRing &ring, const ShardBody &body, unsigned slot,
+                   unsigned shards) const;
+
+    CampaignFingerprint fingerprint_;
+    WorkerOptions options_;
+    SignalGuard guard_;
+    std::string basePath_;
+    std::string tempDir_;   ///< Non-empty: remove on destruction.
+    int64_t workerPeakRss_ = 0;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_FLEET_WORKER_POOL_H

@@ -99,6 +99,63 @@ LifetimeSummary::merge(const LifetimeSummary &other)
     failStops.merge(other.failStops);
 }
 
+TrialTelemetry::TrialTelemetry(MetricRegistry *registry,
+                               bool audit_counters)
+{
+    if (registry == nullptr)
+        return;
+    trials_ = &registry->counter("sim.trials");
+    faultyNodes_ = &registry->counter("sim.faulty_nodes");
+    multiDev_ = &registry->counter("sim.multi_device_fault_dimms");
+    dues_ = &registry->counter("sim.dues");
+    sdcMicros_ = &registry->counter("sim.sdc_micros");
+    replacements_ = &registry->counter("sim.replacements");
+    repaired_ = &registry->counter("sim.repaired_faults");
+    permanent_ = &registry->counter("sim.permanent_faults");
+    fullyRepaired_ = &registry->counter("sim.fully_repaired_nodes");
+    budgetExhausted_ = &registry->counter("repair.budget_exhausted");
+    degradedRetire_ = &registry->counter("repair.degraded_to_retirement");
+    degradedDues_ = &registry->counter("repair.degraded_dues");
+    failStops_ = &registry->counter("repair.fail_stops");
+    if (audit_counters) {
+        auditChecks_ = &registry->counter("audit.checks");
+        auditViolations_ = &registry->counter("audit.violations");
+    }
+    trialUs_ = &registry->histogram("sim.trial_us");
+}
+
+void
+TrialTelemetry::foldTrial(const LifetimeMetrics &m)
+{
+    if (trials_ == nullptr)
+        return;
+    const auto count = [](double value) {
+        return static_cast<uint64_t>(std::llround(value));
+    };
+    trials_->add(1);
+    faultyNodes_->add(count(m.faultyNodes));
+    multiDev_->add(count(m.multiDeviceFaultDimms));
+    dues_->add(count(m.dues));
+    sdcMicros_->add(count(m.sdcs * 1e6));
+    replacements_->add(count(m.replacements));
+    repaired_->add(count(m.repairedFaults));
+    permanent_->add(count(m.permanentFaults));
+    fullyRepaired_->add(count(m.fullyRepairedNodes));
+    budgetExhausted_->add(count(m.budgetExhausted));
+    degradedRetire_->add(count(m.degradedToRetirement));
+    degradedDues_->add(count(m.degradedDues));
+    failStops_->add(count(m.failStops));
+}
+
+void
+TrialTelemetry::foldAudit(uint64_t checks, uint64_t violations)
+{
+    if (auditChecks_ == nullptr)
+        return;
+    auditChecks_->add(checks);
+    auditViolations_->add(violations);
+}
+
 LifetimeSimulator::LifetimeSimulator(const LifetimeConfig &config)
     : config_(config),
       classifier_(config.faultModel.geometry, config.reliability)
@@ -481,53 +538,12 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
     std::vector<LifetimeMetrics> per_trial(count);
     ProgressMeter meter(options.progressLabel, count, options.progress);
 
-    // Metric creation is mutex-protected, so hoist the lookups out of
-    // the trial loop; the hot path then pays one null check per trial
-    // when telemetry is off, and lock-free integer adds when it is on.
-    // SDC expectations are doubles; they are folded as integer
-    // micro-units so the merged counter is bit-identical regardless of
-    // which thread ran which trial.
+    // Hoisted counter handles shared with the fleet engine; SDC
+    // expectations fold as integer micro-units so the merged counters
+    // are bit-identical regardless of which thread ran which trial.
     MetricRegistry *const telemetry = options.metrics;
-    Counter *c_trials = nullptr;
-    Counter *c_faulty_nodes = nullptr;
-    Counter *c_multi_dev = nullptr;
-    Counter *c_dues = nullptr;
-    Counter *c_sdc_micros = nullptr;
-    Counter *c_replacements = nullptr;
-    Counter *c_repaired = nullptr;
-    Counter *c_permanent = nullptr;
-    Counter *c_fully_repaired = nullptr;
-    Counter *c_budget_exhausted = nullptr;
-    Counter *c_degraded_retire = nullptr;
-    Counter *c_degraded_dues = nullptr;
-    Counter *c_fail_stops = nullptr;
-    Counter *c_audit_checks = nullptr;
-    Counter *c_audit_violations = nullptr;
-    Log2Histogram *h_trial_us = nullptr;
-    if (telemetry != nullptr) {
-        c_trials = &telemetry->counter("sim.trials");
-        c_faulty_nodes = &telemetry->counter("sim.faulty_nodes");
-        c_multi_dev =
-            &telemetry->counter("sim.multi_device_fault_dimms");
-        c_dues = &telemetry->counter("sim.dues");
-        c_sdc_micros = &telemetry->counter("sim.sdc_micros");
-        c_replacements = &telemetry->counter("sim.replacements");
-        c_repaired = &telemetry->counter("sim.repaired_faults");
-        c_permanent = &telemetry->counter("sim.permanent_faults");
-        c_fully_repaired =
-            &telemetry->counter("sim.fully_repaired_nodes");
-        c_budget_exhausted =
-            &telemetry->counter("repair.budget_exhausted");
-        c_degraded_retire =
-            &telemetry->counter("repair.degraded_to_retirement");
-        c_degraded_dues = &telemetry->counter("repair.degraded_dues");
-        c_fail_stops = &telemetry->counter("repair.fail_stops");
-        if (options.audit.enabled) {
-            c_audit_checks = &telemetry->counter("audit.checks");
-            c_audit_violations = &telemetry->counter("audit.violations");
-        }
-        h_trial_us = &telemetry->histogram("sim.trial_us");
-    }
+    TrialTelemetry fold(telemetry, options.audit.enabled);
+    Log2Histogram *const h_trial_us = fold.trialUs();
 
     // One shared read-only auditor; per-trial accumulators are local to
     // the trial, so any thread may run any trial.
@@ -567,49 +583,10 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
                         runSystemTrial(factory, trial_rng, telemetry,
                                        audit_ptr, sink);
                 }
-                if (telemetry != nullptr) {
-                    const LifetimeMetrics &m = per_trial[t];
-                    c_trials->add(1);
-                    c_faulty_nodes->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.faultyNodes)));
-                    c_multi_dev->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.multiDeviceFaultDimms)));
-                    c_dues->add(
-                        static_cast<uint64_t>(std::llround(m.dues)));
-                    c_sdc_micros->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.sdcs * 1e6)));
-                    c_replacements->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.replacements)));
-                    c_repaired->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.repairedFaults)));
-                    c_permanent->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.permanentFaults)));
-                    c_fully_repaired->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.fullyRepairedNodes)));
-                    c_budget_exhausted->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.budgetExhausted)));
-                    c_degraded_retire->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.degradedToRetirement)));
-                    c_degraded_dues->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.degradedDues)));
-                    c_fail_stops->add(
-                        static_cast<uint64_t>(
-                            std::llround(m.failStops)));
-                    if (audit_ptr != nullptr) {
-                        c_audit_checks->add(audit_state.checks);
-                        c_audit_violations->add(audit_state.violations);
-                    }
-                }
+                fold.foldTrial(per_trial[t]);
+                if (audit_ptr != nullptr)
+                    fold.foldAudit(audit_state.checks,
+                                   audit_state.violations);
                 meter.tick();
             }
         },

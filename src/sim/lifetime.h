@@ -36,6 +36,8 @@
 
 namespace relaxfault {
 
+class Counter;
+class Log2Histogram;
 class MetricRegistry;
 class PageRetirement;
 class Tracer;
@@ -195,6 +197,51 @@ struct TrialRunOptions
     uint16_t traceUnit = 0;
 };
 
+/**
+ * Hoisted handles to the `sim.*` / `repair.*` trial counters, with the
+ * per-trial fold shared by every trial loop (the classic engine's
+ * `runTrialRange` and the fleet engine's). Metric creation takes the
+ * registry mutex, so the handles are resolved once up front; the folds
+ * themselves are lock-free integer adds (SDC expectations fold as
+ * micro-units), which keeps merged totals bit-identical no matter which
+ * thread — or which worker process — ran which trial. A null registry
+ * disables everything (all folds are no-ops).
+ */
+class TrialTelemetry
+{
+  public:
+    TrialTelemetry(MetricRegistry *registry, bool audit_counters);
+
+    /** Fold one trial's outcome into the counters (and count it). */
+    void foldTrial(const LifetimeMetrics &metrics);
+
+    /** Fold one trial's invariant-audit outcome. */
+    void foldAudit(uint64_t checks, uint64_t violations);
+
+    /** The `sim.trial_us` latency histogram (null when disabled). */
+    Log2Histogram *trialUs() const { return trialUs_; }
+
+    bool enabled() const { return trials_ != nullptr; }
+
+  private:
+    Counter *trials_ = nullptr;
+    Counter *faultyNodes_ = nullptr;
+    Counter *multiDev_ = nullptr;
+    Counter *dues_ = nullptr;
+    Counter *sdcMicros_ = nullptr;
+    Counter *replacements_ = nullptr;
+    Counter *repaired_ = nullptr;
+    Counter *permanent_ = nullptr;
+    Counter *fullyRepaired_ = nullptr;
+    Counter *budgetExhausted_ = nullptr;
+    Counter *degradedRetire_ = nullptr;
+    Counter *degradedDues_ = nullptr;
+    Counter *failStops_ = nullptr;
+    Counter *auditChecks_ = nullptr;
+    Counter *auditViolations_ = nullptr;
+    Log2Histogram *trialUs_ = nullptr;
+};
+
 /** Monte Carlo engine over whole-system lifetimes. */
 class LifetimeSimulator
 {
@@ -246,14 +293,21 @@ class LifetimeSimulator
 
     const LifetimeConfig &config() const { return config_; }
 
-  private:
-    /** Process one node's mission; accumulates into @p metrics. */
+    /**
+     * Process one node's full mission; accumulates into @p metrics and
+     * consumes @p rng only when the node has faults. Public because it
+     * is the shared node pipeline: `runSystemTrial` drives it off one
+     * sequential trial stream, while the fleet engine
+     * (`src/fleet/fleet_sim.h`) iterates nodes lazily and drives it off
+     * per-node counter-forked streams — both get identical physics.
+     */
     void simulateNode(const NodeSample &node, RepairMechanism *mechanism,
                       PageRetirement *retirement,
                       LifetimeMetrics &metrics, Rng &rng,
                       MetricRegistry *telemetry, TrialAuditState *audit,
                       TraceSink *trace) const;
 
+  private:
     LifetimeConfig config_;
     ReliabilityClassifier classifier_;
 };

@@ -1,5 +1,6 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/simd.h"
@@ -190,6 +191,43 @@ MetricsSnapshot::counterValue(const std::string &name) const
     for (const auto &[key, value] : counters) {
         if (key == name)
             return value;
+    }
+    return 0;
+}
+
+int64_t
+MetricsSnapshot::gaugeValue(const std::string &name) const
+{
+    for (const auto &[key, value] : gauges) {
+        if (key == name)
+            return value;
+    }
+    return 0;
+}
+
+void
+MetricsSnapshot::setGauge(const std::string &name, int64_t value)
+{
+    const auto it = std::lower_bound(
+        gauges.begin(), gauges.end(), name,
+        [](const auto &entry, const std::string &key) {
+            return entry.first < key;
+        });
+    if (it != gauges.end() && it->first == name)
+        it->second = value;
+    else
+        gauges.insert(it, {name, value});
+}
+
+int64_t
+MetricsSnapshot::takeGauge(const std::string &name)
+{
+    for (auto it = gauges.begin(); it != gauges.end(); ++it) {
+        if (it->first == name) {
+            const int64_t value = it->second;
+            gauges.erase(it);
+            return value;
+        }
     }
     return 0;
 }

@@ -304,6 +304,24 @@ struct MetricsSnapshot
     /** Counter value by name (0 if absent). */
     uint64_t counterValue(const std::string &name) const;
 
+    /** Gauge value by name (0 if absent). */
+    int64_t gaugeValue(const std::string &name) const;
+
+    /**
+     * Set (insert-or-overwrite, keeping the name-sorted order) gauge
+     * @p name to @p value. Used to stamp snapshot-scoped facts — e.g.
+     * a worker process's peak RSS — into a captured snapshot.
+     */
+    void setGauge(const std::string &name, int64_t value);
+
+    /**
+     * Remove gauge @p name and return its value (0 if absent). The
+     * escape hatch for gauges whose cross-shard merge is NOT additive:
+     * the worker pool takes each shard's peak-RSS gauge out (folding it
+     * with max) before the additive absorb sees the snapshot.
+     */
+    int64_t takeGauge(const std::string &name);
+
     /** Histogram snapshot by name (null if absent). */
     const Log2HistogramSnapshot *
     findHistogram(const std::string &name) const;

@@ -1,0 +1,576 @@
+/**
+ * @file
+ * Determinism and crash-recovery tests for the fleet-scale engine.
+ *
+ * The load-bearing invariants, all checked with exact double equality:
+ *
+ *  - Lazy (O(faulty) skip-ahead) and eager (whole-fleet) modes produce
+ *    bit-identical `LifetimeSummary` and telemetry — at 16,384 nodes
+ *    per system and at multiple thread counts (the issue's acceptance
+ *    bar for the lazy node-state optimization).
+ *  - Folding `runTrialRange` splits back together reproduces
+ *    `runTrials` bit-for-bit — the shard invariance the worker pool
+ *    builds on.
+ *  - The multi-process worker pool (forked workers over the shared
+ *    shard ring) matches the in-process run at any worker count, on
+ *    both the fleet and the classic engine, including after a worker
+ *    is genuinely SIGKILLed holding a shard lease and the run is
+ *    resumed from the surviving worker checkpoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/fs.h"
+#include "common/process.h"
+#include "common/signal_guard.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/worker_pool.h"
+#include "repair/relaxfault_repair.h"
+#include "telemetry/metrics.h"
+
+namespace relaxfault {
+namespace {
+
+LifetimeConfig
+fleetConfig(unsigned nodes, double fit_scale = 1.0)
+{
+    LifetimeConfig config;
+    config.nodesPerSystem = nodes;
+    config.faultModel.fitScale = fit_scale;
+    config.policy = ReplacePolicy::AfterDue;
+    return config;
+}
+
+FleetSimulator::MechanismFactory
+relaxFactory(const LifetimeConfig &config)
+{
+    const DramGeometry geometry = config.faultModel.geometry;
+    const CacheGeometry llc{8 * 1024 * 1024, 16, 64};
+    return [geometry, llc] {
+        return std::make_unique<RelaxFaultRepair>(
+            geometry, llc, RepairBudget{4, 32768}, true);
+    };
+}
+
+void
+expectIdentical(const RunningStat &a, const RunningStat &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.ci95(), b.ci95());
+    EXPECT_EQ(a.variance(), b.variance());
+    EXPECT_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+}
+
+void
+expectIdentical(const LifetimeSummary &a, const LifetimeSummary &b)
+{
+    expectIdentical(a.faultyNodes, b.faultyNodes);
+    expectIdentical(a.multiDeviceFaultDimms, b.multiDeviceFaultDimms);
+    expectIdentical(a.dues, b.dues);
+    expectIdentical(a.sdcs, b.sdcs);
+    expectIdentical(a.replacements, b.replacements);
+    expectIdentical(a.repairedFaults, b.repairedFaults);
+    expectIdentical(a.permanentFaults, b.permanentFaults);
+    expectIdentical(a.fullyRepairedNodes, b.fullyRepairedNodes);
+    expectIdentical(a.budgetExhausted, b.budgetExhausted);
+    expectIdentical(a.degradedToRetirement, b.degradedToRetirement);
+    expectIdentical(a.degradedDues, b.degradedDues);
+    expectIdentical(a.failStops, b.failStops);
+}
+
+/** Exact telemetry match, minus the wall-clock trial histogram. */
+void
+expectIdenticalTelemetry(const MetricsSnapshot &a,
+                         const MetricsSnapshot &b)
+{
+    ASSERT_EQ(a.counters.size(), b.counters.size());
+    for (size_t i = 0; i < a.counters.size(); ++i) {
+        EXPECT_EQ(a.counters[i].first, b.counters[i].first);
+        EXPECT_EQ(a.counters[i].second, b.counters[i].second)
+            << "counter " << a.counters[i].first;
+    }
+    ASSERT_EQ(a.histograms.size(), b.histograms.size());
+    for (size_t i = 0; i < a.histograms.size(); ++i) {
+        EXPECT_EQ(a.histograms[i].first, b.histograms[i].first);
+        if (a.histograms[i].first == "sim.trial_us")
+            continue;
+        const Log2HistogramSnapshot &ha = a.histograms[i].second;
+        const Log2HistogramSnapshot &hb = b.histograms[i].second;
+        EXPECT_EQ(ha.count, hb.count) << a.histograms[i].first;
+        EXPECT_EQ(ha.sum, hb.sum) << a.histograms[i].first;
+        for (size_t bkt = 0; bkt < ha.buckets.size(); ++bkt)
+            EXPECT_EQ(ha.buckets[bkt], hb.buckets[bkt])
+                << a.histograms[i].first << " bucket " << bkt;
+    }
+}
+
+FleetTrialOptions
+fleetRun(FleetMode mode, unsigned threads,
+         MetricRegistry *metrics = nullptr)
+{
+    FleetTrialOptions options;
+    options.mode = mode;
+    options.parallel.threads = threads;
+    options.metrics = metrics;
+    return options;
+}
+
+CampaignFingerprint
+fleetFingerprint(uint64_t seed, uint64_t trials, unsigned shards)
+{
+    CampaignFingerprint fingerprint;
+    fingerprint.campaign = "test_fleet";
+    fingerprint.seed = seed;
+    fingerprint.trials = trials;
+    fingerprint.shards = shards;
+    fingerprint.config = "fleet";
+    return fingerprint;
+}
+
+std::string
+tempBase(const std::string &name)
+{
+    return ::testing::TempDir() + "relaxfault_fleet_" + name + "_" +
+           std::to_string(::getpid()) + ".ckpt";
+}
+
+void
+removeWorkerLogs(const std::string &base)
+{
+    for (unsigned slot = 0; slot < WorkerCampaignRunner::kMaxWorkers;
+         ++slot)
+        std::remove(
+            WorkerCampaignRunner::workerLogPath(base, slot).c_str());
+}
+
+// ---------------------------------------------------------------------
+// Sampler distribution shape.
+
+TEST(FleetSampler, ZeroFaultProbabilityIsTheCommonCase)
+{
+    // ~0.78 at nominal FIT: arrivals count transient faults too, so
+    // the skip rate is lower than the permanent-faulty-node rate
+    // suggests — but still the majority case the lazy path feeds on.
+    const FleetNodeSampler nominal(fleetConfig(1).faultModel);
+    EXPECT_GT(nominal.zeroFaultProbability(), 0.5);
+    EXPECT_LT(nominal.zeroFaultProbability(), 1.0);
+    // More FIT => fewer fault-free nodes.
+    const FleetNodeSampler scaled(fleetConfig(1, 10.0).faultModel);
+    EXPECT_LT(scaled.zeroFaultProbability(),
+              nominal.zeroFaultProbability());
+}
+
+TEST(FleetSampler, ObservedSkipRateMatchesPrediction)
+{
+    const FaultModelConfig config = fleetConfig(1, 10.0).faultModel;
+    const FleetNodeSampler sampler(config);
+    constexpr unsigned kNodes = 200000;
+    NodeSample sample;
+    unsigned zero = 0;
+    for (unsigned n = 0; n < kNodes; ++n) {
+        Rng rng = Rng::forkAt(42, n);
+        if (sampler.sampleNodeInto(sample, rng) == 0) {
+            ++zero;
+            EXPECT_TRUE(sample.faults.empty());
+        }
+    }
+    const double observed = static_cast<double>(zero) / kNodes;
+    // ~4 sigma band around the analytic zero-fault probability.
+    const double p = sampler.zeroFaultProbability();
+    const double sigma = std::sqrt(p * (1.0 - p) / kNodes);
+    EXPECT_NEAR(observed, p, 4.0 * sigma);
+}
+
+// ---------------------------------------------------------------------
+// Lazy == eager, bit for bit.
+
+TEST(Fleet, LazyAndEagerBitIdenticalAt16kNodes)
+{
+    const LifetimeConfig config = fleetConfig(16384);
+    const FleetSimulator simulator(config);
+    const auto factory = relaxFactory(config);
+    constexpr unsigned kTrials = 4;
+    constexpr uint64_t kSeed = 1206;
+
+    MetricRegistry lazy_metrics;
+    const LifetimeSummary lazy = simulator.runTrials(
+        kTrials, factory, kSeed,
+        fleetRun(FleetMode::Lazy, 1, &lazy_metrics));
+    ASSERT_GT(lazy.faultyNodes.mean(), 0.0);
+
+    for (const unsigned threads : {1u, 4u}) {
+        MetricRegistry eager_metrics;
+        const LifetimeSummary eager = simulator.runTrials(
+            kTrials, factory, kSeed,
+            fleetRun(FleetMode::Eager, threads, &eager_metrics));
+        expectIdentical(lazy, eager);
+        expectIdenticalTelemetry(lazy_metrics.snapshot(),
+                                 eager_metrics.snapshot());
+
+        MetricRegistry lazy_mt_metrics;
+        const LifetimeSummary lazy_mt = simulator.runTrials(
+            kTrials, factory, kSeed,
+            fleetRun(FleetMode::Lazy, threads, &lazy_mt_metrics));
+        expectIdentical(lazy, lazy_mt);
+        expectIdenticalTelemetry(lazy_metrics.snapshot(),
+                                 lazy_mt_metrics.snapshot());
+    }
+}
+
+TEST(Fleet, LazyAndEagerBitIdenticalWithAcceleratedFleet)
+{
+    // The accelerated-class CDF path (node and DIMM acceleration flags)
+    // must skip-ahead identically too.
+    LifetimeConfig config = fleetConfig(4096, 10.0);
+    config.faultModel.accelerationEnabled = true;
+    config.faultModel.accelerationFactor = 100.0;
+    config.faultModel.acceleratedNodeFraction = 0.01;
+    config.faultModel.acceleratedDimmFraction = 0.01;
+    const FleetSimulator simulator(config);
+    const auto factory = relaxFactory(config);
+
+    const LifetimeSummary lazy = simulator.runTrials(
+        6, factory, 77, fleetRun(FleetMode::Lazy, 2));
+    const LifetimeSummary eager = simulator.runTrials(
+        6, factory, 77, fleetRun(FleetMode::Eager, 2));
+    ASSERT_GT(lazy.faultyNodes.mean(), 0.0);
+    expectIdentical(lazy, eager);
+}
+
+TEST(Fleet, TrialRangeSplitsFoldBackToRunTrials)
+{
+    const LifetimeConfig config = fleetConfig(1024, 10.0);
+    const FleetSimulator simulator(config);
+    const auto factory = relaxFactory(config);
+    constexpr unsigned kTrials = 9;
+    constexpr uint64_t kSeed = 5;
+
+    const LifetimeSummary straight = simulator.runTrials(
+        kTrials, factory, kSeed, fleetRun(FleetMode::Lazy, 1));
+
+    for (const unsigned shards : {1u, 2u, 4u, 9u}) {
+        LifetimeSummary folded;
+        for (unsigned shard = 0; shard < shards; ++shard) {
+            const uint64_t first =
+                CampaignRunner::shardFirstTrial(kTrials, shards, shard);
+            const uint64_t end = CampaignRunner::shardFirstTrial(
+                kTrials, shards, shard + 1);
+            const std::vector<LifetimeMetrics> range =
+                simulator.runTrialRange(
+                    first, static_cast<unsigned>(end - first), factory,
+                    kSeed, fleetRun(FleetMode::Lazy, 2));
+            for (const LifetimeMetrics &m : range)
+                folded.addTrial(m);
+        }
+        expectIdentical(straight, folded);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker pool: forked processes == in-process, bit for bit.
+
+TEST(FleetWorkers, FleetEngineMatchesInProcessAtOneAndTwoWorkers)
+{
+    SignalGuard::reset();
+    const LifetimeConfig config = fleetConfig(2048, 10.0);
+    const FleetSimulator simulator(config);
+    const auto factory = relaxFactory(config);
+    constexpr unsigned kTrials = 8;
+    constexpr uint64_t kSeed = 31;
+
+    MetricRegistry straight_metrics;
+    const LifetimeSummary straight = simulator.runTrials(
+        kTrials, factory, kSeed,
+        fleetRun(FleetMode::Lazy, 1, &straight_metrics));
+
+    for (const unsigned workers : {1u, 2u}) {
+        WorkerOptions options;
+        options.workers = workers;
+        options.shards = 4;
+        WorkerCampaignRunner pool(fleetFingerprint(kSeed, kTrials, 4),
+                                  options);
+        MetricRegistry metrics;
+        const CampaignResult result = pool.runUnitFleet(
+            "fleet", simulator, factory, kTrials, kSeed,
+            fleetRun(FleetMode::Lazy, 1, &metrics));
+        ASSERT_FALSE(result.interrupted);
+        EXPECT_EQ(result.shardsRun, 4u);
+        expectIdentical(straight, result.summary);
+        expectIdenticalTelemetry(straight_metrics.snapshot(),
+                                 metrics.snapshot());
+        // Every worker stamped its peak RSS; the pool kept the max.
+        EXPECT_GT(pool.workerPeakRssBytes(), 0);
+    }
+}
+
+TEST(FleetWorkers, ClassicEngineMatchesStraightRun)
+{
+    SignalGuard::reset();
+    LifetimeConfig config = fleetConfig(128, 10.0);
+    const LifetimeSimulator simulator(config);
+    const auto factory = relaxFactory(config);
+    constexpr unsigned kTrials = 10;
+    constexpr uint64_t kSeed = 99;
+
+    MetricRegistry straight_metrics;
+    TrialRunOptions straight_run;
+    straight_run.parallel.threads = 1;
+    straight_run.metrics = &straight_metrics;
+    const LifetimeSummary straight =
+        simulator.runTrials(kTrials, factory, kSeed, straight_run);
+
+    WorkerOptions options;
+    options.workers = 2;
+    options.shards = 5;
+    WorkerCampaignRunner pool(fleetFingerprint(kSeed, kTrials, 5),
+                              options);
+    MetricRegistry metrics;
+    TrialRunOptions run;
+    run.parallel.threads = 1;
+    run.metrics = &metrics;
+    const CampaignResult result = pool.runUnit(
+        "classic", simulator, factory, kTrials, kSeed, run);
+    ASSERT_FALSE(result.interrupted);
+    expectIdentical(straight, result.summary);
+    expectIdenticalTelemetry(straight_metrics.snapshot(),
+                             metrics.snapshot());
+}
+
+TEST(FleetWorkers, TemporaryCheckpointDirIsRemovedOnDestruction)
+{
+    SignalGuard::reset();
+    const LifetimeConfig config = fleetConfig(256, 10.0);
+    const FleetSimulator simulator(config);
+    std::string dir;
+    {
+        WorkerOptions options;  // Empty checkpointPath: private scratch.
+        options.workers = 2;
+        options.shards = 2;
+        WorkerCampaignRunner pool(fleetFingerprint(1, 4, 2), options);
+        const std::string &base = pool.checkpointBasePath();
+        EXPECT_EQ(base.rfind("/tmp/relaxfault_fleet.", 0), 0u) << base;
+        dir = base.substr(0, base.rfind('/'));
+        const CampaignResult result = pool.runUnitFleet(
+            "fleet", simulator, relaxFactory(config), 4, 1,
+            fleetRun(FleetMode::Lazy, 1));
+        ASSERT_FALSE(result.interrupted);
+        EXPECT_TRUE(fileExists(
+            WorkerCampaignRunner::workerLogPath(base, 0)));
+    }
+    // fileExists is regular-file-only; probe the directory directly.
+    EXPECT_NE(::access(dir.c_str(), F_OK), 0) << dir;
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery: a worker genuinely SIGKILLed holding a shard lease.
+
+constexpr unsigned kKillTrials = 10;
+constexpr uint64_t kKillSeed = 1234;
+
+/**
+ * Runs a 2-worker pool where worker slot 0 SIGKILLs itself right after
+ * popping its first shard — before running or committing it (the lost
+ * lease worst case). With maxRounds=1 the pool cannot recover and dies
+ * fatally (exit 1); in the rare schedule where worker 1 drains the
+ * whole ring before worker 0 pops anything, the run completes cleanly
+ * instead (exit 0). Either way the committed worker logs must be
+ * resumable.
+ */
+int
+runKilledPoolChild(const std::string &base, unsigned shards)
+{
+    SignalGuard::reset();
+    const LifetimeConfig config = fleetConfig(512, 10.0);
+    const FleetSimulator simulator(config);
+    WorkerOptions options;
+    options.workers = 2;
+    options.checkpointPath = base;
+    options.shards = shards;
+    options.maxRounds = 1;
+    options.killBeforeCommit = 1;
+    WorkerCampaignRunner pool(
+        fleetFingerprint(kKillSeed, kKillTrials, shards), options);
+    // Telemetry on: committed shard records must carry their counters
+    // so the resumed run can merge them (resume inherits the original
+    // run's telemetry choice).
+    MetricRegistry metrics;
+    pool.runUnitFleet("fleet", simulator, relaxFactory(config),
+                      kKillTrials, kKillSeed,
+                      fleetRun(FleetMode::Lazy, 1, &metrics));
+    return 0;
+}
+
+class FleetWorkerKillResume : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FleetWorkerKillResume, ResumeAfterSigkillMatchesStraightRun)
+{
+    const unsigned shards = GetParam();
+    SignalGuard::reset();
+    const std::string base =
+        tempBase("kill_s" + std::to_string(shards));
+    removeWorkerLogs(base);
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // In the child: the pool parent whose worker 0 dies by real
+        // SIGKILL. _exit so the parent's gtest teardown never runs
+        // twice.
+        _exit(runKilledPoolChild(base, shards));
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_TRUE(WEXITSTATUS(status) == 1 || WEXITSTATUS(status) == 0)
+        << "unexpected exit " << WEXITSTATUS(status);
+
+    // Resume from the surviving worker checkpoints with a healthy pool.
+    const LifetimeConfig config = fleetConfig(512, 10.0);
+    const FleetSimulator simulator(config);
+    const auto factory = relaxFactory(config);
+    WorkerOptions options;
+    options.workers = 2;
+    options.checkpointPath = base;
+    options.resume = true;
+    options.shards = shards;
+    WorkerCampaignRunner pool(
+        fleetFingerprint(kKillSeed, kKillTrials, shards), options);
+    MetricRegistry metrics;
+    const CampaignResult resumed = pool.runUnitFleet(
+        "fleet", simulator, factory, kKillTrials, kKillSeed,
+        fleetRun(FleetMode::Lazy, 1, &metrics));
+    ASSERT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.shardsResumed + resumed.shardsRun, shards);
+
+    MetricRegistry straight_metrics;
+    const LifetimeSummary straight = simulator.runTrials(
+        kKillTrials, factory, kKillSeed,
+        fleetRun(FleetMode::Lazy, 1, &straight_metrics));
+    expectIdentical(straight, resumed.summary);
+    expectIdenticalTelemetry(straight_metrics.snapshot(),
+                             metrics.snapshot());
+    removeWorkerLogs(base);
+}
+
+// 2 workers x >= 2 shard counts, per the acceptance criteria.
+INSTANTIATE_TEST_SUITE_P(TwoWorkers, FleetWorkerKillResume,
+                         ::testing::Values(3u, 5u));
+
+TEST(FleetWorkersDeathTest, ExhaustedRoundsWithLostShardIsFatal)
+{
+    SignalGuard::reset();
+    const std::string base = tempBase("rounds");
+    removeWorkerLogs(base);
+    const LifetimeConfig config = fleetConfig(256, 10.0);
+    const FleetSimulator simulator(config);
+    // A single worker that always dies before committing: round 1 loses
+    // the lease deterministically, and maxRounds=1 forbids recovery.
+    WorkerOptions options;
+    options.workers = 1;
+    options.checkpointPath = base;
+    options.shards = 3;
+    options.maxRounds = 1;
+    options.killBeforeCommit = 1;
+    WorkerCampaignRunner pool(fleetFingerprint(8, 6, 3), options);
+    EXPECT_EXIT(pool.runUnitFleet("fleet", simulator,
+                                  relaxFactory(config), 6, 8,
+                                  fleetRun(FleetMode::Lazy, 1)),
+                ::testing::ExitedWithCode(1), "still missing");
+    removeWorkerLogs(base);
+}
+
+TEST(FleetWorkersDeathTest, ForeignWorkerLogIsNeverMerged)
+{
+    SignalGuard::reset();
+    const std::string base = tempBase("foreign");
+    removeWorkerLogs(base);
+    const LifetimeConfig config = fleetConfig(256, 10.0);
+    const FleetSimulator simulator(config);
+    const auto factory = relaxFactory(config);
+    {
+        WorkerOptions options;
+        options.workers = 1;
+        options.checkpointPath = base;
+        options.shards = 2;
+        WorkerCampaignRunner pool(fleetFingerprint(1, 4, 2), options);
+        const CampaignResult result = pool.runUnitFleet(
+            "fleet", simulator, factory, 4, 1,
+            fleetRun(FleetMode::Lazy, 1));
+        ASSERT_FALSE(result.interrupted);
+    }
+    // Same path, different campaign (seed): the resume scan must refuse
+    // the existing worker logs, not silently merge a different
+    // experiment's shards.
+    WorkerOptions options;
+    options.workers = 1;
+    options.checkpointPath = base;
+    options.resume = true;
+    options.shards = 2;
+    WorkerCampaignRunner pool(fleetFingerprint(2, 4, 2), options);
+    EXPECT_EXIT(pool.runUnitFleet("fleet", simulator, factory, 4, 2,
+                                  fleetRun(FleetMode::Lazy, 1)),
+                ::testing::ExitedWithCode(1), "different campaign");
+    removeWorkerLogs(base);
+}
+
+// ---------------------------------------------------------------------
+// Signal forwarding to live workers.
+
+TEST(SignalGuardFleet, StopSignalIsForwardedToAdoptedChildren)
+{
+    // Run the whole scenario in a forked process so the signal games
+    // never touch the test runner itself. Inside: a guard parent spawns
+    // a worker that polls its own stop flag, adopts it, and SIGTERMs
+    // itself — the handler must set the parent flag AND forward the
+    // signal to the worker, which then exits with a marker code.
+    const pid_t outer = spawnProcess([]() {
+        SignalGuard::reset();
+        SignalGuard::clearChildren();
+        SignalGuard guard;
+        const pid_t worker = spawnProcess([]() {
+            SignalGuard::clearChildren();
+            for (int i = 0; i < 20000 && !SignalGuard::stopRequested();
+                 ++i)
+                ::usleep(1000);
+            return SignalGuard::stopRequested() ? 7 : 8;
+        });
+        SignalGuard::adoptChild(worker);
+        if (SignalGuard::childCount() != 1)
+            return 3;
+        ::usleep(100000);  // Let the worker settle into its poll loop.
+        ::kill(::getpid(), SIGTERM);
+        const ProcessStatus status = waitProcess(worker);
+        SignalGuard::releaseChild(worker);
+        if (!SignalGuard::stopRequested())
+            return 1;
+        if (SignalGuard::stopSignal() != SIGTERM)
+            return 2;
+        if (SignalGuard::childCount() != 0)
+            return 4;
+        return status.exited && status.exitCode == 7 ? 0 : 5;
+    });
+    const ProcessStatus status = waitProcess(outer);
+    EXPECT_TRUE(status.ok()) << "scenario exit code "
+                             << status.exitCode;
+}
+
+TEST(FleetWorkers, PeakRssProbeReportsThisProcess)
+{
+    EXPECT_GT(peakRssBytes(), 0);
+}
+
+} // namespace
+} // namespace relaxfault

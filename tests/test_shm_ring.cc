@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Property tests for the bounded lock-free MPMC shard ring.
+ *
+ * The load-bearing properties: no value is ever lost or duplicated
+ * under concurrent producers and consumers, values pop fully written
+ * (each consumer observes its producers' values in per-producer FIFO
+ * order), and full/empty are reported rather than blocked on. The MPMC
+ * stress test is the one CI also runs under ThreadSanitizer — the ring
+ * is the only cross-process synchronization point of worker mode, so
+ * its memory ordering must hold up to a model checker, not just to
+ * x86's strong ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/process.h"
+#include "common/shm_ring.h"
+
+namespace relaxfault {
+namespace {
+
+TEST(ShmRing, CapacityRoundsUpToPowerOfTwoMinTwo)
+{
+    EXPECT_EQ(ShmRing::create(0).capacity(), 2u);
+    EXPECT_EQ(ShmRing::create(1).capacity(), 2u);
+    EXPECT_EQ(ShmRing::create(2).capacity(), 2u);
+    EXPECT_EQ(ShmRing::create(3).capacity(), 4u);
+    EXPECT_EQ(ShmRing::create(5).capacity(), 8u);
+    EXPECT_EQ(ShmRing::create(64).capacity(), 64u);
+    EXPECT_EQ(ShmRing::create(65).capacity(), 128u);
+}
+
+TEST(ShmRing, SingleThreadFifo)
+{
+    ShmRing ring = ShmRing::create(16);
+    for (uint64_t v = 0; v < 16; ++v)
+        EXPECT_TRUE(ring.tryPush(v * 3 + 1));
+    for (uint64_t v = 0; v < 16; ++v) {
+        uint64_t popped = 0;
+        ASSERT_TRUE(ring.tryPop(popped));
+        EXPECT_EQ(popped, v * 3 + 1);
+    }
+}
+
+TEST(ShmRing, FullAndEmptyAreReportedNotBlockedOn)
+{
+    ShmRing ring = ShmRing::create(4);
+    uint64_t value = 0;
+    EXPECT_FALSE(ring.tryPop(value));  // Empty from the start.
+    for (uint64_t v = 0; v < ring.capacity(); ++v)
+        EXPECT_TRUE(ring.tryPush(v));
+    EXPECT_FALSE(ring.tryPush(99));    // Full: refused, not overwritten.
+    ASSERT_TRUE(ring.tryPop(value));
+    EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(ring.tryPush(99));     // One slot recycled.
+    for (uint64_t v = 1; v < ring.capacity(); ++v) {
+        ASSERT_TRUE(ring.tryPop(value));
+        EXPECT_EQ(value, v);
+    }
+    ASSERT_TRUE(ring.tryPop(value));
+    EXPECT_EQ(value, 99u);
+    EXPECT_FALSE(ring.tryPop(value));  // Drained.
+}
+
+TEST(ShmRing, SequencesSurviveManyWraparounds)
+{
+    // Push/pop far past capacity so every slot's sequence laps many
+    // times; a sequence-recycling bug shows up as a refused push or a
+    // stale value.
+    ShmRing ring = ShmRing::create(4);
+    uint64_t next_pop = 0;
+    for (uint64_t v = 0; v < 10000; ++v) {
+        ASSERT_TRUE(ring.tryPush(v));
+        if (v % 3 == 0) {  // Drain lags pushes but never past capacity.
+            uint64_t popped = 0;
+            ASSERT_TRUE(ring.tryPop(popped));
+            EXPECT_EQ(popped, next_pop++);
+        }
+        if (ring.sizeApprox() == ring.capacity()) {
+            uint64_t popped = 0;
+            ASSERT_TRUE(ring.tryPop(popped));
+            EXPECT_EQ(popped, next_pop++);
+        }
+    }
+    uint64_t popped = 0;
+    while (ring.tryPop(popped))
+        EXPECT_EQ(popped, next_pop++);
+    EXPECT_EQ(next_pop, 10000u);
+}
+
+/**
+ * 4 producers x 4 consumers over a small ring. Checks, across the whole
+ * run: every value pushed is popped exactly once (no loss, no
+ * duplication), and each consumer sees any given producer's values in
+ * strictly increasing sequence order (per-producer FIFO — the ring's
+ * ordering guarantee; cross-producer order is unspecified).
+ */
+TEST(ShmRing, MpmcNoLossNoDupPerProducerFifo)
+{
+    constexpr unsigned kProducers = 4;
+    constexpr unsigned kConsumers = 4;
+    constexpr uint64_t kPerProducer = 20000;
+    constexpr uint64_t kTotal = kProducers * kPerProducer;
+
+    ShmRing ring = ShmRing::create(64);
+    std::atomic<uint64_t> popped_total{0};
+
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p]() {
+            for (uint64_t seq = 0; seq < kPerProducer; ++seq) {
+                const uint64_t value = (uint64_t{p} << 32) | seq;
+                while (!ring.tryPush(value))
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    std::vector<std::vector<uint64_t>> popped(kConsumers);
+    std::vector<std::thread> consumers;
+    for (unsigned c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&ring, &popped_total, &popped, c]() {
+            uint64_t value = 0;
+            // Termination: the global pop count reaching kTotal is the
+            // only exit; an empty ring mid-run just means producers are
+            // behind.
+            while (popped_total.load(std::memory_order_relaxed) <
+                   kTotal) {
+                if (ring.tryPop(value)) {
+                    popped[c].push_back(value);
+                    popped_total.fetch_add(1,
+                                           std::memory_order_relaxed);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    for (auto &t : consumers)
+        t.join();
+
+    // No loss, no duplication: every (producer, seq) pair exactly once.
+    std::vector<std::vector<uint64_t>> seen(
+        kProducers, std::vector<uint64_t>(kPerProducer, 0));
+    uint64_t total = 0;
+    for (unsigned c = 0; c < kConsumers; ++c) {
+        // Per-producer FIFO per consumer: sequences strictly increase.
+        std::vector<int64_t> last(kProducers, -1);
+        for (const uint64_t value : popped[c]) {
+            const unsigned p = static_cast<unsigned>(value >> 32);
+            const uint64_t seq = value & 0xffffffffu;
+            ASSERT_LT(p, kProducers);
+            ASSERT_LT(seq, kPerProducer);
+            EXPECT_GT(static_cast<int64_t>(seq), last[p])
+                << "consumer " << c << " saw producer " << p
+                << " out of order";
+            last[p] = static_cast<int64_t>(seq);
+            ++seen[p][seq];
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, kTotal);
+    for (unsigned p = 0; p < kProducers; ++p)
+        for (uint64_t seq = 0; seq < kPerProducer; ++seq)
+            EXPECT_EQ(seen[p][seq], 1u)
+                << "producer " << p << " seq " << seq;
+}
+
+TEST(ShmRing, SharedAcrossForkedProcesses)
+{
+    // The worker-mode usage: rings created before the fork, values
+    // produced in one process and consumed in another. The child echoes
+    // each request value + 1000 through a response ring.
+    ShmRing requests = ShmRing::create(8);
+    ShmRing responses = ShmRing::create(8);
+    constexpr uint64_t kCount = 500;
+
+    const pid_t child = spawnProcess([&requests, &responses]() {
+        uint64_t echoed = 0;
+        while (echoed < kCount) {
+            uint64_t value = 0;
+            if (!requests.tryPop(value))
+                continue;
+            while (!responses.tryPush(value + 1000))
+                ;
+            ++echoed;
+        }
+        return 0;
+    });
+
+    uint64_t received = 0;
+    uint64_t sent = 0;
+    while (received < kCount) {
+        if (sent < kCount && requests.tryPush(sent))
+            ++sent;
+        uint64_t value = 0;
+        if (responses.tryPop(value)) {
+            EXPECT_EQ(value, received + 1000);
+            ++received;
+        }
+    }
+    const ProcessStatus status = waitProcess(child);
+    EXPECT_TRUE(status.ok());
+}
+
+} // namespace
+} // namespace relaxfault

@@ -75,6 +75,7 @@ main(int argc, char **argv)
     const CliOptions options(
         argc, argv, withCampaignFlags({"faulty-nodes", "seed", "json"}));
     rejectCampaignFlags(options, "ablation_fault_model");
+    rejectMappingFlag(options, "ablation_fault_model");
     const uint64_t faulty_nodes = static_cast<uint64_t>(
         options.getPositiveInt("faulty-nodes", 8000));
     const uint64_t seed =

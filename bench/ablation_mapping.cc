@@ -31,24 +31,28 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options(
-        argc, argv, withCampaignFlags({"faulty-nodes", "seed", "json"}));
+        argc, argv,
+        withMappingFlag(
+            withCampaignFlags({"faulty-nodes", "seed", "json"})));
     rejectCampaignFlags(options, "ablation_mapping");
     CoverageConfig config;
     config.faultyNodeTarget = static_cast<uint64_t>(
         options.getPositiveInt("faulty-nodes", 15000));
     const uint64_t seed =
         static_cast<uint64_t>(options.getInt("seed", 20160618));
+    const std::string mapping = mappingFlag(options);
 
     BenchReport report(options, "ablation_mapping");
     report.record().setSeed(seed);
     report.record().setConfig("faulty_nodes", static_cast<int64_t>(
         config.faultyNodeTarget));
+    report.record().setConfig("mapping", mapping);
 
     const CoverageEvaluator evaluator(config);
     const DramGeometry geometry = config.faultModel.geometry;
     const CacheGeometry llc = paperLlc();
     const RepairBudget budget{1, kCoverageCapBytes / llc.lineBytes};
-    const DramAddressMap address_map(geometry, true);
+    const DramAddressMap address_map = makeAddressMap(mapping, geometry);
 
     struct Variant
     {

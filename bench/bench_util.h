@@ -90,6 +90,37 @@ withTraceFlags(std::vector<std::string> known)
 }
 
 /**
+ * Append `--mapping` to a bench's known-options list. Only the benches
+ * whose results flow through a DRAM address map call this (fig08,
+ * ablation_mapping, and the lifetime Monte Carlo benches); everywhere
+ * else the strict CliOptions parser keeps `--mapping` an unknown option
+ * and exits(1) — a silently ignored mapping flag is a run the operator
+ * believes used a different address swizzle than it did.
+ */
+inline std::vector<std::string>
+withMappingFlag(std::vector<std::string> known)
+{
+    known.push_back("mapping");
+    return known;
+}
+
+/**
+ * Parse `--mapping=NAME` (default "fig7a", the paper's Fig. 7a scheme).
+ * A typo'd name is fatal with the registry's known-names list. The
+ * chosen mapping changes simulation results, so callers must fold the
+ * returned name into their campaign fingerprint.
+ */
+inline std::string
+mappingFlag(const CliOptions &options)
+{
+    const std::string name = options.getString("mapping", "fig7a");
+    if (!isAddressMappingName(name))
+        fatal("--mapping=" + name + " is not a mapping scheme (expected " +
+              addressMappingNamesHint() + ")");
+    return name;
+}
+
+/**
  * A bench's causal-trace artifact, built from `--trace[=PATH]` and
  * `--trace-filter=KINDS`. `tracer` is null when tracing is off — wire
  * `get()` straight into `TrialRunOptions.tracer` and the disabled path
@@ -191,9 +222,14 @@ struct MechanismSpec
     static MechanismSpec ppr() { return {Kind::Ppr, 0, true, "PPR"}; }
 };
 
-/** Build a mechanism factory for a spec against a node geometry. */
+/**
+ * Build a mechanism factory for a spec against a node geometry, routing
+ * DRAM-coordinate-aware mechanisms through @p map (which must be built
+ * against the same geometry).
+ */
 inline LifetimeSimulator::MechanismFactory
-makeFactory(const MechanismSpec &spec, const DramGeometry &geometry)
+makeFactory(const MechanismSpec &spec, const DramGeometry &geometry,
+            const DramAddressMap &map)
 {
     const CacheGeometry llc = paperLlc();
     const RepairBudget budget{spec.ways,
@@ -207,8 +243,7 @@ makeFactory(const MechanismSpec &spec, const DramGeometry &geometry)
                                                       budget, spec.hash);
         };
       case MechanismSpec::Kind::FreeFault:
-        return [geometry, llc, budget, spec] {
-            const DramAddressMap map(geometry, true);
+        return [map, llc, budget, spec] {
             return std::make_unique<FreeFaultRepair>(map, llc, budget,
                                                      spec.hash);
         };
@@ -216,6 +251,13 @@ makeFactory(const MechanismSpec &spec, const DramGeometry &geometry)
         return [geometry] { return std::make_unique<PprRepair>(geometry); };
     }
     return {};
+}
+
+/** Factory with the paper's default Fig. 7a address map. */
+inline LifetimeSimulator::MechanismFactory
+makeFactory(const MechanismSpec &spec, const DramGeometry &geometry)
+{
+    return makeFactory(spec, geometry, DramAddressMap(geometry, true));
 }
 
 } // namespace relaxfault::bench

@@ -109,6 +109,24 @@ rejectWorkerFlags(const CliOptions &options, const std::string &bench)
                       "fleet_scale)");
 }
 
+/**
+ * Hard-reject `--mapping` on a bench whose results never flow through a
+ * DRAM address map. The strict parser already exits(1) while `mapping`
+ * stays off the bench's known list; this guard keeps the rejection even
+ * if a future edit drifts the flag into a shared list. Fatal rather
+ * than warn-ignore: a silently ignored `--mapping` is a run the
+ * operator believes modeled a different controller swizzle than it did.
+ */
+inline void
+rejectMappingFlag(const CliOptions &options, const std::string &bench)
+{
+    if (options.has("mapping"))
+        fatal(bench + ": --mapping is not supported here (address-"
+                      "mapping selection drives fig08, ablation_mapping, "
+                      "and the lifetime Monte Carlo benches: fig09, "
+                      "fig12, fig13, fig14)");
+}
+
 /** For benches with no sharded Monte Carlo: accept but warn-ignore. */
 inline void
 rejectCampaignFlags(const CliOptions &options, const std::string &bench)

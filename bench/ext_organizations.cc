@@ -27,6 +27,7 @@ main(int argc, char **argv)
     const CliOptions options(
         argc, argv, withCampaignFlags({"faulty-nodes", "seed", "json"}));
     rejectCampaignFlags(options, "ext_organizations");
+    rejectMappingFlag(options, "ext_organizations");
     const uint64_t faulty_target = static_cast<uint64_t>(
         options.getPositiveInt("faulty-nodes", 10000));
     const uint64_t seed =

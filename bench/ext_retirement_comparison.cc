@@ -36,6 +36,7 @@ main(int argc, char **argv)
         withCampaignFlags(
             {"faulty-nodes", "seed", "page-budget-mib", "json"}));
     rejectCampaignFlags(options, "ext_retirement_comparison");
+    rejectMappingFlag(options, "ext_retirement_comparison");
     CoverageConfig config;
     config.faultyNodeTarget = static_cast<uint64_t>(
         options.getPositiveInt("faulty-nodes", 15000));

@@ -44,6 +44,7 @@ main(int argc, char **argv)
     const CliOptions options(
         argc, argv, bench::withCampaignFlags({"json"}));
     bench::rejectCampaignFlags(options, "fig02_field_fit_rates");
+    bench::rejectMappingFlag(options, "fig02_field_fit_rates");
     BenchReport report(options, "fig02_field_fit_rates");
 
     std::cout << "Fig. 2 / Table 2: DDR3 field-study fault rates\n\n";

@@ -24,21 +24,26 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options(
-        argc, argv, withCampaignFlags({"faulty-nodes", "seed", "json"}));
+        argc, argv,
+        withMappingFlag(
+            withCampaignFlags({"faulty-nodes", "seed", "json"})));
     rejectCampaignFlags(options, "fig08_hash_sensitivity");
     CoverageConfig config;
     config.faultyNodeTarget = static_cast<uint64_t>(
         options.getPositiveInt("faulty-nodes", 20000));
     const uint64_t seed =
         static_cast<uint64_t>(options.getInt("seed", 20160618));
+    const std::string mapping = mappingFlag(options);
 
     BenchReport report(options, "fig08_hash_sensitivity");
     report.record().setSeed(seed);
     report.record().setConfig("faulty_nodes", static_cast<int64_t>(
         config.faultyNodeTarget));
+    report.record().setConfig("mapping", mapping);
 
     const CoverageEvaluator evaluator(config);
     const DramGeometry geometry = config.faultModel.geometry;
+    const DramAddressMap address_map = makeAddressMap(mapping, geometry);
 
     const MechanismSpec specs[] = {
         MechanismSpec::freeFault(1, false),
@@ -57,7 +62,7 @@ main(int argc, char **argv)
     for (const auto &spec : specs) {
         Rng rng(seed);  // Same fault population for every mechanism.
         const CoverageResult result =
-            evaluator.run(makeFactory(spec, geometry), rng);
+            evaluator.run(makeFactory(spec, geometry, address_map), rng);
         table.addRow({spec.kind == MechanismSpec::Kind::RelaxFault
                           ? "RelaxFault" : "FreeFault",
                       spec.hash ? "yes" : "no",

@@ -29,8 +29,9 @@ namespace {
 bool
 runSweep(const std::vector<std::pair<double, double>> &points,
          bool sweep_factor, unsigned nodes, unsigned trials, uint64_t seed,
-         const TrialRunOptions &run_options, BenchReport &report,
-         CampaignRunner *runner, WorkerCampaignRunner *pool)
+         const std::string &mapping, const TrialRunOptions &run_options,
+         BenchReport &report, CampaignRunner *runner,
+         WorkerCampaignRunner *pool)
 {
     TextTable table;
     table.setHeader({sweep_factor ? "acceleration" : "fraction(%)",
@@ -41,6 +42,7 @@ runSweep(const std::vector<std::pair<double, double>> &points,
         LifetimeConfig config;
         config.nodesPerSystem = nodes;
         config.policy = ReplacePolicy::AfterDue;
+        config.mapping = mapping;
         if (factor <= 1.0) {
             config.faultModel.accelerationEnabled = false;
         } else {
@@ -96,15 +98,16 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withWorkerFlags(
+        withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "audit",
-                               "audit-every"}))));
+                               "audit-every"})))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 909));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
+    const std::string mapping = mappingFlag(options);
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
@@ -115,12 +118,15 @@ main(int argc, char **argv)
     report.record().setSeed(seed).setTrials(trials).setThreads(
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
+    report.record().setConfig("mapping", mapping);
 
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
     const CampaignFingerprint fingerprint =
         campaignFingerprint("fig09_fault_model_sensitivity", seed, trials,
-                            campaign, "nodes=" + std::to_string(nodes));
+                            campaign,
+                            "nodes=" + std::to_string(nodes) +
+                                ",mapping=" + mapping);
     const std::unique_ptr<WorkerCampaignRunner> pool = makeWorkerPool(
         options, "fig09_fault_model_sensitivity", fingerprint, campaign);
     std::unique_ptr<CampaignRunner> runner;
@@ -135,8 +141,8 @@ main(int argc, char **argv)
                                {100.0, 0.001},
                                {150.0, 0.001},
                                {200.0, 0.001}},
-                              true, nodes, trials, seed, run, report,
-                              runner.get(), pool.get());
+                              true, nodes, trials, seed, mapping, run,
+                              report, runner.get(), pool.get());
 
     if (completed) {
         std::cout << "\nFig. 9c/9d: accelerated-fraction sweep at 100x ("
@@ -148,8 +154,8 @@ main(int argc, char **argv)
                               {100.0, 0.003},
                               {100.0, 0.004},
                               {100.0, 0.005}},
-                             false, nodes, trials, seed, run, report,
-                             runner.get(), pool.get());
+                             false, nodes, trials, seed, mapping, run,
+                             report, runner.get(), pool.get());
     }
     if (SignalGuard::stopRequested())
         return 128 + SignalGuard::stopSignal();

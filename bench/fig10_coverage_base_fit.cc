@@ -22,6 +22,8 @@ main(int argc, char **argv)
             {"faulty-nodes", "seed", "json"}));
     relaxfault::bench::rejectCampaignFlags(options,
                                            "fig10_coverage_base_fit");
+    relaxfault::bench::rejectMappingFlag(options,
+                                         "fig10_coverage_base_fit");
     std::cout << "Fig. 10: repair coverage (%) vs required LLC capacity, "
                  "1x FIT\n\n";
     relaxfault::bench::BenchReport report(options,

@@ -21,6 +21,8 @@ main(int argc, char **argv)
             {"faulty-nodes", "seed", "json"}));
     relaxfault::bench::rejectCampaignFlags(options,
                                            "fig11_coverage_10x_fit");
+    relaxfault::bench::rejectMappingFlag(options,
+                                         "fig11_coverage_10x_fit");
     std::cout << "Fig. 11: repair coverage (%) vs required LLC capacity, "
                  "10x FIT\n\n";
     relaxfault::bench::BenchReport report(options,

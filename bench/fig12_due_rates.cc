@@ -24,16 +24,17 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withWorkerFlags(
+        withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "degrade", "audit",
-                               "audit-every"}))));
+                               "audit-every"})))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
     const DegradationPolicy degrade = degradeFlag(options);
+    const std::string mapping = mappingFlag(options);
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
@@ -44,17 +45,19 @@ main(int argc, char **argv)
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
     report.record().setConfig("degrade", degradationPolicyName(degrade));
+    report.record().setConfig("mapping", mapping);
 
-    // The degradation policy changes results, so it is part of the
-    // campaign identity; auditing and tracing are observation-only and
-    // are not.
+    // The degradation policy and address mapping change results, so
+    // they are part of the campaign identity; auditing and tracing are
+    // observation-only and are not.
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
     const CampaignFingerprint fingerprint =
         campaignFingerprint("fig12_due_rates", seed, trials, campaign,
                             "nodes=" + std::to_string(nodes) +
                                 ",degrade=" +
-                                degradationPolicyName(degrade));
+                                degradationPolicyName(degrade) +
+                                ",mapping=" + mapping);
     // --workers>0 swaps the in-process campaign runner for the forked
     // worker pool; results are bit-identical either way.
     const std::unique_ptr<WorkerCampaignRunner> pool =
@@ -69,6 +72,7 @@ main(int argc, char **argv)
         config.nodesPerSystem = nodes;
         config.policy = ReplacePolicy::AfterDue;
         config.degradation = degrade;
+        config.mapping = mapping;
         std::cout << "Fig. 12" << (fit == 1.0 ? "a" : "b")
                   << ": expected DUEs per system, " << fit << "x FIT, "
                   << nodes << " nodes, " << trials << " trials\n\n";

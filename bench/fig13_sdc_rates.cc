@@ -23,16 +23,17 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withWorkerFlags(
+        withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "degrade", "audit",
-                               "audit-every"}))));
+                               "audit-every"})))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1307));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
     const DegradationPolicy degrade = degradeFlag(options);
+    const std::string mapping = mappingFlag(options);
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
@@ -43,6 +44,7 @@ main(int argc, char **argv)
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
     report.record().setConfig("degrade", degradationPolicyName(degrade));
+    report.record().setConfig("mapping", mapping);
 
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
@@ -50,7 +52,8 @@ main(int argc, char **argv)
         campaignFingerprint("fig13_sdc_rates", seed, trials, campaign,
                             "nodes=" + std::to_string(nodes) +
                                 ",degrade=" +
-                                degradationPolicyName(degrade));
+                                degradationPolicyName(degrade) +
+                                ",mapping=" + mapping);
     const std::unique_ptr<WorkerCampaignRunner> pool =
         makeWorkerPool(options, "fig13_sdc_rates", fingerprint, campaign);
     std::unique_ptr<CampaignRunner> runner;
@@ -63,6 +66,7 @@ main(int argc, char **argv)
         config.nodesPerSystem = nodes;
         config.policy = ReplacePolicy::AfterDue;
         config.degradation = degrade;
+        config.mapping = mapping;
         std::cout << "Fig. 13" << (fit == 1.0 ? "a" : "b")
                   << ": expected SDCs per system, " << fit << "x FIT, "
                   << nodes << " nodes, " << trials << " trials\n\n";

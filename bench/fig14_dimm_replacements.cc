@@ -26,16 +26,17 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withTraceFlags(withWorkerFlags(
+        withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "degrade", "audit",
-                               "audit-every"}))));
+                               "audit-every"})))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1408));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 16384));
     const DegradationPolicy degrade = degradeFlag(options);
+    const std::string mapping = mappingFlag(options);
 
     TrialRunOptions run = trialRunOptions(options);
     run.audit = auditFlag(options);
@@ -46,6 +47,7 @@ main(int argc, char **argv)
         run.parallel.threads);
     report.record().setConfig("nodes", static_cast<int64_t>(nodes));
     report.record().setConfig("degrade", degradationPolicyName(degrade));
+    report.record().setConfig("mapping", mapping);
 
     CampaignOptions campaign = campaignOptions(options);
     campaign.tracePath = trace.path;
@@ -54,7 +56,8 @@ main(int argc, char **argv)
                             campaign,
                             "nodes=" + std::to_string(nodes) +
                                 ",degrade=" +
-                                degradationPolicyName(degrade));
+                                degradationPolicyName(degrade) +
+                                ",mapping=" + mapping);
     const std::unique_ptr<WorkerCampaignRunner> pool = makeWorkerPool(
         options, "fig14_dimm_replacements", fingerprint, campaign);
     std::unique_ptr<CampaignRunner> runner;
@@ -78,6 +81,8 @@ main(int argc, char **argv)
             config.faultModel.fitScale = fit;
             config.nodesPerSystem = nodes;
             config.policy = policy.policy;
+            config.degradation = degrade;
+            config.mapping = mapping;
             std::cout << "Fig. 14" << panel << ": expected DIMM "
                       << "replacements, " << policy.name << ", " << fit
                       << "x FIT, " << nodes << " nodes, " << trials

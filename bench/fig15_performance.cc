@@ -50,6 +50,7 @@ main(int argc, char **argv)
         argc, argv,
         bench::withCampaignFlags({"instructions", "seed", "json"}));
     bench::rejectCampaignFlags(options, "fig15_performance");
+    bench::rejectMappingFlag(options, "fig15_performance");
     PerfConfig config;
     config.instructionsPerCore = static_cast<uint64_t>(
         options.getPositiveInt("instructions", 1'000'000));

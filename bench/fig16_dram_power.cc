@@ -29,6 +29,7 @@ main(int argc, char **argv)
         argc, argv,
         bench::withCampaignFlags({"instructions", "seed", "json"}));
     bench::rejectCampaignFlags(options, "fig16_dram_power");
+    bench::rejectMappingFlag(options, "fig16_dram_power");
     PerfConfig config;
     config.instructionsPerCore = static_cast<uint64_t>(
         options.getPositiveInt("instructions", 1'000'000));

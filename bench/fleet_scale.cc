@@ -46,6 +46,7 @@ main(int argc, char **argv)
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
     const auto nodes =
         static_cast<unsigned>(options.getPositiveInt("nodes", 1000000));
+    rejectMappingFlag(options, "fleet_scale");
     const std::string mode_name = options.getString("mode", "lazy");
     FleetMode mode;
     if (mode_name == "lazy")

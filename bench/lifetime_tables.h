@@ -47,6 +47,8 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 WorkerCampaignRunner *workers = nullptr)
 {
     const DramGeometry geometry = base_config.faultModel.geometry;
+    const DramAddressMap address_map =
+        makeAddressMap(base_config.mapping, geometry);
     const LifetimeSimulator simulator(base_config);
 
     struct Row
@@ -80,7 +82,7 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
         const LifetimeSimulator::MechanismFactory factory =
             row.spec.kind == MechanismSpec::Kind::None
                 ? LifetimeSimulator::MechanismFactory{}
-                : makeFactory(row.spec, geometry);
+                : makeFactory(row.spec, geometry, address_map);
         LifetimeSummary summary;
         if (workers != nullptr) {
             const CampaignResult unit_result = workers->runUnit(

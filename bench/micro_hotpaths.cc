@@ -56,6 +56,31 @@ BM_DramAddressMapDecode(benchmark::State &state)
 BENCHMARK(BM_DramAddressMapDecode);
 
 void
+BM_XorMappingDecode(benchmark::State &state)
+{
+    const DramAddressMap map = makeAddressMap("intel_ivy", kGeometry);
+    Rng rng(1);
+    uint64_t pa = rng.next() % kGeometry.nodeBytes();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.decode(pa));
+        pa = (pa + 4097 * 64) % kGeometry.nodeBytes();
+    }
+}
+BENCHMARK(BM_XorMappingDecode);
+
+void
+BM_XorMappingEncode(benchmark::State &state)
+{
+    const DramAddressMap map = makeAddressMap("intel_ivy", kGeometry);
+    LineCoord coord{1, 0, 3, 4242, 17};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.encode(coord));
+        coord.row = (coord.row + 97) % kGeometry.rowsPerBank;
+    }
+}
+BENCHMARK(BM_XorMappingEncode);
+
+void
 BM_RelaxFaultMapLocate(benchmark::State &state)
 {
     const RelaxFaultMap map(kGeometry, kLlc, true);

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     const CliOptions options(
         argc, argv, bench::withCampaignFlags({"json"}));
     bench::rejectCampaignFlags(options, "table1_storage_overhead");
+    bench::rejectMappingFlag(options, "table1_storage_overhead");
     BenchReport report(options, "table1_storage_overhead");
 
     ControllerConfig config;  // Paper defaults: 8 DIMMs, 8MiB LLC.

@@ -1,12 +1,15 @@
 #include "dram/address_map.h"
 
+#include "common/bitops.h"
 #include "common/log.h"
 
 namespace relaxfault {
 
-DramAddressMap::DramAddressMap(const DramGeometry &geometry,
-                               bool bank_xor_hash, unsigned col_low_bits)
-    : geometry_(geometry), bankXorHash_(bank_xor_hash)
+Fig7aMapping::Fig7aMapping(const DramGeometry &geometry,
+                           bool bank_xor_hash, unsigned col_low_bits)
+    : AddressMapping(geometry,
+                     bank_xor_hash ? "fig7a" : "fig7a_nohash"),
+      bankXorHash_(bank_xor_hash)
 {
     const unsigned col_bits = geometry_.colBlockBits();
     if (col_low_bits > col_bits)
@@ -30,11 +33,11 @@ DramAddressMap::DramAddressMap(const DramGeometry &geometry,
     lsb += geometry_.rowBits();
 
     if (lsb != geometry_.paBits())
-        panic("DramAddressMap: field layout does not cover the PA space");
+        panic("Fig7aMapping: field layout does not cover the PA space");
 }
 
 unsigned
-DramAddressMap::permuteBank(unsigned bank, unsigned row) const
+Fig7aMapping::permuteBank(unsigned bank, unsigned row) const
 {
     if (!bankXorHash_)
         return bank;
@@ -42,7 +45,7 @@ DramAddressMap::permuteBank(unsigned bank, unsigned row) const
 }
 
 uint64_t
-DramAddressMap::encode(const LineCoord &coord) const
+Fig7aMapping::encode(const LineCoord &coord) const
 {
     // The permutation is an involution, so encode applies it as well:
     // the stored logical bank field is physical-bank XOR row-low.
@@ -60,7 +63,7 @@ DramAddressMap::encode(const LineCoord &coord) const
 }
 
 LineCoord
-DramAddressMap::decode(uint64_t pa) const
+Fig7aMapping::decode(uint64_t pa) const
 {
     LineCoord coord;
     coord.channel = static_cast<unsigned>(
@@ -78,6 +81,42 @@ DramAddressMap::decode(uint64_t pa) const
     coord.colBlock = (col_high << colLowBits_) | col_low;
     coord.bank = permuteBank(bank_field, coord.row);
     return coord;
+}
+
+DramAddressMap::DramAddressMap(std::shared_ptr<const AddressMapping> impl)
+    : impl_(std::move(impl))
+{
+    if (impl_ == nullptr)
+        panic("DramAddressMap: null mapping strategy");
+}
+
+std::shared_ptr<const AddressMapping>
+makeAddressMapping(const std::string &name, const DramGeometry &geometry)
+{
+    if (name == "fig7a")
+        return std::make_shared<Fig7aMapping>(geometry, true);
+    if (name == "fig7a_nohash")
+        return std::make_shared<Fig7aMapping>(geometry, false);
+    if (name == "intel_ivy")
+        return std::make_shared<XorAddressMapping>(
+            geometry, intelIvyScheme(geometry));
+    if (name == "intel_haswell")
+        return std::make_shared<XorAddressMapping>(
+            geometry, intelHaswellScheme(geometry));
+    if (name == "amd_zen")
+        return std::make_shared<XorAddressMapping>(
+            geometry, amdZenScheme(geometry));
+    return nullptr;
+}
+
+DramAddressMap
+makeAddressMap(const std::string &name, const DramGeometry &geometry)
+{
+    auto impl = makeAddressMapping(name, geometry);
+    if (impl == nullptr)
+        panic("unknown address mapping '" + name + "' (expected " +
+              addressMappingNamesHint() + ")");
+    return DramAddressMap(std::move(impl));
 }
 
 } // namespace relaxfault

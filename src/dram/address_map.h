@@ -17,19 +17,29 @@
  *
  * plus the optional permutation-based bank hash of Zhang et al. (bank XOR
  * row-low), which the paper's memory controller enables (Table 3).
+ *
+ * The layout lives in `Fig7aMapping`, one strategy behind the pluggable
+ * `AddressMapping` interface (address_mapping.h); `DramAddressMap` is
+ * the cheap-to-copy value handle the rest of the system passes around.
+ * `makeAddressMap` instantiates any registered strategy by name
+ * (`fig7a` — the default, bit-identical to the seed — `fig7a_nohash`,
+ * `intel_ivy`, `intel_haswell`, `amd_zen`).
  */
 
 #ifndef RELAXFAULT_DRAM_ADDRESS_MAP_H
 #define RELAXFAULT_DRAM_ADDRESS_MAP_H
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
+#include "dram/address_mapping.h"
 #include "dram/geometry.h"
 
 namespace relaxfault {
 
-/** Bidirectional physical-address/DRAM-coordinate translator. */
-class DramAddressMap
+/** The seed Fig. 7a scheme: contiguous fields + optional bank hash. */
+class Fig7aMapping : public AddressMapping
 {
   public:
     /**
@@ -38,17 +48,13 @@ class DramAddressMap
      * @param col_low_bits How many column-block bits sit below the bank
      *        field (the rest sit above rank); 6 of 8 in the example map.
      */
-    explicit DramAddressMap(const DramGeometry &geometry,
-                            bool bank_xor_hash = true,
-                            unsigned col_low_bits = 6);
+    explicit Fig7aMapping(const DramGeometry &geometry,
+                          bool bank_xor_hash = true,
+                          unsigned col_low_bits = 6);
 
-    /** Translate DRAM coordinates to a full physical (byte) address. */
-    uint64_t encode(const LineCoord &coord) const;
+    uint64_t encode(const LineCoord &coord) const override;
+    LineCoord decode(uint64_t pa) const override;
 
-    /** Translate a physical address to DRAM coordinates. */
-    LineCoord decode(uint64_t pa) const;
-
-    const DramGeometry &geometry() const { return geometry_; }
     bool bankXorHash() const { return bankXorHash_; }
 
     /** LSB position of each field within the physical address. */
@@ -65,7 +71,6 @@ class DramAddressMap
     /** Bank permutation: physical bank = bank XOR low row bits. */
     unsigned permuteBank(unsigned bank, unsigned row) const;
 
-    DramGeometry geometry_;
     bool bankXorHash_;
     unsigned colLowBits_;
     unsigned colHighBits_;
@@ -76,6 +81,50 @@ class DramAddressMap
     unsigned colHighLsb_;
     unsigned rowLsb_;
 };
+
+/**
+ * Value handle over a mapping strategy. Copies share the immutable
+ * strategy object, so mechanisms can hold maps by value as before.
+ */
+class DramAddressMap
+{
+  public:
+    /** The seed constructor: a Fig. 7a map (bit-identical default). */
+    explicit DramAddressMap(const DramGeometry &geometry,
+                            bool bank_xor_hash = true,
+                            unsigned col_low_bits = 6)
+        : impl_(std::make_shared<Fig7aMapping>(geometry, bank_xor_hash,
+                                               col_low_bits))
+    {
+    }
+
+    /** Wrap any strategy (from makeAddressMapping or hand-built). */
+    explicit DramAddressMap(std::shared_ptr<const AddressMapping> impl);
+
+    /** Translate DRAM coordinates to a full physical (byte) address. */
+    uint64_t encode(const LineCoord &coord) const
+    {
+        return impl_->encode(coord);
+    }
+
+    /** Translate a physical address to DRAM coordinates. */
+    LineCoord decode(uint64_t pa) const { return impl_->decode(pa); }
+
+    const DramGeometry &geometry() const { return impl_->geometry(); }
+    const std::string &name() const { return impl_->name(); }
+    const AddressMapping &impl() const { return *impl_; }
+
+  private:
+    std::shared_ptr<const AddressMapping> impl_;
+};
+
+/**
+ * Instantiate a registered mapping by name as a value handle; panics
+ * (with the known-names list) on an unknown name — CLI layers validate
+ * first via `isAddressMappingName`.
+ */
+DramAddressMap makeAddressMap(const std::string &name,
+                              const DramGeometry &geometry);
 
 } // namespace relaxfault
 

@@ -1,0 +1,346 @@
+#include "dram/address_mapping.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace relaxfault {
+namespace {
+
+/**
+ * Invert an n x n GF(2) bit matrix in place (row i is a bit mask over
+ * columns). Returns false if singular.
+ */
+bool
+invertGf2(std::vector<uint64_t> &rows, unsigned n)
+{
+    std::vector<uint64_t> inverse(n);
+    for (unsigned i = 0; i < n; ++i)
+        inverse[i] = uint64_t{1} << i;
+    for (unsigned col = 0; col < n; ++col) {
+        unsigned pivot = col;
+        while (pivot < n && !((rows[pivot] >> col) & 1))
+            ++pivot;
+        if (pivot == n)
+            return false;
+        std::swap(rows[col], rows[pivot]);
+        std::swap(inverse[col], inverse[pivot]);
+        for (unsigned r = 0; r < n; ++r) {
+            if (r != col && ((rows[r] >> col) & 1)) {
+                rows[r] ^= rows[col];
+                inverse[r] ^= inverse[col];
+            }
+        }
+    }
+    rows = std::move(inverse);
+    return true;
+}
+
+/**
+ * Field LSB positions within the line address (the Fig. 7a base layout
+ * every scheme builder starts from): channel | col-low | bank |
+ * col-high | rank | row.
+ */
+struct FieldLayout
+{
+    unsigned colLowBits;
+    unsigned colHighBits;
+    unsigned channelLsb;
+    unsigned colLowLsb;
+    unsigned bankLsb;
+    unsigned colHighLsb;
+    unsigned rankLsb;
+    unsigned rowLsb;
+
+    FieldLayout(const DramGeometry &geometry, unsigned col_low_bits)
+    {
+        const unsigned col_bits = geometry.colBlockBits();
+        if (col_low_bits > col_bits)
+            col_low_bits = col_bits;
+        colLowBits = col_low_bits;
+        colHighBits = col_bits - col_low_bits;
+        unsigned lsb = 0;
+        channelLsb = lsb;
+        lsb += geometry.channelBits();
+        colLowLsb = lsb;
+        lsb += colLowBits;
+        bankLsb = lsb;
+        lsb += geometry.bankBits();
+        colHighLsb = lsb;
+        lsb += colHighBits;
+        rankLsb = lsb;
+        lsb += geometry.rankBits();
+        rowLsb = lsb;
+    }
+
+    /** Line-address bit holding row bit @p i, or 0 if out of range. */
+    uint64_t
+    rowBit(const DramGeometry &geometry, unsigned i) const
+    {
+        return i < geometry.rowBits() ? uint64_t{1} << (rowLsb + i) : 0;
+    }
+
+    /** Line-address bit holding high-column bit @p i, or 0. */
+    uint64_t
+    colHighBit(unsigned i) const
+    {
+        return i < colHighBits ? uint64_t{1} << (colHighLsb + i) : 0;
+    }
+};
+
+/** Identity masks of the base layout: no hashing, pure field split. */
+std::vector<uint64_t>
+baseLayoutMasks(const DramGeometry &geometry, const FieldLayout &layout)
+{
+    std::vector<uint64_t> masks;
+    const unsigned line_bits =
+        geometry.paBits() - geometry.offsetBits();
+    masks.reserve(line_bits);
+    for (unsigned i = 0; i < geometry.channelBits(); ++i)
+        masks.push_back(uint64_t{1} << (layout.channelLsb + i));
+    for (unsigned i = 0; i < geometry.rankBits(); ++i)
+        masks.push_back(uint64_t{1} << (layout.rankLsb + i));
+    for (unsigned i = 0; i < geometry.bankBits(); ++i)
+        masks.push_back(uint64_t{1} << (layout.bankLsb + i));
+    for (unsigned i = 0; i < geometry.rowBits(); ++i)
+        masks.push_back(uint64_t{1} << (layout.rowLsb + i));
+    for (unsigned i = 0; i < geometry.colBlockBits(); ++i)
+        masks.push_back(i < layout.colLowBits
+                            ? uint64_t{1} << (layout.colLowLsb + i)
+                            : uint64_t{1}
+                                  << (layout.colHighLsb +
+                                      (i - layout.colLowBits)));
+    return masks;
+}
+
+/** Canonical coordinate-bit index of a hashed field's bit i. */
+unsigned
+channelBitIndex(const DramGeometry &, unsigned i)
+{
+    return i;
+}
+
+unsigned
+rankBitIndex(const DramGeometry &geometry, unsigned i)
+{
+    return geometry.channelBits() + i;
+}
+
+unsigned
+bankBitIndex(const DramGeometry &geometry, unsigned i)
+{
+    return geometry.channelBits() + geometry.rankBits() + i;
+}
+
+} // namespace
+
+uint64_t
+packCoordBits(const DramGeometry &geometry, const LineCoord &coord)
+{
+    uint64_t bits = 0;
+    unsigned lsb = 0;
+    bits = depositBits(bits, lsb, geometry.channelBits(), coord.channel);
+    lsb += geometry.channelBits();
+    bits = depositBits(bits, lsb, geometry.rankBits(), coord.rank);
+    lsb += geometry.rankBits();
+    bits = depositBits(bits, lsb, geometry.bankBits(), coord.bank);
+    lsb += geometry.bankBits();
+    bits = depositBits(bits, lsb, geometry.rowBits(), coord.row);
+    lsb += geometry.rowBits();
+    bits = depositBits(bits, lsb, geometry.colBlockBits(), coord.colBlock);
+    return bits;
+}
+
+LineCoord
+unpackCoordBits(const DramGeometry &geometry, uint64_t bits)
+{
+    LineCoord coord;
+    unsigned lsb = 0;
+    coord.channel = static_cast<unsigned>(
+        extractBits(bits, lsb, geometry.channelBits()));
+    lsb += geometry.channelBits();
+    coord.rank = static_cast<unsigned>(
+        extractBits(bits, lsb, geometry.rankBits()));
+    lsb += geometry.rankBits();
+    coord.bank = static_cast<unsigned>(
+        extractBits(bits, lsb, geometry.bankBits()));
+    lsb += geometry.bankBits();
+    coord.row = static_cast<unsigned>(
+        extractBits(bits, lsb, geometry.rowBits()));
+    lsb += geometry.rowBits();
+    coord.colBlock = static_cast<unsigned>(
+        extractBits(bits, lsb, geometry.colBlockBits()));
+    return coord;
+}
+
+XorAddressMapping::XorAddressMapping(const DramGeometry &geometry,
+                                     XorScheme scheme)
+    : AddressMapping(geometry, std::move(scheme.name)),
+      decodeMasks_(std::move(scheme.decodeMasks))
+{
+    const unsigned n = lineBits();
+    if (n > 64)
+        panic("XorAddressMapping: line-address space wider than 64 bits");
+    if (decodeMasks_.size() != n)
+        panic("XorAddressMapping '" + name_ + "': " +
+              std::to_string(decodeMasks_.size()) + " masks for " +
+              std::to_string(n) + " line-address bits");
+    for (const uint64_t mask : decodeMasks_) {
+        if (mask & ~maskBits(n))
+            panic("XorAddressMapping '" + name_ +
+                  "': mask references bits outside the line address");
+    }
+    encodeMasks_ = decodeMasks_;
+    if (!invertGf2(encodeMasks_, n))
+        panic("XorAddressMapping '" + name_ +
+              "': scheme is not invertible (not a bijection)");
+}
+
+LineCoord
+XorAddressMapping::decode(uint64_t pa) const
+{
+    const uint64_t line = pa >> geometry_.offsetBits();
+    uint64_t bits = 0;
+    for (unsigned i = 0; i < decodeMasks_.size(); ++i)
+        bits |= static_cast<uint64_t>(
+                    __builtin_parityll(line & decodeMasks_[i]))
+                << i;
+    return unpackCoordBits(geometry_, bits);
+}
+
+uint64_t
+XorAddressMapping::encode(const LineCoord &coord) const
+{
+    const uint64_t bits = packCoordBits(geometry_, coord);
+    uint64_t line = 0;
+    for (unsigned j = 0; j < encodeMasks_.size(); ++j)
+        line |= static_cast<uint64_t>(
+                    __builtin_parityll(bits & encodeMasks_[j]))
+                << j;
+    return line << geometry_.offsetBits();
+}
+
+XorScheme
+fig7aXorScheme(const DramGeometry &geometry, bool bank_xor_hash,
+               unsigned col_low_bits)
+{
+    const FieldLayout layout(geometry, col_low_bits);
+    XorScheme scheme;
+    scheme.name = bank_xor_hash ? "fig7a" : "fig7a_nohash";
+    scheme.decodeMasks = baseLayoutMasks(geometry, layout);
+    if (bank_xor_hash) {
+        // Zhang et al.'s permutation: bank = bank field XOR low row bits.
+        for (unsigned i = 0; i < geometry.bankBits(); ++i)
+            scheme.decodeMasks[bankBitIndex(geometry, i)] ^=
+                layout.rowBit(geometry, i);
+    }
+    return scheme;
+}
+
+XorScheme
+intelIvyScheme(const DramGeometry &geometry)
+{
+    const FieldLayout layout(geometry, 6);
+    XorScheme scheme;
+    scheme.name = "intel_ivy";
+    scheme.decodeMasks = baseLayoutMasks(geometry, layout);
+    for (unsigned i = 0; i < geometry.channelBits(); ++i)
+        scheme.decodeMasks[channelBitIndex(geometry, i)] ^=
+            layout.rowBit(geometry, i) ^ layout.rowBit(geometry, i + 2) ^
+            layout.rowBit(geometry, i + 4) ^ layout.colHighBit(i);
+    for (unsigned i = 0; i < geometry.rankBits(); ++i)
+        scheme.decodeMasks[rankBitIndex(geometry, i)] ^=
+            layout.rowBit(geometry, i) ^ layout.rowBit(geometry, i + 3);
+    for (unsigned i = 0; i < geometry.bankBits(); ++i)
+        scheme.decodeMasks[bankBitIndex(geometry, i)] ^=
+            layout.rowBit(geometry, i) ^
+            layout.rowBit(geometry, i + geometry.bankBits());
+    return scheme;
+}
+
+XorScheme
+intelHaswellScheme(const DramGeometry &geometry)
+{
+    const FieldLayout layout(geometry, 6);
+    XorScheme scheme;
+    scheme.name = "intel_haswell";
+    scheme.decodeMasks = baseLayoutMasks(geometry, layout);
+    for (unsigned i = 0; i < geometry.channelBits(); ++i)
+        scheme.decodeMasks[channelBitIndex(geometry, i)] ^=
+            layout.rowBit(geometry, i + 1) ^
+            layout.rowBit(geometry, i + 3) ^
+            layout.rowBit(geometry, i + 5) ^ layout.colHighBit(i + 1);
+    for (unsigned i = 0; i < geometry.rankBits(); ++i)
+        scheme.decodeMasks[rankBitIndex(geometry, i)] ^=
+            layout.rowBit(geometry, i + 1) ^
+            layout.rowBit(geometry, i + 4);
+    for (unsigned i = 0; i < geometry.bankBits(); ++i)
+        scheme.decodeMasks[bankBitIndex(geometry, i)] ^=
+            layout.rowBit(geometry, i + 2) ^
+            layout.rowBit(geometry, i + 2 + geometry.bankBits());
+    return scheme;
+}
+
+XorScheme
+amdZenScheme(const DramGeometry &geometry)
+{
+    const FieldLayout layout(geometry, 6);
+    XorScheme scheme;
+    scheme.name = "amd_zen";
+    scheme.decodeMasks = baseLayoutMasks(geometry, layout);
+    // Full stride-XOR reductions: every row (and high-column) bit
+    // congruent to the bank bit modulo the field width participates.
+    for (unsigned i = 0; i < geometry.bankBits(); ++i) {
+        uint64_t &mask = scheme.decodeMasks[bankBitIndex(geometry, i)];
+        for (unsigned j = i; j < geometry.rowBits();
+             j += geometry.bankBits())
+            mask ^= layout.rowBit(geometry, j);
+        for (unsigned j = i; j < layout.colHighBits;
+             j += geometry.bankBits())
+            mask ^= layout.colHighBit(j);
+    }
+    const unsigned channel_stride =
+        geometry.channelBits() > 0 ? geometry.channelBits() : 1;
+    for (unsigned i = 0; i < geometry.channelBits(); ++i) {
+        uint64_t &mask =
+            scheme.decodeMasks[channelBitIndex(geometry, i)];
+        for (unsigned j = i; j < geometry.rowBits(); j += channel_stride)
+            mask ^= layout.rowBit(geometry, j);
+    }
+    for (unsigned i = 0; i < geometry.rankBits(); ++i)
+        scheme.decodeMasks[rankBitIndex(geometry, i)] ^=
+            layout.rowBit(geometry, i + 2) ^ layout.colHighBit(i);
+    return scheme;
+}
+
+const std::vector<std::string> &
+addressMappingNames()
+{
+    static const std::vector<std::string> names = {
+        "fig7a", "fig7a_nohash", "intel_ivy", "intel_haswell", "amd_zen",
+    };
+    return names;
+}
+
+bool
+isAddressMappingName(const std::string &name)
+{
+    for (const std::string &known : addressMappingNames()) {
+        if (known == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+addressMappingNamesHint()
+{
+    std::string hint;
+    for (const std::string &known : addressMappingNames()) {
+        if (!hint.empty())
+            hint += " | ";
+        hint += known;
+    }
+    return hint;
+}
+
+} // namespace relaxfault

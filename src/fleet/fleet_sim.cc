@@ -159,7 +159,7 @@ FleetSimulator::runSystemTrial(uint64_t trial,
     if (mechanism != nullptr &&
         cfg.degradation == DegradationPolicy::RetirePages) {
         retirement = std::make_unique<PageRetirement>(
-            DramAddressMap(cfg.faultModel.geometry),
+            makeAddressMap(cfg.mapping, cfg.faultModel.geometry),
             cfg.retirePageBytes, cfg.retireMaxBytes);
     }
 

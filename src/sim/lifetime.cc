@@ -493,7 +493,7 @@ LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
     if (mechanism != nullptr &&
         config_.degradation == DegradationPolicy::RetirePages) {
         retirement = std::make_unique<PageRetirement>(
-            DramAddressMap(config_.faultModel.geometry),
+            makeAddressMap(config_.mapping, config_.faultModel.geometry),
             config_.retirePageBytes, config_.retireMaxBytes);
     }
 

@@ -94,6 +94,15 @@ struct LifetimeConfig
     uint64_t retirePageBytes = 4096;
     /** Per-node retirement-capacity cap for the RetirePages fallback. */
     uint64_t retireMaxBytes = 4ull * 1024 * 1024;
+
+    /**
+     * Registered address-mapping scheme (see makeAddressMap) used
+     * wherever the lifetime pipeline decodes physical addresses to DRAM
+     * coordinates — today the RetirePages fallback engine. The default
+     * is the paper's Fig. 7a scheme; any other value changes results
+     * and must be folded into campaign fingerprints.
+     */
+    std::string mapping = "fig7a";
 };
 
 /** Aggregate outcomes of one simulated system lifetime. */

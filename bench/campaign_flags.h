@@ -80,7 +80,8 @@ rejectTraceFlags(const CliOptions &options, const std::string &bench)
 inline std::vector<std::string>
 withWorkerFlags(std::vector<std::string> known)
 {
-    known.push_back("workers");
+    known.insert(known.end(),
+                 {"workers", "watchdog-ms", "quarantine-after"});
     return known;
 }
 

@@ -162,5 +162,6 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
-    return 0;
+    return workerPoolExitStatus("fig09_fault_model_sensitivity",
+                                pool.get());
 }

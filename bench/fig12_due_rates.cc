@@ -90,5 +90,5 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
-    return 0;
+    return workerPoolExitStatus("fig12_due_rates", pool.get());
 }

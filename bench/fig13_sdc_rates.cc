@@ -84,5 +84,5 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
-    return 0;
+    return workerPoolExitStatus("fig13_sdc_rates", pool.get());
 }

@@ -106,5 +106,5 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
-    return 0;
+    return workerPoolExitStatus("fig14_dimm_replacements", pool.get());
 }

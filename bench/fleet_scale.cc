@@ -163,5 +163,5 @@ main(int argc, char **argv)
         .set("sdcs", summary.sdcs.mean())
         .set("replacements", summary.replacements.mean());
     report.write();
-    return 0;
+    return workerPoolExitStatus("fleet_scale", pool.get());
 }

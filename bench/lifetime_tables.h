@@ -84,12 +84,14 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 ? LifetimeSimulator::MechanismFactory{}
                 : makeFactory(row.spec, geometry, address_map);
         LifetimeSummary summary;
+        size_t quarantined = 0;
         if (workers != nullptr) {
             const CampaignResult unit_result = workers->runUnit(
                 unit, simulator, factory, trials, seed, run);
             if (unit_result.interrupted)
                 return false;
             summary = unit_result.summary;
+            quarantined = unit_result.quarantinedShards.size();
         } else if (campaign != nullptr) {
             const CampaignResult unit_result = campaign->runUnit(
                 unit, simulator, factory, trials, seed, run);
@@ -121,6 +123,11 @@ runRepairMatrix(const LifetimeConfig &base_config, unsigned trials,
                 .set("reduction_vs_no_repair_pct",
                      row.spec.kind == MechanismSpec::Kind::None
                          ? 0.0 : reduction);
+            // A quarantined unit's numbers miss those shards' trials;
+            // stamp the row so no one diffs it against a clean run.
+            if (quarantined != 0)
+                json_row.set("quarantined_shards",
+                             static_cast<uint64_t>(quarantined));
         }
     }
     table.print(std::cout);

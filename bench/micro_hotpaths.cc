@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cache/cache_geometry.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/simd.h"
@@ -287,6 +288,23 @@ BM_TelemetryHistogramRecordBatch(benchmark::State &state)
     benchmark::DoNotOptimize(hist.snapshot().count);
 }
 BENCHMARK(BM_TelemetryHistogramRecordBatch);
+
+void
+BM_FailpointDisabledEval(benchmark::State &state)
+{
+    // The disabled-failpoint hot path every instrumented syscall (and
+    // ShmRing::tryPop) pays when nothing is armed: one relaxed atomic
+    // load plus a predictable branch. Must stay at the same cost as
+    // the disabled telemetry/tracer branches — the registry's
+    // zero-cost-when-disabled contract.
+    uint64_t work = 0;
+    for (auto _ : state) {
+        const FailpointHit hit = failpoint::eval(FailpointSite::FsWrite);
+        benchmark::DoNotOptimize(hit.effect);
+        benchmark::DoNotOptimize(++work);
+    }
+}
+BENCHMARK(BM_FailpointDisabledEval);
 
 void
 BM_TracerDisabledEmit(benchmark::State &state)

@@ -28,7 +28,10 @@ namespace relaxfault::bench {
 
 /**
  * Build the worker pool when `--workers` > 0 (null keeps the bench on
- * its in-process runner). Fatal when combined with `--trace`.
+ * its in-process runner). Fatal when combined with `--trace`, and fatal
+ * when the supervision flags (`--watchdog-ms`, `--quarantine-after`)
+ * appear without `--workers` — a silently ignored watchdog is a run the
+ * operator wrongly believes is hang-proof.
  */
 inline std::unique_ptr<WorkerCampaignRunner>
 makeWorkerPool(const CliOptions &options, const std::string &bench,
@@ -36,8 +39,13 @@ makeWorkerPool(const CliOptions &options, const std::string &bench,
                const CampaignOptions &campaign)
 {
     const unsigned workers = workerCount(options);
-    if (workers == 0)
+    if (workers == 0) {
+        if (options.has("watchdog-ms") || options.has("quarantine-after"))
+            fatal(bench + ": --watchdog-ms/--quarantine-after require "
+                          "--workers=N (they configure the fleet "
+                          "supervisor)");
         return nullptr;
+    }
     if (options.has("trace"))
         fatal(bench + ": --workers does not support --trace (trace "
                       "buffers are per-process; run tracing in-process)");
@@ -46,8 +54,40 @@ makeWorkerPool(const CliOptions &options, const std::string &bench,
     worker_options.checkpointPath = campaign.checkpointPath;
     worker_options.resume = campaign.resume;
     worker_options.shards = campaign.shards;
+    worker_options.watchdogMs = static_cast<uint64_t>(
+        options.getNonNegativeInt("watchdog-ms", 0));
+    worker_options.quarantineAfter = static_cast<unsigned>(
+        options.getNonNegativeInt("quarantine-after", 0));
+    // A quarantine policy needs enough rounds to observe the crashes
+    // it counts: one round per allowed attempt, plus one to finish the
+    // healthy shards after the verdict.
+    if (worker_options.quarantineAfter != 0)
+        worker_options.maxRounds =
+            std::max(worker_options.maxRounds,
+                     worker_options.quarantineAfter + 1);
     return std::make_unique<WorkerCampaignRunner>(fingerprint,
                                                   worker_options);
+}
+
+/**
+ * Exit status of a pool run that completed but quarantined shards: the
+ * reported numbers are partial, so the bench must not exit 0. Call
+ * after `report.write()`; returns 0 for a clean (or poolless) run.
+ */
+inline constexpr int kQuarantineExitStatus = 75;  // EX_TEMPFAIL.
+
+inline int
+workerPoolExitStatus(const std::string &bench,
+                     const WorkerCampaignRunner *pool)
+{
+    if (pool == nullptr || pool->shardsQuarantined() == 0)
+        return 0;
+    warn(bench + ": " + std::to_string(pool->shardsQuarantined()) +
+         " shard(s) quarantined — reported results are PARTIAL (see " +
+         WorkerCampaignRunner::supervisorLogPath(
+             pool->checkpointBasePath()) +
+         "); exiting " + std::to_string(kQuarantineExitStatus));
+    return kQuarantineExitStatus;
 }
 
 /**

@@ -29,6 +29,8 @@ CampaignRunner::CampaignRunner(CampaignFingerprint fingerprint,
         options_.shards = 1;
     if (options_.maxAttempts == 0)
         options_.maxAttempts = 1;
+    log_.setClock(options_.clock);
+    log_.setRetryPolicy(options_.checkpointRetry);
 }
 
 ShardRecord
@@ -153,6 +155,12 @@ CampaignRunner::runUnit(const std::string &unit,
 {
     const unsigned shards =
         std::max(1u, std::min(options_.shards, trials));
+
+    // Publish-retry telemetry (`fs.retries`) lands in the caller's
+    // registry, never the per-shard private registries: retry counts
+    // are environmental noise and must stay out of the bit-identical
+    // shard records.
+    log_.setMetrics(run_options.metrics);
 
     CampaignResult result;
     for (unsigned shard = 0; shard < shards; ++shard) {

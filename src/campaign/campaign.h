@@ -67,6 +67,9 @@ struct CampaignOptions
     /** Backoff before retry r is `retryBackoffMs << (r - 1)`. */
     unsigned retryBackoffMs = 50;
 
+    /** Checkpoint publish retry policy (attempts + backoff base). */
+    CheckpointRetryPolicy checkpointRetry;
+
     /**
      * Time source for shard timing and retry backoff. Null uses the
      * real `Clock::steady()`; tests inject a `FakeClock` so the retry
@@ -106,6 +109,14 @@ struct CampaignResult
 
     unsigned shardsRun = 0;       ///< Executed this invocation.
     unsigned shardsResumed = 0;   ///< Skipped; loaded from checkpoint.
+
+    /**
+     * Shards the fleet supervisor quarantined after repeated crashed
+     * attempts (always empty for in-process campaigns). A non-empty
+     * list means `summary` is missing those shards' trials and must be
+     * reported as partial, never as the campaign's result.
+     */
+    std::vector<unsigned> quarantinedShards;
 };
 
 /**

@@ -1,8 +1,11 @@
 #include "campaign/checkpoint.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
 
+#include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/fs.h"
 #include "common/log.h"
 #include "telemetry/json_reader.h"
@@ -288,8 +291,8 @@ void
 CheckpointLog::load()
 {
     std::string content;
-    if (!readFile(path_, content))
-        fatal("campaign: cannot read checkpoint " + path_);
+    if (const IoResult io = readFile(path_, content); !io)
+        fatal("campaign: cannot read checkpoint: " + io.describe(path_));
     const std::vector<std::string> raw = splitLines(content);
     if (raw.empty())
         fatal("campaign: checkpoint " + path_ + " is empty");
@@ -332,10 +335,12 @@ CheckpointLog::load()
             lines_.push_back(raw[i]);
             continue;
         }
-        // Failure notes are informational; anything else is torn.
+        // Failure/quarantine notes are informational; anything else is
+        // torn.
         const JsonParseResult parsed = parseJson(raw[i]);
         if (parsed.ok && parsed.value.isObject() &&
-            stringOf(parsed.value, "kind") == "shard_failed") {
+            (stringOf(parsed.value, "kind") == "shard_failed" ||
+             stringOf(parsed.value, "kind") == "shard_quarantined")) {
             lines_.push_back(raw[i]);
             continue;
         }
@@ -364,8 +369,44 @@ CheckpointLog::publish()
         content += line;
         content += '\n';
     }
-    if (!atomicWriteFile(path_, content))
-        fatal("campaign: cannot write checkpoint " + path_);
+
+    // Bounded retry with exponential backoff: a transient write error
+    // (full disk being cleaned, NFS blip, injected failpoint) must not
+    // discard a campaign's committed work, but a persistent one still
+    // fails loudly — continuing without persistence would silently void
+    // the crash-recovery contract.
+    Clock &clock = clock_ != nullptr ? *clock_ : Clock::steady();
+    const unsigned max_attempts =
+        retryPolicy_.maxAttempts > 0 ? retryPolicy_.maxAttempts : 1;
+    IoResult last;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+            clock.sleepFor(std::chrono::milliseconds(
+                retryPolicy_.backoffMs << (attempt - 2)));
+            ++publishRetries_;
+            if (metrics_ != nullptr)
+                metrics_->counter("fs.retries").add(1);
+        }
+        if (const FailpointHit hit =
+                failpoint::eval(FailpointSite::CkptPublish))
+            last = IoResult::error("publish", hit.errnum);
+        else
+            last = atomicWriteFile(path_, content);
+        if (last) {
+            if (attempt > 1)
+                inform("campaign: checkpoint publish recovered on "
+                       "attempt " +
+                       std::to_string(attempt) + ": " + path_);
+            return;
+        }
+        warn("campaign: checkpoint publish attempt " +
+             std::to_string(attempt) + "/" +
+             std::to_string(max_attempts) +
+             " failed: " + last.describe(path_));
+    }
+    fatal("campaign: cannot write checkpoint after " +
+          std::to_string(max_attempts) +
+          " attempt(s): " + last.describe(path_));
 }
 
 void
@@ -379,8 +420,9 @@ CheckpointLog::commit(const ShardRecord &record)
 }
 
 void
-CheckpointLog::noteFailure(const std::string &unit, unsigned shard,
-                           unsigned attempt, const std::string &error)
+CheckpointLog::appendNote(const char *kind, const std::string &unit,
+                          unsigned shard, unsigned attempt,
+                          const std::string &error)
 {
     if (path_.empty())
         return;
@@ -388,7 +430,7 @@ CheckpointLog::noteFailure(const std::string &unit, unsigned shard,
     JsonWriter writer(os);
     writer.beginObject();
     writer.key("schema").value(kCheckpointSchema);
-    writer.key("kind").value("shard_failed");
+    writer.key("kind").value(kind);
     writer.key("unit").value(unit);
     writer.key("shard").value(uint64_t{shard});
     writer.key("attempt").value(uint64_t{attempt});
@@ -398,6 +440,20 @@ CheckpointLog::noteFailure(const std::string &unit, unsigned shard,
     writer.finish();
     lines_.push_back(os.str());
     publish();
+}
+
+void
+CheckpointLog::noteFailure(const std::string &unit, unsigned shard,
+                           unsigned attempt, const std::string &error)
+{
+    appendNote("shard_failed", unit, shard, attempt, error);
+}
+
+void
+CheckpointLog::noteQuarantine(const std::string &unit, unsigned shard,
+                              unsigned attempts, const std::string &error)
+{
+    appendNote("shard_quarantined", unit, shard, attempts, error);
 }
 
 } // namespace relaxfault

@@ -36,8 +36,21 @@
 
 namespace relaxfault {
 
+class Clock;
 class JsonValue;
 class JsonWriter;
+
+/**
+ * How many times publish() retries a failed write before giving up,
+ * and the base of its exponential backoff (base, 2*base, 4*base, ...).
+ * A transient ENOSPC or EIO should not kill a campaign that has hours
+ * of committed work behind it; a persistent one still must.
+ */
+struct CheckpointRetryPolicy
+{
+    unsigned maxAttempts = 5;
+    uint64_t backoffMs = 10;
+};
 
 /** Schema identifier stamped into every checkpoint line. */
 inline constexpr const char *kCheckpointSchema = "relaxfault.ckpt.v2";
@@ -111,6 +124,38 @@ class CheckpointLog
     void noteFailure(const std::string &unit, unsigned shard,
                      unsigned attempt, const std::string &error);
 
+    /**
+     * Record a shard quarantine: the supervisor gave up on (unit,
+     * shard) after @p attempts crashed attempts and excluded it from
+     * the merge. Forensic like noteFailure — quarantine lines are
+     * ignored on resume, so a later run retries the shard.
+     */
+    void noteQuarantine(const std::string &unit, unsigned shard,
+                        unsigned attempts, const std::string &error);
+
+    /**
+     * Clock for publish-retry backoff (null restores the real clock).
+     * Tests inject a FakeClock so the backoff schedule is recorded,
+     * not slept.
+     */
+    void setClock(Clock *clock) { clock_ = clock; }
+
+    /**
+     * Registry for the `fs.retries` counter (null disables). Wire the
+     * caller-owned registry here, never a shard-scoped one — retry
+     * counts are environmental noise and must not enter shard records,
+     * which are compared bit-identically across runs.
+     */
+    void setMetrics(MetricRegistry *metrics) { metrics_ = metrics; }
+
+    void setRetryPolicy(const CheckpointRetryPolicy &policy)
+    {
+        retryPolicy_ = policy;
+    }
+
+    /** Publish attempts that failed and were retried, process-wide. */
+    uint64_t publishRetries() const { return publishRetries_; }
+
     /** Lines dropped as torn/invalid while loading. */
     unsigned tornLines() const { return tornLines_; }
 
@@ -130,6 +175,9 @@ class CheckpointLog
     void load();
     void startFresh();
     void publish();
+    void appendNote(const char *kind, const std::string &unit,
+                    unsigned shard, unsigned attempt,
+                    const std::string &error);
     std::string headerLine() const;
 
     std::string path_;
@@ -137,6 +185,10 @@ class CheckpointLog
     std::vector<std::string> lines_;  ///< Valid lines, header first.
     std::map<std::pair<std::string, unsigned>, ShardRecord> records_;
     unsigned tornLines_ = 0;
+    CheckpointRetryPolicy retryPolicy_;
+    Clock *clock_ = nullptr;            ///< Null = Clock::steady().
+    MetricRegistry *metrics_ = nullptr; ///< Null = no retry counter.
+    uint64_t publishRetries_ = 0;
 };
 
 } // namespace relaxfault

@@ -1,0 +1,472 @@
+#include "common/failpoint.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace relaxfault {
+namespace failpoint {
+
+namespace detail {
+std::atomic<unsigned> g_armed_sites{0};
+} // namespace detail
+
+namespace {
+
+constexpr unsigned kSiteCount =
+    static_cast<unsigned>(FailpointSite::kCount);
+
+/** Keep in enum order (FailpointSite). */
+constexpr const char *kSiteNames[kSiteCount] = {
+    "fs.open", "fs.write", "fs.fsync", "fs.rename",
+    "fs.close", "ckpt.publish", "shm.pop", "fleet.pop",
+};
+
+/**
+ * Per-site armed state. The spec is guarded by `armed`: arm() writes
+ * the spec fields first and publishes with a release store to `armed`;
+ * evalArmed() reads `armed` with acquire before touching the spec.
+ * Counters are relaxed — they only need per-site monotonicity.
+ */
+struct SiteState
+{
+    std::atomic<bool> armed{false};
+    FailpointSpec spec;
+    std::atomic<uint64_t> evals{0};
+    std::atomic<uint64_t> fires{0};
+};
+
+SiteState g_sites[kSiteCount];
+
+/** Serializes arm/disarm (eval never takes it). */
+std::mutex g_arm_mutex;
+
+std::atomic<Clock *> g_clock{nullptr};
+
+/** errno names the spec grammar accepts (the fs-relevant set). */
+struct ErrnoName
+{
+    const char *name;
+    int value;
+};
+
+constexpr ErrnoName kErrnoNames[] = {
+    {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EDQUOT", EDQUOT},
+    {"EACCES", EACCES}, {"ENOENT", ENOENT}, {"EROFS", EROFS},
+    {"EMFILE", EMFILE}, {"EINTR", EINTR},   {"EAGAIN", EAGAIN},
+};
+
+int
+parseErrnoName(const std::string &name, const std::string &context)
+{
+    for (const ErrnoName &entry : kErrnoNames) {
+        if (name == entry.name)
+            return entry.value;
+    }
+    std::string known;
+    for (const ErrnoName &entry : kErrnoNames) {
+        if (!known.empty())
+            known += ", ";
+        known += entry.name;
+    }
+    fatal("failpoint: unknown errno '" + name + "' in spec '" + context +
+          "' (known: " + known + ")");
+}
+
+uint64_t
+parseUint(const std::string &text, const std::string &context)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (text.empty() || errno != 0 ||
+        end != text.c_str() + text.size())
+        fatal("failpoint: bad number '" + text + "' in spec '" + context +
+              "'");
+    return value;
+}
+
+double
+parseProb(const std::string &text, const std::string &context)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || errno != 0 ||
+        end != text.c_str() + text.size() || value < 0.0 || value > 1.0)
+        fatal("failpoint: bad probability '" + text + "' in spec '" +
+              context + "' (expected a value in [0, 1])");
+    return value;
+}
+
+[[noreturn]] void
+badSpec(const std::string &text, const std::string &why)
+{
+    fatal("failpoint: malformed spec '" + text + "': " + why +
+          " (grammar: effect[@schedule]; effect: error | error=ENOSPC | "
+          "short | torn | delay=MS | abort; schedule: always | nth=N | "
+          "every=K | p=P | p=P/SEED)");
+}
+
+/** Validate effect-site compatibility; fatal on an impossible pairing. */
+void
+checkCompatible(FailpointSite site, const FailpointSpec &spec)
+{
+    const auto incompatible = [&](const char *why) {
+        fatal(std::string("failpoint: effect incompatible with site '") +
+              siteName(site) + "': " + why);
+    };
+    switch (spec.effect) {
+    case FailpointEffect::ShortWrite:
+        if (site != FailpointSite::FsWrite)
+            incompatible("'short' only applies to fs.write");
+        break;
+    case FailpointEffect::TornRename:
+        if (site != FailpointSite::FsRename)
+            incompatible("'torn' only applies to fs.rename");
+        break;
+    case FailpointEffect::Error:
+        if (site == FailpointSite::ShmPop ||
+            site == FailpointSite::FleetPop)
+            incompatible("'error' applies to fs.* and ckpt.* sites "
+                         "(shm.pop/fleet.pop support delay and abort)");
+        break;
+    case FailpointEffect::Delay:
+    case FailpointEffect::Abort:
+        break;  // Meaningful everywhere.
+    case FailpointEffect::None:
+        incompatible("spec has no effect");
+    }
+}
+
+/**
+ * Resolve RELAXFAULT_FAILPOINTS at startup so a typo'd spec kills any
+ * binary immediately (same contract as RELAXFAULT_SIMD): even a run
+ * whose workload never reaches an instrumented path must not silently
+ * accept a bad injection spec.
+ */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *env = std::getenv("RELAXFAULT_FAILPOINTS");
+        if (env != nullptr && *env != '\0')
+            applySpecList(env);
+    }
+};
+
+const EnvInit g_env_init;
+
+} // namespace
+
+const char *
+siteName(FailpointSite site)
+{
+    const unsigned index = static_cast<unsigned>(site);
+    return index < kSiteCount ? kSiteNames[index] : "unknown";
+}
+
+std::vector<std::string>
+knownSites()
+{
+    return {std::begin(kSiteNames), std::end(kSiteNames)};
+}
+
+FailpointSite
+siteByName(const std::string &name)
+{
+    for (unsigned i = 0; i < kSiteCount; ++i) {
+        if (name == kSiteNames[i])
+            return static_cast<FailpointSite>(i);
+    }
+    std::string known;
+    for (const char *site : kSiteNames) {
+        if (!known.empty())
+            known += ", ";
+        known += site;
+    }
+    fatal("failpoint: unknown site '" + name + "' (known sites: " +
+          known + ")");
+}
+
+FailpointSpec
+parseSpec(const std::string &text)
+{
+    FailpointSpec spec;
+    const size_t at = text.find('@');
+    const std::string effect_text = text.substr(0, at);
+    const std::string schedule_text =
+        at == std::string::npos ? "always" : text.substr(at + 1);
+
+    // Effect: NAME or NAME=ARG.
+    const size_t eq = effect_text.find('=');
+    const std::string effect_name = effect_text.substr(0, eq);
+    const std::string effect_arg =
+        eq == std::string::npos ? "" : effect_text.substr(eq + 1);
+    if (effect_name == "error") {
+        spec.effect = FailpointEffect::Error;
+        spec.errnum = effect_arg.empty()
+                          ? EIO
+                          : parseErrnoName(effect_arg, text);
+    } else if (effect_name == "short") {
+        if (!effect_arg.empty())
+            badSpec(text, "'short' takes no argument");
+        spec.effect = FailpointEffect::ShortWrite;
+    } else if (effect_name == "torn") {
+        if (!effect_arg.empty())
+            badSpec(text, "'torn' takes no argument");
+        spec.effect = FailpointEffect::TornRename;
+    } else if (effect_name == "delay") {
+        if (effect_arg.empty())
+            badSpec(text, "'delay' needs a duration: delay=MS");
+        spec.effect = FailpointEffect::Delay;
+        spec.delayMs = parseUint(effect_arg, text);
+    } else if (effect_name == "abort") {
+        if (!effect_arg.empty())
+            badSpec(text, "'abort' takes no argument");
+        spec.effect = FailpointEffect::Abort;
+    } else {
+        badSpec(text, "unknown effect '" + effect_name + "'");
+    }
+
+    // Schedule: always | nth=N | every=K | p=P[/SEED].
+    const size_t seq = schedule_text.find('=');
+    const std::string schedule_name = schedule_text.substr(0, seq);
+    const std::string schedule_arg =
+        seq == std::string::npos ? "" : schedule_text.substr(seq + 1);
+    if (schedule_name == "always") {
+        if (!schedule_arg.empty())
+            badSpec(text, "'always' takes no argument");
+        spec.schedule = FailpointSchedule::Always;
+    } else if (schedule_name == "nth") {
+        spec.schedule = FailpointSchedule::Nth;
+        spec.n = parseUint(schedule_arg, text);
+        if (spec.n == 0)
+            badSpec(text, "nth=N is 1-based (N >= 1)");
+    } else if (schedule_name == "every") {
+        spec.schedule = FailpointSchedule::EveryKth;
+        spec.n = parseUint(schedule_arg, text);
+        if (spec.n == 0)
+            badSpec(text, "every=K needs K >= 1");
+    } else if (schedule_name == "p") {
+        spec.schedule = FailpointSchedule::Prob;
+        const size_t slash = schedule_arg.find('/');
+        spec.probability =
+            parseProb(schedule_arg.substr(0, slash), text);
+        spec.seed = slash == std::string::npos
+                        ? 0
+                        : parseUint(schedule_arg.substr(slash + 1), text);
+    } else {
+        badSpec(text, "unknown schedule '" + schedule_name + "'");
+    }
+    return spec;
+}
+
+void
+applySpecList(const std::string &list)
+{
+    size_t start = 0;
+    while (start < list.size()) {
+        size_t end = list.find(',', start);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string entry = list.substr(start, end - start);
+        start = end + 1;
+        if (entry.empty())
+            continue;
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos)
+            fatal("failpoint: entry '" + entry +
+                  "' has no spec (expected site:effect[@schedule])");
+        const FailpointSite site = siteByName(entry.substr(0, colon));
+        arm(site, parseSpec(entry.substr(colon + 1)));
+    }
+}
+
+void
+arm(FailpointSite site, const FailpointSpec &spec)
+{
+    checkCompatible(site, spec);
+    std::lock_guard<std::mutex> lock(g_arm_mutex);
+    SiteState &state = g_sites[static_cast<unsigned>(site)];
+    const bool was_armed =
+        state.armed.load(std::memory_order_relaxed);
+    if (was_armed)
+        state.armed.store(false, std::memory_order_release);
+    state.spec = spec;
+    state.evals.store(0, std::memory_order_relaxed);
+    state.fires.store(0, std::memory_order_relaxed);
+    state.armed.store(true, std::memory_order_release);
+    if (!was_armed)
+        detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+    inform(std::string("failpoint: armed ") + siteName(site));
+}
+
+void
+disarm(FailpointSite site)
+{
+    std::lock_guard<std::mutex> lock(g_arm_mutex);
+    SiteState &state = g_sites[static_cast<unsigned>(site)];
+    if (state.armed.exchange(false, std::memory_order_release))
+        detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    for (unsigned i = 0; i < kSiteCount; ++i)
+        disarm(static_cast<FailpointSite>(i));
+}
+
+uint64_t
+evalCount(FailpointSite site)
+{
+    return g_sites[static_cast<unsigned>(site)].evals.load(
+        std::memory_order_relaxed);
+}
+
+uint64_t
+fireCount(FailpointSite site)
+{
+    return g_sites[static_cast<unsigned>(site)].fires.load(
+        std::memory_order_relaxed);
+}
+
+void
+setClock(Clock *clock)
+{
+    g_clock.store(clock, std::memory_order_release);
+}
+
+std::string
+describeArmed()
+{
+    std::lock_guard<std::mutex> lock(g_arm_mutex);
+    std::string out;
+    for (unsigned i = 0; i < kSiteCount; ++i) {
+        const SiteState &state = g_sites[i];
+        if (!state.armed.load(std::memory_order_acquire))
+            continue;
+        if (!out.empty())
+            out += ",";
+        out += kSiteNames[i];
+        out += ":";
+        const FailpointSpec &spec = state.spec;
+        switch (spec.effect) {
+        case FailpointEffect::Error:
+            out += "error";
+            for (const ErrnoName &entry : kErrnoNames) {
+                if (entry.value == spec.errnum) {
+                    out += std::string("=") + entry.name;
+                    break;
+                }
+            }
+            break;
+        case FailpointEffect::ShortWrite:
+            out += "short";
+            break;
+        case FailpointEffect::TornRename:
+            out += "torn";
+            break;
+        case FailpointEffect::Delay:
+            out += "delay=" + std::to_string(spec.delayMs);
+            break;
+        case FailpointEffect::Abort:
+            out += "abort";
+            break;
+        case FailpointEffect::None:
+            break;
+        }
+        switch (spec.schedule) {
+        case FailpointSchedule::Always:
+            break;
+        case FailpointSchedule::Nth:
+            out += "@nth=" + std::to_string(spec.n);
+            break;
+        case FailpointSchedule::EveryKth:
+            out += "@every=" + std::to_string(spec.n);
+            break;
+        case FailpointSchedule::Prob:
+            out += "@p=" + std::to_string(spec.probability) + "/" +
+                   std::to_string(spec.seed);
+            break;
+        }
+    }
+    return out;
+}
+
+namespace detail {
+
+FailpointHit
+evalArmed(FailpointSite site)
+{
+    SiteState &state = g_sites[static_cast<unsigned>(site)];
+    if (!state.armed.load(std::memory_order_acquire))
+        return FailpointHit{};
+
+    // 1-based call index of this evaluation.
+    const uint64_t call =
+        state.evals.fetch_add(1, std::memory_order_relaxed) + 1;
+    const FailpointSpec &spec = state.spec;
+
+    bool fired = false;
+    switch (spec.schedule) {
+    case FailpointSchedule::Always:
+        fired = true;
+        break;
+    case FailpointSchedule::Nth:
+        fired = call == spec.n;
+        break;
+    case FailpointSchedule::EveryKth:
+        fired = call % spec.n == 0;
+        break;
+    case FailpointSchedule::Prob: {
+        // Counter-based decision stream: firing depends only on
+        // (seed, site, call index), never on thread interleaving.
+        Rng rng = Rng::forkAt(
+            spec.seed ^ (uint64_t{static_cast<unsigned>(site)} << 56),
+            call);
+        fired = rng.uniform() < spec.probability;
+        break;
+    }
+    }
+    if (!fired)
+        return FailpointHit{};
+    state.fires.fetch_add(1, std::memory_order_relaxed);
+
+    switch (spec.effect) {
+    case FailpointEffect::Delay: {
+        warn(std::string("failpoint: ") + siteName(site) + " delaying " +
+             std::to_string(spec.delayMs) + " ms (call " +
+             std::to_string(call) + ")");
+        Clock *clock = g_clock.load(std::memory_order_acquire);
+        (clock != nullptr ? *clock : Clock::steady())
+            .sleepFor(std::chrono::milliseconds(spec.delayMs));
+        return FailpointHit{};
+    }
+    case FailpointEffect::Abort:
+        warn(std::string("failpoint: ") + siteName(site) +
+             " aborting process (call " + std::to_string(call) + ")");
+        std::raise(SIGKILL);
+        return FailpointHit{};  // Unreachable; SIGKILL is uncatchable.
+    case FailpointEffect::Error:
+    case FailpointEffect::ShortWrite:
+    case FailpointEffect::TornRename:
+        return FailpointHit{spec.effect, spec.errnum};
+    case FailpointEffect::None:
+        break;
+    }
+    return FailpointHit{};
+}
+
+} // namespace detail
+
+} // namespace failpoint
+} // namespace relaxfault

@@ -2,12 +2,13 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstring>
 
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "common/failpoint.h"
 
 namespace relaxfault {
 
@@ -36,7 +37,23 @@ fsyncPath(const std::string &path, int open_flags)
     return ok;
 }
 
+/** Injected errno for effects that don't carry one (torn, zero write). */
+int
+errnumOr(int errnum, int fallback)
+{
+    return errnum != 0 ? errnum : fallback;
+}
+
 } // namespace
+
+std::string
+IoResult::describe(const std::string &path) const
+{
+    if (errnum == 0)
+        return std::string(op && *op ? op : "io") + "(" + path + "): ok";
+    return std::string(op) + "(" + path + "): " +
+           std::strerror(errnum);
+}
 
 bool
 fileExists(const std::string &path)
@@ -45,7 +62,7 @@ fileExists(const std::string &path)
     return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
 }
 
-bool
+IoResult
 atomicWriteFile(const std::string &path, const std::string &content)
 {
     // The tmp name embeds the pid so two processes checkpointing the
@@ -54,54 +71,121 @@ atomicWriteFile(const std::string &path, const std::string &content)
     const std::string tmp =
         path + ".tmp." + std::to_string(::getpid());
 
+    if (const FailpointHit hit = failpoint::eval(FailpointSite::FsOpen))
+        return IoResult::error("open", hit.errnum);
     const int fd = ::open(tmp.c_str(),
                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0)
-        return false;
+        return IoResult::error("open", errno);
 
     size_t written = 0;
     while (written < content.size()) {
-        const ssize_t n = ::write(fd, content.data() + written,
-                                  content.size() - written);
+        size_t request = content.size() - written;
+        if (const FailpointHit hit =
+                failpoint::eval(FailpointSite::FsWrite)) {
+            if (hit.effect == FailpointEffect::Error) {
+                ::close(fd);
+                ::unlink(tmp.c_str());
+                return IoResult::error("write", hit.errnum);
+            }
+            // ShortWrite: truncate this request to half (may reach
+            // zero, which exercises the write()==0 error path below).
+            request /= 2;
+        }
+        const ssize_t n =
+            ::write(fd, content.data() + written, request);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            const int errnum = errno;
             ::close(fd);
             ::unlink(tmp.c_str());
-            return false;
+            return IoResult::error("write", errnum);
+        }
+        if (n == 0) {
+            // A zero return makes no progress — a loop that adds 0
+            // forever would spin. POSIX allows it for a zero-length
+            // request (the short-write failpoint can truncate to zero)
+            // and some filesystems produce it near quota; either way,
+            // fail instead of spinning.
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return IoResult::error("write", EIO);
         }
         written += static_cast<size_t>(n);
     }
 
-    if (::fsync(fd) != 0) {
+    if (const FailpointHit hit =
+            failpoint::eval(FailpointSite::FsFsync)) {
         ::close(fd);
         ::unlink(tmp.c_str());
-        return false;
+        return IoResult::error("fsync", hit.errnum);
     }
-    ::close(fd);
-
-    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (::fsync(fd) != 0) {
+        const int errnum = errno;
+        ::close(fd);
         ::unlink(tmp.c_str());
-        return false;
+        return IoResult::error("fsync", errnum);
+    }
+    if (const FailpointHit hit =
+            failpoint::eval(FailpointSite::FsClose)) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return IoResult::error("close", hit.errnum);
+    }
+    if (::close(fd) != 0) {
+        // Data is already durable (fsync succeeded), but a close error
+        // can still mean a write-back failure on some filesystems; be
+        // conservative and abandon the tmp rather than renaming it in.
+        const int errnum = errno;
+        ::unlink(tmp.c_str());
+        return IoResult::error("close", errnum);
+    }
+
+    if (const FailpointHit hit =
+            failpoint::eval(FailpointSite::FsRename)) {
+        // TornRename simulates a crash between write and rename: the
+        // tmp file is deliberately left behind for the loader to skip.
+        if (hit.effect != FailpointEffect::TornRename)
+            ::unlink(tmp.c_str());
+        return IoResult::error("rename", errnumOr(hit.errnum, EIO));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int errnum = errno;
+        ::unlink(tmp.c_str());
+        return IoResult::error("rename", errnum);
     }
 
     // Make the rename itself durable. O_DIRECTORY fsync can fail on
     // exotic filesystems; the rename already happened, so report success
     // either way and let the next commit re-sync.
     fsyncPath(dirOf(path), O_RDONLY | O_DIRECTORY);
-    return true;
+    return IoResult::ok();
 }
 
-bool
+IoResult
 readFile(const std::string &path, std::string &out)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    out = buffer.str();
-    return true;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return IoResult::error("open", errno);
+    out.clear();
+    char buffer[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int errnum = errno;
+            ::close(fd);
+            return IoResult::error("read", errnum);
+        }
+        if (n == 0)
+            break;
+        out.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return IoResult::ok();
 }
 
 std::vector<std::string>

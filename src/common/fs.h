@@ -9,6 +9,13 @@
  * rename stays within one filesystem, and both the file and its
  * directory entry are fsync'd before the call returns — after a
  * successful return the content survives a power cut.
+ *
+ * Failures carry the failing syscall and its errno (`IoResult`), so a
+ * full disk shows up in the log as `write(...): No space left on
+ * device`, not a bare "cannot write". Every syscall in the publish path
+ * is also a failpoint site (`fs.open`, `fs.write`, `fs.fsync`,
+ * `fs.rename`, `fs.close`) so the chaos suite can inject ENOSPC, short
+ * writes, and torn renames deterministically.
  */
 
 #ifndef RELAXFAULT_COMMON_FS_H
@@ -19,23 +26,49 @@
 
 namespace relaxfault {
 
+/**
+ * Outcome of an fs-layer operation: success, or the name of the failing
+ * syscall plus its errno. `explicit operator bool` keeps the classic
+ * `if (!atomicWriteFile(...))` callers working while letting diagnostic
+ * paths say exactly what failed.
+ */
+struct IoResult
+{
+    int errnum = 0;        ///< 0 on success, else the syscall's errno.
+    const char *op = "";   ///< Failing syscall name ("write", "rename"...).
+
+    explicit operator bool() const { return errnum == 0; }
+
+    static IoResult ok() { return IoResult{}; }
+
+    static IoResult error(const char *op, int errnum)
+    {
+        return IoResult{errnum, op};
+    }
+
+    /** Human diagnostic: `write(/path): No space left on device`. */
+    std::string describe(const std::string &path) const;
+};
+
 /** True if @p path names an existing regular file. */
 bool fileExists(const std::string &path);
 
 /**
  * Replace @p path's content with @p content atomically and durably
  * (write tmp in the same directory, fsync, rename over, fsync the
- * directory). Returns false (with the old content intact) on any I/O
- * error.
+ * directory). On any I/O error the old content stays intact, the tmp
+ * file is removed, and the result names the failing syscall.
  */
-bool atomicWriteFile(const std::string &path, const std::string &content);
+IoResult atomicWriteFile(const std::string &path,
+                         const std::string &content);
 
 /**
- * Read the whole file into @p out. Returns false if the file cannot be
- * opened; a short or torn final line is the *caller's* problem (the
- * checkpoint loader treats an unparseable tail as a torn write).
+ * Read the whole file into @p out. Fails (naming the syscall) if the
+ * file cannot be opened or read; a short or torn final line is the
+ * *caller's* problem (the checkpoint loader treats an unparseable tail
+ * as a torn write).
  */
-bool readFile(const std::string &path, std::string &out);
+IoResult readFile(const std::string &path, std::string &out);
 
 /** Split @p text into lines (without terminators; no trailing empty). */
 std::vector<std::string> splitLines(const std::string &text);

@@ -1,0 +1,116 @@
+#include "common/heartbeat.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "common/log.h"
+
+namespace relaxfault {
+
+SharedHeartbeats
+SharedHeartbeats::create(size_t slots)
+{
+    if (slots == 0)
+        slots = 1;
+    const size_t bytes = slots * sizeof(Slot);
+    void *map = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (map == MAP_FAILED)
+        fatal(std::string("heartbeat: mmap failed: ") +
+              std::strerror(errno));
+    SharedHeartbeats beats(map, bytes, slots);
+    beats.records_ = static_cast<Slot *>(map);
+    for (size_t i = 0; i < slots; ++i)
+        new (&beats.records_[i]) Slot;
+    return beats;
+}
+
+SharedHeartbeats::SharedHeartbeats(void *map, size_t bytes, size_t slots)
+    : map_(map), bytes_(bytes), slots_(slots)
+{
+}
+
+SharedHeartbeats::~SharedHeartbeats()
+{
+    if (map_ != nullptr)
+        munmap(map_, bytes_);
+}
+
+SharedHeartbeats::SharedHeartbeats(SharedHeartbeats &&other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      slots_(std::exchange(other.slots_, 0)),
+      records_(std::exchange(other.records_, nullptr))
+{
+}
+
+SharedHeartbeats &
+SharedHeartbeats::operator=(SharedHeartbeats &&other) noexcept
+{
+    if (this != &other) {
+        if (map_ != nullptr)
+            munmap(map_, bytes_);
+        map_ = std::exchange(other.map_, nullptr);
+        bytes_ = std::exchange(other.bytes_, 0);
+        slots_ = std::exchange(other.slots_, 0);
+        records_ = std::exchange(other.records_, nullptr);
+    }
+    return *this;
+}
+
+void
+SharedHeartbeats::startShard(size_t slot, uint64_t shard)
+{
+    Slot &record = records_[slot];
+    record.shard.store(shard, std::memory_order_relaxed);
+    record.working.store(1, std::memory_order_release);
+    record.beats.fetch_add(1, std::memory_order_release);
+}
+
+void
+SharedHeartbeats::finishShard(size_t slot)
+{
+    Slot &record = records_[slot];
+    record.working.store(0, std::memory_order_release);
+    record.beats.fetch_add(1, std::memory_order_release);
+}
+
+void
+SharedHeartbeats::beat(size_t slot)
+{
+    records_[slot].beats.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t
+SharedHeartbeats::beats(size_t slot) const
+{
+    return records_[slot].beats.load(std::memory_order_acquire);
+}
+
+bool
+SharedHeartbeats::working(size_t slot) const
+{
+    return records_[slot].working.load(std::memory_order_acquire) != 0;
+}
+
+uint64_t
+SharedHeartbeats::shard(size_t slot) const
+{
+    return records_[slot].shard.load(std::memory_order_relaxed);
+}
+
+void
+SharedHeartbeats::reset(size_t slot)
+{
+    Slot &record = records_[slot];
+    record.working.store(0, std::memory_order_relaxed);
+    record.shard.store(0, std::memory_order_relaxed);
+    record.beats.store(0, std::memory_order_release);
+}
+
+} // namespace relaxfault

@@ -1,5 +1,6 @@
 #include "common/process.h"
 
+#include <signal.h>
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -59,6 +60,42 @@ waitProcess(pid_t pid)
         status.termSignal = WTERMSIG(wstatus);
     }
     return status;
+}
+
+std::optional<ProcessStatus>
+pollProcess(pid_t pid)
+{
+    int wstatus = 0;
+    for (;;) {
+        const pid_t reaped = waitpid(pid, &wstatus, WNOHANG);
+        if (reaped == 0)
+            return std::nullopt;  // Still running.
+        if (reaped == pid)
+            break;
+        if (reaped < 0 && errno == EINTR)
+            continue;
+        fatal("waitpid(" + std::to_string(pid) +
+              ", WNOHANG) failed: " + std::strerror(errno));
+    }
+    ProcessStatus status;
+    status.pid = pid;
+    if (WIFEXITED(wstatus)) {
+        status.exited = true;
+        status.exitCode = WEXITSTATUS(wstatus);
+    } else if (WIFSIGNALED(wstatus)) {
+        status.signaled = true;
+        status.termSignal = WTERMSIG(wstatus);
+    }
+    return status;
+}
+
+void
+killProcess(pid_t pid, int signal)
+{
+    if (::kill(pid, signal) != 0 && errno != ESRCH)
+        fatal("kill(" + std::to_string(pid) + ", " +
+              std::to_string(signal) +
+              ") failed: " + std::strerror(errno));
 }
 
 int64_t

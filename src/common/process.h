@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 namespace relaxfault {
 
@@ -49,6 +50,23 @@ pid_t spawnProcess(const std::function<int()> &body);
  * shard lease.
  */
 ProcessStatus waitProcess(pid_t pid);
+
+/**
+ * Non-blocking probe of @p pid (waitpid WNOHANG): the status if the
+ * child has terminated, nullopt while it is still running. Fatal on any
+ * waitpid error other than EINTR — the supervision loop must never lose
+ * track of a worker. The foundation of the fleet watchdog: the parent
+ * polls instead of blocking so a hung (not dead) worker cannot stall
+ * the campaign forever.
+ */
+std::optional<ProcessStatus> pollProcess(pid_t pid);
+
+/**
+ * Deliver @p signal to @p pid (fatal on failure other than ESRCH — a
+ * child that died between the decision and the kill is fine, it will be
+ * reaped normally). Used by the watchdog to SIGKILL stalled workers.
+ */
+void killProcess(pid_t pid, int signal);
 
 /**
  * Peak resident set size of the calling process in bytes (VmHWM from

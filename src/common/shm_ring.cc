@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 
 namespace relaxfault {
@@ -101,6 +102,11 @@ ShmRing::tryPush(uint64_t value)
 bool
 ShmRing::tryPop(uint64_t &value)
 {
+    // `shm.pop` delay site: stretches the window between a consumer
+    // claiming a slot and acting on it, to exercise lease-timeout races
+    // in the fleet supervisor. Delay/Abort happen inside eval; no other
+    // effect is meaningful for a pop.
+    failpoint::eval(FailpointSite::ShmPop);
     Header &h = *header_;
     uint64_t pos = h.tail.load(std::memory_order_relaxed);
     for (;;) {

@@ -3,15 +3,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "campaign/checkpoint.h"
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "common/fs.h"
+#include "common/heartbeat.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/process.h"
@@ -26,6 +30,12 @@ WorkerCampaignRunner::workerLogPath(const std::string &base,
                                     unsigned slot)
 {
     return base + ".worker" + std::to_string(slot);
+}
+
+std::string
+WorkerCampaignRunner::supervisorLogPath(const std::string &base)
+{
+    return base + ".supervisor";
 }
 
 WorkerCampaignRunner::WorkerCampaignRunner(CampaignFingerprint fingerprint,
@@ -52,13 +62,20 @@ WorkerCampaignRunner::WorkerCampaignRunner(CampaignFingerprint fingerprint,
         basePath_ = options_.checkpointPath;
     }
 
+    if (options_.pollMs == 0)
+        options_.pollMs = 1;
+
     if (!options_.resume) {
-        // A stale worker log would resurrect shards of a previous run.
+        // A stale worker log would resurrect shards of a previous run;
+        // a stale supervisor log would mislead quarantine forensics.
         for (unsigned slot = 0; slot < kMaxWorkers; ++slot) {
             const std::string path = workerLogPath(basePath_, slot);
             if (fileExists(path))
                 std::remove(path.c_str());
         }
+        const std::string supervisor = supervisorLogPath(basePath_);
+        if (fileExists(supervisor))
+            std::remove(supervisor.c_str());
     }
 }
 
@@ -68,12 +85,14 @@ WorkerCampaignRunner::~WorkerCampaignRunner()
         return;
     for (unsigned slot = 0; slot < kMaxWorkers; ++slot)
         std::remove(workerLogPath(basePath_, slot).c_str());
+    std::remove(supervisorLogPath(basePath_).c_str());
     ::rmdir(tempDir_.c_str());
 }
 
 int
-WorkerCampaignRunner::workerMain(ShmRing &ring, const ShardBody &body,
-                                 unsigned slot, unsigned shards) const
+WorkerCampaignRunner::workerMain(ShmRing &ring, SharedHeartbeats &beats,
+                                 const ShardBody &body, unsigned slot,
+                                 unsigned shards, unsigned round) const
 {
     // The forked child inherited the parent's forwarding registry;
     // drop it so a worker never forwards signals to its siblings (the
@@ -87,6 +106,15 @@ WorkerCampaignRunner::workerMain(ShmRing &ring, const ShardBody &body,
     uint64_t shard = 0;
     while (!SignalGuard::stopRequested() && ring.tryPop(shard)) {
         ++popped;
+        // Publish the lease BEFORE any injectable step, so the parent
+        // can attribute whatever happens next to this shard.
+        beats.startShard(slot, shard);
+        // `fleet.pop` site: a delay here holds the lease without
+        // progress (a hang the watchdog must catch); an abort dies
+        // holding it (a crash the quarantine policy must attribute).
+        failpoint::eval(FailpointSite::FleetPop);
+        if (options_.onWorkerPop)
+            options_.onWorkerPop(slot, round, shard);
         if (slot == 0 && options_.killBeforeCommit != 0 &&
             popped >= options_.killBeforeCommit) {
             // Crash-recovery worst case: die holding the shard lease,
@@ -97,6 +125,7 @@ WorkerCampaignRunner::workerMain(ShmRing &ring, const ShardBody &body,
         const ShardRecord record =
             body(static_cast<unsigned>(shard), shards);
         log.commit(record);
+        beats.finishShard(slot);
     }
     return 0;
 }
@@ -135,12 +164,23 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
         collect();
     result.shardsResumed = static_cast<unsigned>(committed.size());
 
+    Clock &clock =
+        options_.clock != nullptr ? *options_.clock : Clock::steady();
+
+    // Per-shard crashed-attempt counts (watchdog kills included) and
+    // the quarantine verdicts derived from them. Both live across
+    // rounds: quarantine is about a shard crashing *distinct* attempts.
+    std::map<unsigned, unsigned> crashCounts;
+    std::set<unsigned> quarantined;
+
     unsigned round = 0;
-    while (committed.size() < shards && !SignalGuard::stopRequested()) {
+    while (committed.size() + quarantined.size() < shards &&
+           !SignalGuard::stopRequested()) {
         ++round;
         if (round > options_.maxRounds) {
             fatal("fleet: unit '" + unit + "' still missing " +
-                  std::to_string(shards - committed.size()) +
+                  std::to_string(shards - committed.size() -
+                                 quarantined.size()) +
                   " shard(s) after " + std::to_string(options_.maxRounds) +
                   " worker round(s); inspect " + basePath_ +
                   ".worker* and resume");
@@ -148,7 +188,8 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
 
         std::vector<unsigned> pending;
         for (unsigned shard = 0; shard < shards; ++shard) {
-            if (committed.count(shard) == 0)
+            if (committed.count(shard) == 0 &&
+                quarantined.count(shard) == 0)
                 pending.push_back(shard);
         }
 
@@ -163,43 +204,141 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
 
         const unsigned live = static_cast<unsigned>(
             std::min<size_t>(options_.workers, pending.size()));
-        std::vector<pid_t> pids(live);
+        SharedHeartbeats beats = SharedHeartbeats::create(live);
+
+        struct Supervised
+        {
+            pid_t pid = -1;
+            bool running = true;
+            uint64_t lastBeat = 0;
+            Clock::TimePoint lastProgress;
+        };
+        std::vector<Supervised> supervised(live);
         for (unsigned slot = 0; slot < live; ++slot) {
-            pids[slot] = spawnProcess([this, &ring, &body, slot,
-                                       shards]() {
-                return workerMain(ring, body, slot, shards);
-            });
-            SignalGuard::adoptChild(pids[slot]);
+            beats.reset(slot);
+            supervised[slot].pid = spawnProcess(
+                [this, &ring, &beats, &body, slot, shards, round]() {
+                    return workerMain(ring, beats, body, slot, shards,
+                                      round);
+                });
+            supervised[slot].lastProgress = clock.now();
+            SignalGuard::adoptChild(supervised[slot].pid);
         }
 
+        // Supervision loop: non-blocking reaps plus a beat-counter
+        // watchdog, so a hung (not dead) worker can never stall the
+        // campaign forever — the old blocking waitpid could.
         unsigned failures = 0;
-        for (unsigned slot = 0; slot < live; ++slot) {
-            const ProcessStatus status = waitProcess(pids[slot]);
-            SignalGuard::releaseChild(pids[slot]);
-            if (status.ok())
-                continue;
-            ++failures;
-            if (status.signaled) {
+        unsigned running = live;
+        while (running > 0) {
+            for (unsigned slot = 0; slot < live; ++slot) {
+                Supervised &sup = supervised[slot];
+                if (!sup.running)
+                    continue;
+                if (const auto status = pollProcess(sup.pid)) {
+                    sup.running = false;
+                    --running;
+                    SignalGuard::releaseChild(sup.pid);
+                    if (status->ok())
+                        continue;
+                    ++failures;
+                    std::string cause;
+                    if (status->signaled)
+                        cause = "killed by signal " +
+                                std::to_string(status->termSignal);
+                    else
+                        cause = "exited with status " +
+                                std::to_string(status->exitCode);
+                    if (beats.working(slot)) {
+                        // Died holding a lease: charge the in-flight
+                        // shard — the forensic input of quarantine.
+                        const unsigned shard =
+                            static_cast<unsigned>(beats.shard(slot));
+                        ++crashCounts[shard];
+                        warn("fleet: worker " + std::to_string(slot) +
+                             " " + cause + " while running shard " +
+                             std::to_string(shard) + " (attempt " +
+                             std::to_string(crashCounts[shard]) + ")");
+                    } else {
+                        warn("fleet: worker " + std::to_string(slot) +
+                             " " + cause);
+                    }
+                    continue;
+                }
+                if (options_.watchdogMs == 0)
+                    continue;
+                const uint64_t beat = beats.beats(slot);
+                if (beat != sup.lastBeat) {
+                    sup.lastBeat = beat;
+                    sup.lastProgress = clock.now();
+                    continue;
+                }
+                if (clock.elapsedMs(sup.lastProgress) <
+                    options_.watchdogMs)
+                    continue;
+                // Stalled: no beat within the deadline. SIGKILL and let
+                // the normal reap path attribute the in-flight shard.
                 warn("fleet: worker " + std::to_string(slot) +
-                     " killed by signal " +
-                     std::to_string(status.termSignal));
-            } else {
-                warn("fleet: worker " + std::to_string(slot) +
-                     " exited with status " +
-                     std::to_string(status.exitCode));
+                     " (pid " + std::to_string(sup.pid) +
+                     ") missed the " +
+                     std::to_string(options_.watchdogMs) +
+                     " ms heartbeat deadline; killing it");
+                ++workersStalled_;
+                if (metrics != nullptr)
+                    metrics->counter("fleet.workers_stalled").add(1);
+                killProcess(sup.pid, SIGKILL);
+                // Restart the staleness window so the kill is not
+                // re-issued every poll until the reap lands.
+                sup.lastProgress = clock.now();
             }
+            if (running > 0)
+                clock.sleepFor(
+                    std::chrono::milliseconds(options_.pollMs));
         }
 
         collect();
-        if (failures != 0 && committed.size() < shards &&
+
+        // Quarantine verdicts: an uncommitted shard that has now been
+        // in flight on `quarantineAfter` crashed attempts is excluded
+        // from further rounds and recorded forensically — one poison
+        // shard must not kill a campaign with healthy shards behind it.
+        if (options_.quarantineAfter != 0) {
+            for (const auto &[shard, crashes] : crashCounts) {
+                if (crashes < options_.quarantineAfter ||
+                    committed.count(shard) != 0 ||
+                    quarantined.count(shard) != 0)
+                    continue;
+                quarantined.insert(shard);
+                ++shardsQuarantined_;
+                if (metrics != nullptr)
+                    metrics->counter("fleet.shards_quarantined").add(1);
+                CheckpointLog supervisor(supervisorLogPath(basePath_),
+                                         fingerprint_,
+                                         /*resume=*/fileExists(
+                                             supervisorLogPath(basePath_)));
+                supervisor.noteQuarantine(
+                    unit, shard, crashes,
+                    "crashed " + std::to_string(crashes) +
+                        " distinct worker attempt(s)");
+                warn("fleet: unit '" + unit + "' shard " +
+                     std::to_string(shard) + " quarantined after " +
+                     std::to_string(crashes) +
+                     " crashed attempt(s); see " +
+                     supervisorLogPath(basePath_));
+            }
+        }
+
+        if (failures != 0 &&
+            committed.size() + quarantined.size() < shards &&
             !SignalGuard::stopRequested()) {
             warn("fleet: round " + std::to_string(round) + " left " +
-                 std::to_string(shards - committed.size()) +
+                 std::to_string(shards - committed.size() -
+                                quarantined.size()) +
                  " shard(s) uncommitted; spawning a fresh round");
         }
     }
 
-    if (committed.size() < shards) {
+    if (committed.size() + quarantined.size() < shards) {
         result.interrupted = true;
         inform("fleet: stop requested; unit '" + unit + "' at " +
                std::to_string(committed.size()) + "/" +
@@ -211,8 +350,13 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
     // Deterministic merge: global shard order, independent of which
     // worker (or round, or prior run) committed each record. The peak
     // RSS gauge merges with max semantics, so it is stripped from the
-    // snapshot before the additive absorb.
+    // snapshot before the additive absorb. Quarantined shards have no
+    // record — they are reported, never silently dropped.
     for (unsigned shard = 0; shard < shards; ++shard) {
+        if (quarantined.count(shard) != 0) {
+            result.quarantinedShards.push_back(shard);
+            continue;
+        }
         MetricsSnapshot snapshot = committed.at(shard).metrics;
         for (const LifetimeMetrics &m : committed.at(shard).trials)
             result.summary.addTrial(m);
@@ -221,7 +365,12 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
         if (metrics != nullptr)
             metrics->absorb(snapshot);
     }
-    result.shardsRun = shards - result.shardsResumed;
+    result.shardsRun = shards - result.shardsResumed -
+                       static_cast<unsigned>(quarantined.size());
+    if (!result.quarantinedShards.empty())
+        warn("fleet: unit '" + unit + "' merged WITHOUT " +
+             std::to_string(result.quarantinedShards.size()) +
+             " quarantined shard(s); the summary is partial");
     return result;
 }
 

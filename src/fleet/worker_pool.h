@@ -40,6 +40,7 @@
 
 namespace relaxfault {
 
+class SharedHeartbeats;
 class ShmRing;
 
 /**
@@ -83,6 +84,50 @@ struct WorkerOptions
      * crash-recovery worst case (a lost lease). 0 disables.
      */
     unsigned killBeforeCommit = 0;
+
+    /**
+     * Heartbeat watchdog deadline in milliseconds: a worker whose
+     * shared-memory beat counter has not advanced for this long (on the
+     * parent's clock) is SIGKILLed and its in-flight shard lease
+     * reclaimed by the next round. Workers beat when they take and when
+     * they commit a shard, so the deadline must exceed the worst-case
+     * wall time of ONE shard — size shards accordingly. 0 disables (the
+     * parent still polls, so dead workers are reaped promptly either
+     * way).
+     */
+    uint64_t watchdogMs = 0;
+
+    /** Supervision poll period in milliseconds (min 1). */
+    uint64_t pollMs = 20;
+
+    /**
+     * Quarantine a shard after it was in flight on this many crashed or
+     * watchdog-killed worker attempts: the shard is excluded from
+     * further rounds, recorded as a forensic `shard_quarantined` line
+     * in `<base>.supervisor`, and reported in
+     * `CampaignResult::quarantinedShards` instead of failing the whole
+     * campaign. 0 disables (a poison shard then exhausts maxRounds and
+     * is fatal, the pre-quarantine behavior).
+     */
+    unsigned quarantineAfter = 0;
+
+    /**
+     * Parent-side time source for watchdog staleness and poll sleeps.
+     * Null uses the real `Clock::steady()`. (Workers never share it —
+     * staleness is measured on beat *counters*, so no clock ever
+     * crosses the process boundary.)
+     */
+    Clock *clock = nullptr;
+
+    /**
+     * Test hook: runs inside the worker right after it takes a shard
+     * lease, with (slot, round, shard). A hook that blocks simulates a
+     * hung — not dead — worker; keying on (slot, round) lets a test
+     * stall exactly one attempt and let the retry succeed. Null
+     * disables.
+     */
+    std::function<void(unsigned slot, unsigned round, uint64_t shard)>
+        onWorkerPop;
 };
 
 /**
@@ -124,12 +169,25 @@ class WorkerCampaignRunner
     /** Max peak RSS any merged worker shard reported, in bytes. */
     int64_t workerPeakRssBytes() const { return workerPeakRss_; }
 
+    /** Workers the watchdog SIGKILLed over this runner's lifetime. */
+    uint64_t workersStalled() const { return workersStalled_; }
+
+    /** Shards quarantined over this runner's lifetime. */
+    uint64_t shardsQuarantined() const { return shardsQuarantined_; }
+
     /** Base path worker logs derive from (temp-dir path when private). */
     const std::string &checkpointBasePath() const { return basePath_; }
 
     /** Worker slot @p slot's checkpoint file under @p base. */
     static std::string workerLogPath(const std::string &base,
                                      unsigned slot);
+
+    /**
+     * The parent-owned forensic log under @p base (`shard_quarantined`
+     * lines land here, never in worker logs, so the merge scan and the
+     * quarantine forensics cannot collide).
+     */
+    static std::string supervisorLogPath(const std::string &base);
 
     /** Pool size cap (== the signal-forwarding registry capacity). */
     static constexpr unsigned kMaxWorkers =
@@ -145,8 +203,9 @@ class WorkerCampaignRunner
                                const ShardBody &body);
 
     /** Worker child main loop: pop, run, commit; 0 on clean exit. */
-    int workerMain(ShmRing &ring, const ShardBody &body, unsigned slot,
-                   unsigned shards) const;
+    int workerMain(ShmRing &ring, SharedHeartbeats &beats,
+                   const ShardBody &body, unsigned slot, unsigned shards,
+                   unsigned round) const;
 
     CampaignFingerprint fingerprint_;
     WorkerOptions options_;
@@ -154,6 +213,8 @@ class WorkerCampaignRunner
     std::string basePath_;
     std::string tempDir_;   ///< Non-empty: remove on destruction.
     int64_t workerPeakRss_ = 0;
+    uint64_t workersStalled_ = 0;
+    uint64_t shardsQuarantined_ = 0;
 };
 
 } // namespace relaxfault

@@ -121,7 +121,8 @@ chromeTraceText(const Tracer &tracer)
 bool
 writeTraceFile(const Tracer &tracer, const std::string &path)
 {
-    return atomicWriteFile(path, chromeTraceText(tracer));
+    return static_cast<bool>(
+        atomicWriteFile(path, chromeTraceText(tracer)));
 }
 
 bool

@@ -128,8 +128,8 @@ writeJson(const std::string &path, const std::string &source,
     json.endObject();
     json.finish();
     os << "\n";
-    if (!atomicWriteFile(path, os.str()))
-        fatal("cannot write --json output file " + path);
+    if (const IoResult io = atomicWriteFile(path, os.str()); !io)
+        fatal("cannot write --json output file: " + io.describe(path));
     inform("wrote " + path);
 }
 
@@ -183,8 +183,9 @@ emitObservations(const std::string &path, const DramAddressMap &map,
            << " " << coord.bank << " " << coord.row << " "
            << coord.colBlock << "\n";
     }
-    if (!atomicWriteFile(path, os.str()))
-        fatal("cannot write --emit-observations file " + path);
+    if (const IoResult io = atomicWriteFile(path, os.str()); !io)
+        fatal("cannot write --emit-observations file: " +
+              io.describe(path));
     inform("wrote " + path + " (" + std::to_string(samples) +
            " observations of scheme " + map.name() + ")");
 }

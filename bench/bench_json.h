@@ -43,10 +43,20 @@ class BenchReport
 
     bool enabled() const { return enabled_; }
 
-    /** Telemetry sink for the run; null when `--json` was not passed. */
+    /**
+     * Force the registry live without a `--json` artifact. Used by
+     * `--metrics-out`: an OpenMetrics export needs the instrumented
+     * layers actually recording, whether or not a JSON line is written.
+     */
+    void enableMetrics() { metricsForced_ = true; }
+
+    /**
+     * Telemetry sink for the run; null when neither `--json` nor a
+     * forced consumer (`--metrics-out`) enabled it.
+     */
     MetricRegistry *metrics()
     {
-        return enabled_ ? &registry_ : nullptr;
+        return enabled_ || metricsForced_ ? &registry_ : nullptr;
     }
 
     /** The record to stamp (seed/trials/threads/config) and fill. */
@@ -76,6 +86,7 @@ class BenchReport
     RunRecord record_;
     MetricRegistry registry_;
     bool enabled_;
+    bool metricsForced_ = false;
     std::string path_;
 };
 

@@ -128,12 +128,32 @@ rejectMappingFlag(const CliOptions &options, const std::string &bench)
                       "fig12, fig13, fig14)");
 }
 
+/**
+ * Hard-reject the observability flags on a bench without the live
+ * observability plane. Same drift-guard rationale as the trace/worker
+ * guards: the strict parser already exits(1) while these stay off the
+ * bench's known list, and a silently ignored `--metrics-out` or
+ * `--stats-plane` is a dashboard that never updates — fatal, not
+ * warn-ignore.
+ */
+inline void
+rejectObsFlags(const CliOptions &options, const std::string &bench)
+{
+    if (options.has("metrics-out") || options.has("profile") ||
+        options.has("stats-plane"))
+        fatal(bench + ": --metrics-out/--profile/--stats-plane are not "
+                      "supported here (live observability instruments "
+                      "the lifetime Monte Carlo benches: fig09, fig12, "
+                      "fig13, fig14, and fleet_scale)");
+}
+
 /** For benches with no sharded Monte Carlo: accept but warn-ignore. */
 inline void
 rejectCampaignFlags(const CliOptions &options, const std::string &bench)
 {
     rejectTraceFlags(options, bench);
     rejectWorkerFlags(options, bench);
+    rejectObsFlags(options, bench);
     if (options.has("checkpoint") || options.has("resume") ||
         options.has("shards"))
         warn(bench + ": --checkpoint/--resume/--shards have no effect "

@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "campaign_flags.h"
 #include "common/table.h"
+#include "obs_flags.h"
 #include "worker_flags.h"
 
 using namespace relaxfault;
@@ -98,10 +99,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withMappingFlag(withTraceFlags(withWorkerFlags(
+        withObsFlags(withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "audit",
-                               "audit-every"})))));
+                               "audit-every"}))))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 909));
@@ -132,6 +133,8 @@ main(int argc, char **argv)
     std::unique_ptr<CampaignRunner> runner;
     if (pool == nullptr)
         runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
+    BenchObs obs(options, "fig09_fault_model_sensitivity", report);
+    run.stats = obs.stats();
 
     std::cout << "Fig. 9a/9b: acceleration-factor sweep at 0.1% of nodes "
                  "and DIMMs (" << nodes << " nodes, " << trials
@@ -162,6 +165,7 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
+    obs.finish();
     return workerPoolExitStatus("fig09_fault_model_sensitivity",
                                 pool.get());
 }

@@ -14,6 +14,7 @@
 
 #include "campaign_flags.h"
 #include "lifetime_tables.h"
+#include "obs_flags.h"
 #include "worker_flags.h"
 
 using namespace relaxfault;
@@ -24,10 +25,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withMappingFlag(withTraceFlags(withWorkerFlags(
+        withObsFlags(withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "degrade", "audit",
-                               "audit-every"})))));
+                               "audit-every"}))))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
@@ -65,6 +66,10 @@ main(int argc, char **argv)
     std::unique_ptr<CampaignRunner> runner;
     if (pool == nullptr)
         runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
+    // Live observability (--metrics-out/--profile/--stats-plane);
+    // observation-only, so results stay bit-identical with it on.
+    BenchObs obs(options, "fig12_due_rates", report);
+    run.stats = obs.stats();
 
     for (const double fit : {1.0, 10.0}) {
         LifetimeConfig config;
@@ -90,5 +95,6 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
+    obs.finish();
     return workerPoolExitStatus("fig12_due_rates", pool.get());
 }

@@ -13,6 +13,7 @@
 
 #include "campaign_flags.h"
 #include "lifetime_tables.h"
+#include "obs_flags.h"
 #include "worker_flags.h"
 
 using namespace relaxfault;
@@ -23,10 +24,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withMappingFlag(withTraceFlags(withWorkerFlags(
+        withObsFlags(withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "degrade", "audit",
-                               "audit-every"})))));
+                               "audit-every"}))))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 25));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1307));
@@ -59,6 +60,8 @@ main(int argc, char **argv)
     std::unique_ptr<CampaignRunner> runner;
     if (pool == nullptr)
         runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
+    BenchObs obs(options, "fig13_sdc_rates", report);
+    run.stats = obs.stats();
 
     for (const double fit : {1.0, 10.0}) {
         LifetimeConfig config;
@@ -84,5 +87,6 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
+    obs.finish();
     return workerPoolExitStatus("fig13_sdc_rates", pool.get());
 }

@@ -16,6 +16,7 @@
 
 #include "campaign_flags.h"
 #include "lifetime_tables.h"
+#include "obs_flags.h"
 #include "worker_flags.h"
 
 using namespace relaxfault;
@@ -26,10 +27,10 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withMappingFlag(withTraceFlags(withWorkerFlags(
+        withObsFlags(withMappingFlag(withTraceFlags(withWorkerFlags(
             withCampaignFlags({"trials", "seed", "nodes", "threads",
                                "progress", "json", "degrade", "audit",
-                               "audit-every"})))));
+                               "audit-every"}))))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 15));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1408));
@@ -63,6 +64,8 @@ main(int argc, char **argv)
     std::unique_ptr<CampaignRunner> runner;
     if (pool == nullptr)
         runner = std::make_unique<CampaignRunner>(fingerprint, campaign);
+    BenchObs obs(options, "fig14_dimm_replacements", report);
+    run.stats = obs.stats();
 
     const struct
     {
@@ -106,5 +109,6 @@ main(int argc, char **argv)
     stampWorkerRss(report, pool.get());
     report.write();
     trace.write();
+    obs.finish();
     return workerPoolExitStatus("fig14_dimm_replacements", pool.get());
 }

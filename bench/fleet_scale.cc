@@ -28,6 +28,7 @@
 #include "campaign_flags.h"
 #include "common/process.h"
 #include "common/table.h"
+#include "obs_flags.h"
 #include "worker_flags.h"
 
 using namespace relaxfault;
@@ -38,9 +39,9 @@ main(int argc, char **argv)
 {
     const CliOptions options(
         argc, argv,
-        withWorkerFlags(withCampaignFlags({"trials", "seed", "nodes",
-                                           "threads", "progress", "json",
-                                           "mode"})));
+        withObsFlags(withWorkerFlags(withCampaignFlags(
+            {"trials", "seed", "nodes", "threads", "progress", "json",
+             "mode"}))));
     const auto trials =
         static_cast<unsigned>(options.getPositiveInt("trials", 8));
     const auto seed = static_cast<uint64_t>(options.getInt("seed", 1206));
@@ -94,6 +95,8 @@ main(int argc, char **argv)
         "nodes=" + std::to_string(nodes) + ",mode=" + mode_name);
     const std::unique_ptr<WorkerCampaignRunner> pool =
         makeWorkerPool(options, "fleet_scale", fingerprint, campaign);
+    BenchObs obs(options, "fleet_scale", report);
+    run.stats = obs.stats();
 
     std::cout << "Fleet scale: " << nodes << " nodes/system, " << trials
               << " trials, RelaxFault-4way, " << mode_name << " mode, "
@@ -105,6 +108,7 @@ main(int argc, char **argv)
     const Clock::TimePoint start = clock.now();
     LifetimeSummary summary;
     int64_t worker_rss = 0;
+    int64_t worker_sum_rss = 0;
     unsigned shards_run = 0;
     unsigned shards_resumed = 0;
     if (pool != nullptr) {
@@ -114,6 +118,7 @@ main(int argc, char **argv)
             return pool->exitStatus();
         summary = result.summary;
         worker_rss = pool->workerPeakRssBytes();
+        worker_sum_rss = pool->workerSumRssBytes();
         shards_run = result.shardsRun;
         shards_resumed = result.shardsResumed;
         stampWorkerRss(report, pool.get());
@@ -131,6 +136,11 @@ main(int argc, char **argv)
                        : 0.0;
     const int64_t parent_rss = peakRssBytes();
     const int64_t peak_rss = std::max(parent_rss, worker_rss);
+    // Two complementary footprints: `peak_rss_bytes` is the single
+    // hottest process (max fold); `sum_rss_bytes` approximates the
+    // fleet-wide footprint — parent plus the sum of each worker slot's
+    // peak — what an operator must budget to co-locate the whole pool.
+    const int64_t sum_rss = parent_rss + worker_sum_rss;
 
     TextTable table;
     table.setHeader({"metric", "value"});
@@ -158,10 +168,12 @@ main(int argc, char **argv)
         .set("elapsed_ms", elapsed_ms)
         .set("peak_rss_bytes", peak_rss)
         .set("worker_peak_rss_bytes", worker_rss)
+        .set("sum_rss_bytes", sum_rss)
         .set("faulty_nodes", summary.faultyNodes.mean())
         .set("dues", summary.dues.mean())
         .set("sdcs", summary.sdcs.mean())
         .set("replacements", summary.replacements.mean());
     report.write();
+    obs.finish();
     return workerPoolExitStatus("fleet_scale", pool.get());
 }

@@ -33,7 +33,9 @@
 #include "repair/relaxfault_map.h"
 #include "repair/relaxfault_repair.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/run_record.h"
+#include "telemetry/stats_plane.h"
 #include "tracing/tracer.h"
 
 namespace {
@@ -361,6 +363,37 @@ BM_TracerFilteredEmit(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TracerFilteredEmit);
+
+void
+BM_StatsPublisherDisabled(benchmark::State &state)
+{
+    // Disabled live-stats plane: the null-slot branch the trial loop
+    // pays per trial when no `--stats-plane` is given. Same contract as
+    // the disabled telemetry/tracer/failpoint branches: one predictable
+    // test, no atomics touched. CI pins this under 5ns.
+    StatsPublisher pub;  // Default: no slot → disabled.
+    uint64_t work = 0;
+    for (auto _ : state) {
+        pub.trialStarted();
+        pub.trialFinished();
+        benchmark::DoNotOptimize(++work);
+    }
+}
+BENCHMARK(BM_StatsPublisherDisabled);
+
+void
+BM_ProfilePhaseDisabled(benchmark::State &state)
+{
+    // Disarmed profiler: the RAII marker's enabled() check, compiled at
+    // every phase boundary in the engines. One relaxed load + branch
+    // on enter, one branch on exit. CI pins this under 5ns.
+    uint64_t work = 0;
+    for (auto _ : state) {
+        const ProfilePhase phase(ProfilePhaseId::Trial);
+        benchmark::DoNotOptimize(++work);
+    }
+}
+BENCHMARK(BM_ProfilePhaseDisabled);
 
 /**
  * Console reporter that also keeps each per-iteration run so main can

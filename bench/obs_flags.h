@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Shared observability flags for the lifetime Monte Carlo benches:
+ * `--metrics-out`, `--profile`, and `--stats-plane`.
+ *
+ *  - `--metrics-out=PATH[:PERIOD_MS]` publishes the bench's metric
+ *    registry as an OpenMetrics text file — once at exit, or every
+ *    PERIOD_MS while the bench runs (atomic snapshots; scraper-safe).
+ *    Works with or without `--json` (it force-enables the registry).
+ *  - `--profile[=PATH]` arms the SIGPROF sampling profiler for the
+ *    whole run; on exit the folded stacks go to PATH (or stderr) and
+ *    the self-time table to stderr. Incompatible with `--workers`
+ *    (ITIMER_PROF is not inherited across fork).
+ *  - `--stats-plane=PATH` creates the live shared-memory stats plane
+ *    at PATH: with `--workers=N` the pool owns an N-slot plane and
+ *    every worker publishes its own slot; in-process runs publish one
+ *    slot. `tools/fleet_top` attaches to PATH while the bench runs.
+ *
+ * All three are observation-only: none consumes RNG or feeds back into
+ * the simulation, so results stay bit-identical with any combination
+ * enabled (CI-gated). `BenchObs` owns the lifecycle; `finish()` (or
+ * destruction) stops the exporter and profiler and writes the final
+ * artifacts.
+ */
+
+#ifndef RELAXFAULT_BENCH_OBS_FLAGS_H
+#define RELAXFAULT_BENCH_OBS_FLAGS_H
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "campaign_flags.h"
+#include "common/fs.h"
+#include "telemetry/openmetrics.h"
+#include "telemetry/profiler.h"
+#include "telemetry/stats_plane.h"
+
+namespace relaxfault::bench {
+
+/** Append the observability flags to a bench's known-options list. */
+inline std::vector<std::string>
+withObsFlags(std::vector<std::string> known)
+{
+    known.insert(known.end(), {"metrics-out", "profile", "stats-plane"});
+    return known;
+}
+
+/**
+ * Owner of one bench run's observability plumbing (see file comment).
+ * Construct after `BenchReport` and `--workers` parsing; call
+ * `finish()` after the report is written (destruction also finishes,
+ * so early fatal exits still flush the exporter's final snapshot).
+ */
+class BenchObs
+{
+  public:
+    BenchObs(const CliOptions &options, const std::string &bench,
+             BenchReport &report)
+    {
+        const unsigned workers = workerCount(options);
+
+        if (options.has("metrics-out")) {
+            std::string path = options.getString("metrics-out", "");
+            uint64_t period_ms = 0;
+            // PATH[:PERIOD_MS] — the suffix is a period only when it is
+            // all digits, so plain paths containing ':' keep working.
+            const size_t colon = path.rfind(':');
+            if (colon != std::string::npos && colon + 1 < path.size()) {
+                const std::string tail = path.substr(colon + 1);
+                bool digits = true;
+                for (const char c : tail)
+                    digits = digits &&
+                             std::isdigit(static_cast<unsigned char>(c));
+                if (digits) {
+                    period_ms = std::strtoull(tail.c_str(), nullptr, 10);
+                    path.resize(colon);
+                }
+            }
+            if (path.empty())
+                fatal(bench +
+                      ": --metrics-out requires =PATH[:PERIOD_MS]");
+            report.enableMetrics();
+            exporter_ = std::make_unique<OpenMetricsExporter>(
+                *report.metrics(), path, period_ms);
+        }
+
+        if (options.has("profile")) {
+            if (workers != 0)
+                fatal(bench + ": --profile does not support --workers "
+                              "(the CPU-time sampling timer is not "
+                              "inherited across fork; profile the "
+                              "in-process path)");
+            profilePath_ = options.getString("profile", "");
+            profiler::start();
+            profiling_ = true;
+        }
+
+        if (options.has("stats-plane")) {
+            statsPath_ = options.getString("stats-plane", "");
+            if (statsPath_.empty())
+                fatal(bench + ": --stats-plane requires =PATH");
+            if (workers == 0) {
+                // In-process run: one slot, announced immediately so an
+                // observer attaching mid-run sees a live row.
+                plane_ = std::make_unique<StatsPlane>(
+                    StatsPlane::create(statsPath_, 1, bench));
+                publisher_ = plane_->publisher(0);
+                publisher_.announce(StatsPhase::Running);
+            }
+            // With --workers the pool creates the plane (one slot per
+            // worker) from WorkerOptions::statsPath; see makeWorkerPool.
+        }
+    }
+
+    ~BenchObs() { finish(); }
+
+    BenchObs(const BenchObs &) = delete;
+    BenchObs &operator=(const BenchObs &) = delete;
+
+    /** In-process publisher for TrialRunOptions/FleetTrialOptions
+     *  `.stats`; null when disabled or when the pool owns the plane. */
+    StatsPublisher *stats()
+    {
+        return publisher_.enabled() ? &publisher_ : nullptr;
+    }
+
+    /** `--stats-plane` path for WorkerOptions (empty when off). */
+    const std::string &statsPath() const { return statsPath_; }
+
+    /** Stop sampling/exporting and write final artifacts (idempotent). */
+    void finish()
+    {
+        if (finished_)
+            return;
+        finished_ = true;
+        if (publisher_.enabled())
+            publisher_.setPhase(StatsPhase::Done);
+        if (profiling_) {
+            profiler::stop();
+            const std::string folded = profiler::folded();
+            if (!profilePath_.empty()) {
+                if (const IoResult io =
+                        atomicWriteFile(profilePath_, folded);
+                    !io)
+                    fatal("cannot write --profile file: " +
+                          io.describe(profilePath_));
+                inform("wrote " + profilePath_ + " (" +
+                       std::to_string(profiler::totalSamples()) +
+                       " samples)");
+            } else {
+                std::cerr << folded;
+            }
+            std::cerr << profiler::selfTimeTable();
+        }
+        if (exporter_ != nullptr)
+            exporter_->stop();
+    }
+
+  private:
+    std::unique_ptr<OpenMetricsExporter> exporter_;
+    std::unique_ptr<StatsPlane> plane_;
+    StatsPublisher publisher_;
+    std::string statsPath_;
+    std::string profilePath_;
+    bool profiling_ = false;
+    bool finished_ = false;
+};
+
+} // namespace relaxfault::bench
+
+#endif // RELAXFAULT_BENCH_OBS_FLAGS_H

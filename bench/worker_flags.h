@@ -58,6 +58,10 @@ makeWorkerPool(const CliOptions &options, const std::string &bench,
         options.getNonNegativeInt("watchdog-ms", 0));
     worker_options.quarantineAfter = static_cast<unsigned>(
         options.getNonNegativeInt("quarantine-after", 0));
+    // `--stats-plane` with a pool: the pool owns an N-slot plane and
+    // each worker publishes into its own slot (absent on benches that
+    // never registered the obs flags; getString then returns "").
+    worker_options.statsPath = options.getString("stats-plane", "");
     // A quarantine policy needs enough rounds to observe the crashes
     // it counts: one round per allowed attempt, plus one to finish the
     // healthy shards after the verdict.

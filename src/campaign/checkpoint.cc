@@ -10,6 +10,7 @@
 #include "common/log.h"
 #include "telemetry/json_reader.h"
 #include "telemetry/json_writer.h"
+#include "telemetry/profiler.h"
 #include "telemetry/run_record.h"
 
 namespace relaxfault {
@@ -412,6 +413,7 @@ CheckpointLog::publish()
 void
 CheckpointLog::commit(const ShardRecord &record)
 {
+    const ProfilePhase profile(ProfilePhaseId::Commit);
     records_[{record.unit, record.shard}] = record;
     if (path_.empty())
         return;

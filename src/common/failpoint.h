@@ -129,6 +129,13 @@ anyArmed()
     return detail::g_armed_sites.load(std::memory_order_relaxed) != 0;
 }
 
+/** Number of armed sites (one relaxed load; observability surface). */
+inline uint64_t
+armedCount()
+{
+    return detail::g_armed_sites.load(std::memory_order_relaxed);
+}
+
 /**
  * Evaluate @p site: the entire disabled-path cost is the `anyArmed`
  * load and branch. Delay sleeps and Abort kills in here; Error /

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/clock.h"
+
 namespace relaxfault {
 
 void
@@ -40,10 +42,10 @@ constexpr int64_t kReportIntervalUs = 2'000'000;
 } // namespace
 
 ProgressMeter::ProgressMeter(std::string label, uint64_t total,
-                             bool enabled)
+                             bool enabled, Clock *clock)
     : label_(std::move(label)), total_(total), enabled_(enabled),
-      nextReportUs_(kReportIntervalUs),
-      start_(std::chrono::steady_clock::now())
+      clock_(clock ? clock : &Clock::steady()),
+      nextReportUs_(kReportIntervalUs), start_(clock_->now())
 {
 }
 
@@ -55,7 +57,7 @@ ProgressMeter::tick(uint64_t items)
         return;
     const int64_t elapsed_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start_).count();
+            clock_->now() - start_).count();
     int64_t due = nextReportUs_.load();
     if (elapsed_us < due ||
         !nextReportUs_.compare_exchange_strong(
@@ -83,7 +85,7 @@ ProgressMeter::finish()
         return;
     const double seconds =
         std::chrono::duration_cast<std::chrono::duration<double>>(
-            std::chrono::steady_clock::now() - start_).count();
+            clock_->now() - start_).count();
     const double rate = seconds > 0.0
         ? static_cast<double>(done_.load()) / seconds : 0.0;
     char line[160];
@@ -92,6 +94,16 @@ ProgressMeter::finish()
                   static_cast<unsigned long long>(done_.load()), seconds,
                   rate);
     inform(line);
+}
+
+double
+ProgressMeter::ratePerSec() const
+{
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            clock_->now() - start_).count();
+    return seconds > 0.0
+        ? static_cast<double>(done_.load()) / seconds : 0.0;
 }
 
 } // namespace relaxfault

@@ -17,6 +17,8 @@
 
 namespace relaxfault {
 
+class Clock;
+
 /** Print an informational message to stderr. */
 void inform(const std::string &message);
 
@@ -39,7 +41,13 @@ void warn(const std::string &message);
 class ProgressMeter
 {
   public:
-    ProgressMeter(std::string label, uint64_t total, bool enabled);
+    /**
+     * @p clock is the time source rate/ETA arithmetic reads (null = the
+     * process steady clock). Injectable so the arithmetic is testable
+     * against a `FakeClock` without real multi-second waits.
+     */
+    ProgressMeter(std::string label, uint64_t total, bool enabled,
+                  Clock *clock = nullptr);
 
     /** Record @p items completions; may emit a progress line. */
     void tick(uint64_t items = 1);
@@ -50,10 +58,14 @@ class ProgressMeter
     /** Completions recorded so far. */
     uint64_t done() const { return done_.load(); }
 
+    /** Completions per elapsed second on the meter's clock (0 at t=0). */
+    double ratePerSec() const;
+
   private:
     std::string label_;
     uint64_t total_;
     bool enabled_;
+    Clock *clock_;
     std::atomic<uint64_t> done_{0};
     std::atomic<int64_t> nextReportUs_;
     std::chrono::steady_clock::time_point start_;

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "tracing/trace_payloads.h"
 #include "tracing/tracer.h"
 
@@ -89,8 +90,11 @@ RelaxFaultController::fetchAndDecode(const LineCoord &coord,
             ++stats_.erasureDecodes;
     }
 
-    const LineCodec::LineResult decoded =
-        LineCodec::decodeLineBatched(line, erased_devices);
+    LineCodec::LineResult decoded;
+    {
+        const ProfilePhase profile(ProfilePhaseId::EccDecode);
+        decoded = LineCodec::decodeLineBatched(line, erased_devices);
+    }
     if (count_stats) {
         if (decoded.status == EccStatus::Corrected)
             ++stats_.correctedReads;

@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "tracing/trace_payloads.h"
 #include "tracing/tracer.h"
 
@@ -32,6 +33,7 @@ FaultScrubber::scrub(unsigned channel, unsigned rank, unsigned bank,
     const unsigned dimm = channel * geometry.ranksPerChannel + rank;
     ++totals_.scrubPasses;
     const TraceSpan pass_span(trace_, TracePhase::ScrubPass);
+    const ProfilePhase profile(ProfilePhaseId::Scrub);
 
     controller_.setErrorObserver(
         [&](const LineCoord &coord, uint32_t device_mask,

@@ -8,6 +8,8 @@
 #include "dram/address_map.h"
 #include "repair/page_retirement.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+#include "telemetry/stats_plane.h"
 
 namespace relaxfault {
 
@@ -217,7 +219,9 @@ FleetSimulator::runTrialRange(uint64_t first_trial, unsigned count,
     // bit-identical-at-any-split invariant as the classic engine's
     // runTrialRange, extended down to per-node granularity.
     std::vector<LifetimeMetrics> per_trial(count);
-    ProgressMeter meter(options.progressLabel, count, options.progress);
+    ProgressMeter meter(options.progressLabel, count, options.progress,
+                        options.clock);
+    StatsPublisher *const stats = options.stats;
     TrialTelemetry fold(options.metrics, /*audit_counters=*/false);
     Log2Histogram *const h_trial_us = fold.trialUs();
 
@@ -226,13 +230,19 @@ FleetSimulator::runTrialRange(uint64_t first_trial, unsigned count,
         [&](size_t begin, size_t end) {
             HistogramBatch trial_us_batch(h_trial_us);
             for (size_t t = begin; t < end; ++t) {
+                if (stats != nullptr)
+                    stats->trialStarted();
                 {
+                    const ProfilePhase profile(
+                        ProfilePhaseId::FleetTrial);
                     ScopedTimer timer(&trial_us_batch);
                     per_trial[t] = runSystemTrial(
                         first_trial + t, factory, seed, options.mode,
                         options.metrics);
                 }
                 fold.foldTrial(per_trial[t]);
+                if (stats != nullptr)
+                    stats->trialFinished();
                 meter.tick();
             }
         },

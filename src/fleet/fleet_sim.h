@@ -64,6 +64,12 @@ struct FleetTrialOptions
     bool progress = false;
     std::string progressLabel = "fleet trials";
     MetricRegistry *metrics = nullptr;
+
+    /** Live-stats sink; same contract as TrialRunOptions::stats. */
+    StatsPublisher *stats = nullptr;
+
+    /** Progress-meter clock; same contract as TrialRunOptions::clock. */
+    Clock *clock = nullptr;
 };
 
 /**

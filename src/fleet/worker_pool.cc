@@ -21,7 +21,9 @@
 #include "common/process.h"
 #include "common/shm_ring.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/run_record.h"
+#include "telemetry/stats_plane.h"
 
 namespace relaxfault {
 
@@ -65,6 +67,13 @@ WorkerCampaignRunner::WorkerCampaignRunner(CampaignFingerprint fingerprint,
     if (options_.pollMs == 0)
         options_.pollMs = 1;
 
+    // Created before any fork, so every worker inherits the MAP_SHARED
+    // pages and publishes straight into its slot.
+    if (!options_.statsPath.empty())
+        statsPlane_ = std::make_unique<StatsPlane>(StatsPlane::create(
+            options_.statsPath, options_.workers,
+            fingerprint_.campaign));
+
     if (!options_.resume) {
         // A stale worker log would resurrect shards of a previous run;
         // a stale supervisor log would mislead quarantine forensics.
@@ -102,6 +111,15 @@ WorkerCampaignRunner::workerMain(ShmRing &ring, SharedHeartbeats &beats,
     const std::string path = workerLogPath(basePath_, slot);
     CheckpointLog log(path, fingerprint_, /*resume=*/fileExists(path));
 
+    // The worker's live-stats slot (inherited MAP_SHARED pages).
+    // Observation only: everything below publishes into the plane and
+    // reads nothing back from it.
+    StatsPublisher stats;
+    if (statsPlane_ != nullptr) {
+        stats = statsPlane_->publisher(slot);
+        stats.announce(StatsPhase::Idle);
+    }
+
     unsigned popped = 0;
     uint64_t shard = 0;
     while (!SignalGuard::stopRequested() && ring.tryPop(shard)) {
@@ -109,6 +127,7 @@ WorkerCampaignRunner::workerMain(ShmRing &ring, SharedHeartbeats &beats,
         // Publish the lease BEFORE any injectable step, so the parent
         // can attribute whatever happens next to this shard.
         beats.startShard(slot, shard);
+        stats.beginShard(shard);
         // `fleet.pop` site: a delay here holds the lease without
         // progress (a hang the watchdog must catch); an abort dies
         // holding it (a crash the quarantine policy must attribute).
@@ -122,11 +141,15 @@ WorkerCampaignRunner::workerMain(ShmRing &ring, SharedHeartbeats &beats,
             // ring; only a later round (or resume) can recover it.
             std::raise(SIGKILL);
         }
-        const ShardRecord record =
-            body(static_cast<unsigned>(shard), shards);
+        const ShardRecord record = body(static_cast<unsigned>(shard),
+                                        shards,
+                                        stats.enabled() ? &stats : nullptr);
+        stats.setPhase(StatsPhase::Committing);
         log.commit(record);
         beats.finishShard(slot);
+        stats.endShard();
     }
+    stats.setPhase(StatsPhase::Done);
     return 0;
 }
 
@@ -155,8 +178,16 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
                 if (committed.count(shard) != 0)
                     continue;
                 const ShardRecord *record = log.find(unit, shard);
-                if (record != nullptr)
-                    committed.emplace(shard, *record);
+                if (record == nullptr)
+                    continue;
+                committed.emplace(shard, *record);
+                // Slot-attributed RSS: each slot's contribution to the
+                // pool footprint is its max over committed shards (the
+                // gauge is already a per-process peak), and slots sum.
+                int64_t &slot_rss = slotPeakRss_[slot];
+                slot_rss = std::max(
+                    slot_rss,
+                    record->metrics.gaugeValue(kPeakRssGauge));
             }
         }
     };
@@ -210,10 +241,9 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
         {
             pid_t pid = -1;
             bool running = true;
-            uint64_t lastBeat = 0;
-            Clock::TimePoint lastProgress;
         };
         std::vector<Supervised> supervised(live);
+        HeartbeatMonitor monitor(clock, live, options_.watchdogMs);
         for (unsigned slot = 0; slot < live; ++slot) {
             beats.reset(slot);
             supervised[slot].pid = spawnProcess(
@@ -221,7 +251,7 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
                     return workerMain(ring, beats, body, slot, shards,
                                       round);
                 });
-            supervised[slot].lastProgress = clock.now();
+            monitor.arm(slot);
             SignalGuard::adoptChild(supervised[slot].pid);
         }
 
@@ -242,6 +272,11 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
                     if (status->ok())
                         continue;
                     ++failures;
+                    // Supervision verdict for observers: the worker is
+                    // gone, so its slot would otherwise freeze showing
+                    // a stale Running phase.
+                    if (statsPlane_ != nullptr)
+                        statsPlane_->markPhase(slot, StatsPhase::Crashed);
                     std::string cause;
                     if (status->signaled)
                         cause = "killed by signal " +
@@ -265,16 +300,7 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
                     }
                     continue;
                 }
-                if (options_.watchdogMs == 0)
-                    continue;
-                const uint64_t beat = beats.beats(slot);
-                if (beat != sup.lastBeat) {
-                    sup.lastBeat = beat;
-                    sup.lastProgress = clock.now();
-                    continue;
-                }
-                if (clock.elapsedMs(sup.lastProgress) <
-                    options_.watchdogMs)
+                if (!monitor.stale(slot, beats.beats(slot)))
                     continue;
                 // Stalled: no beat within the deadline. SIGKILL and let
                 // the normal reap path attribute the in-flight shard.
@@ -286,10 +312,12 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
                 ++workersStalled_;
                 if (metrics != nullptr)
                     metrics->counter("fleet.workers_stalled").add(1);
+                if (statsPlane_ != nullptr)
+                    statsPlane_->markPhase(slot, StatsPhase::Stalled);
                 killProcess(sup.pid, SIGKILL);
                 // Restart the staleness window so the kill is not
                 // re-issued every poll until the reap lands.
-                sup.lastProgress = clock.now();
+                monitor.arm(slot);
             }
             if (running > 0)
                 clock.sleepFor(
@@ -312,6 +340,8 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
                 ++shardsQuarantined_;
                 if (metrics != nullptr)
                     metrics->counter("fleet.shards_quarantined").add(1);
+                if (statsPlane_ != nullptr)
+                    statsPlane_->noteQuarantine();
                 CheckpointLog supervisor(supervisorLogPath(basePath_),
                                          fingerprint_,
                                          /*resume=*/fileExists(
@@ -352,6 +382,9 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
     // RSS gauge merges with max semantics, so it is stripped from the
     // snapshot before the additive absorb. Quarantined shards have no
     // record — they are reported, never silently dropped.
+    const ProfilePhase profile_merge(ProfilePhaseId::Merge);
+    if (statsPlane_ != nullptr)
+        statsPlane_->markPhase(0, StatsPhase::Merging);
     for (unsigned shard = 0; shard < shards; ++shard) {
         if (quarantined.count(shard) != 0) {
             result.quarantinedShards.push_back(shard);
@@ -367,11 +400,22 @@ WorkerCampaignRunner::runUnitImpl(const std::string &unit,
     }
     result.shardsRun = shards - result.shardsResumed -
                        static_cast<unsigned>(quarantined.size());
+    if (statsPlane_ != nullptr)
+        statsPlane_->markPhase(0, StatsPhase::Done);
     if (!result.quarantinedShards.empty())
         warn("fleet: unit '" + unit + "' merged WITHOUT " +
              std::to_string(result.quarantinedShards.size()) +
              " quarantined shard(s); the summary is partial");
     return result;
+}
+
+int64_t
+WorkerCampaignRunner::workerSumRssBytes() const
+{
+    int64_t sum = 0;
+    for (const auto &[slot, rss] : slotPeakRss_)
+        sum += rss;
+    return sum;
 }
 
 CampaignResult
@@ -384,7 +428,8 @@ WorkerCampaignRunner::runUnit(const std::string &unit,
     if (run_options.tracer != nullptr)
         fatal("fleet: worker mode does not support tracing");
 
-    const ShardBody body = [&](unsigned shard, unsigned shards) {
+    const ShardBody body = [&](unsigned shard, unsigned shards,
+                               StatsPublisher *stats) {
         const uint64_t first =
             CampaignRunner::shardFirstTrial(trials, shards, shard);
         const uint64_t end =
@@ -402,6 +447,7 @@ WorkerCampaignRunner::runUnit(const std::string &unit,
         shard_options.progress = false;
         shard_options.metrics =
             run_options.metrics != nullptr ? &shard_metrics : nullptr;
+        shard_options.stats = stats;
 
         Clock &clock = Clock::steady();
         const Clock::TimePoint start = clock.now();
@@ -425,7 +471,8 @@ WorkerCampaignRunner::runUnitFleet(const std::string &unit,
                                    unsigned trials, uint64_t seed,
                                    const FleetTrialOptions &run_options)
 {
-    const ShardBody body = [&](unsigned shard, unsigned shards) {
+    const ShardBody body = [&](unsigned shard, unsigned shards,
+                               StatsPublisher *stats) {
         const uint64_t first =
             CampaignRunner::shardFirstTrial(trials, shards, shard);
         const uint64_t end =
@@ -443,6 +490,7 @@ WorkerCampaignRunner::runUnitFleet(const std::string &unit,
         shard_options.progress = false;
         shard_options.metrics =
             run_options.metrics != nullptr ? &shard_metrics : nullptr;
+        shard_options.stats = stats;
 
         Clock &clock = Clock::steady();
         const Clock::TimePoint start = clock.now();

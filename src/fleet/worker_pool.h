@@ -32,6 +32,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 
 #include "campaign/campaign.h"
@@ -42,12 +44,22 @@ namespace relaxfault {
 
 class SharedHeartbeats;
 class ShmRing;
+class StatsPlane;
+class StatsPublisher;
 
 /**
  * Gauge stamped by every worker (and by `BenchReport`) with the
- * process's peak RSS in bytes. Merged with max — not add — semantics:
- * the pool strips it from absorbed snapshots and exposes the max via
- * `workerPeakRssBytes()`.
+ * process's peak RSS in bytes.
+ *
+ * Fold semantics (tested in `tests/test_observability.cc`): the gauge
+ * is a per-process *peak*, so it must never be summed by the additive
+ * snapshot absorb. The pool strips it from every absorbed snapshot
+ * (`MetricsSnapshot::takeGauge`) and folds it two ways:
+ *  - max across all merged shards → `workerPeakRssBytes()` — the
+ *    largest single process (`peak_rss_bytes` in bench JSON);
+ *  - max per worker slot, then sum across slots →
+ *    `workerSumRssBytes()` — the pool's aggregate footprint
+ *    (`sum_rss_bytes` in fleet bench JSON).
  */
 inline constexpr const char *kPeakRssGauge = "sim.peak_rss_bytes";
 
@@ -112,6 +124,17 @@ struct WorkerOptions
     unsigned quarantineAfter = 0;
 
     /**
+     * Live-stats plane path (`--stats-plane`): non-empty makes the
+     * pool create a `StatsPlane` there before the first fork, with one
+     * slot per worker. Workers publish shard/phase/rate/heartbeat into
+     * their slot; the parent stamps supervision verdicts (Stalled,
+     * Crashed) and quarantine counts; observers (`tools/fleet_top`)
+     * attach read-only at any time. Empty disables (the default — zero
+     * overhead).
+     */
+    std::string statsPath;
+
+    /**
      * Parent-side time source for watchdog staleness and poll sleeps.
      * Null uses the real `Clock::steady()`. (Workers never share it —
      * staleness is measured on beat *counters*, so no clock ever
@@ -169,6 +192,15 @@ class WorkerCampaignRunner
     /** Max peak RSS any merged worker shard reported, in bytes. */
     int64_t workerPeakRssBytes() const { return workerPeakRss_; }
 
+    /**
+     * Sum over worker slots of each slot's own peak RSS, in bytes —
+     * the pool's aggregate footprint, complementing the per-process
+     * max of `workerPeakRssBytes()`. Each slot contributes its max
+     * over the shards it committed (fold documented on
+     * `kPeakRssGauge`: max within a process, sum across processes).
+     */
+    int64_t workerSumRssBytes() const;
+
     /** Workers the watchdog SIGKILLed over this runner's lifetime. */
     uint64_t workersStalled() const { return workersStalled_; }
 
@@ -194,9 +226,12 @@ class WorkerCampaignRunner
         SignalGuard::kMaxForwardedChildren;
 
   private:
-    /** Runs one shard start-to-finish; executed inside a worker. */
-    using ShardBody =
-        std::function<ShardRecord(unsigned shard, unsigned shards)>;
+    /**
+     * Runs one shard start-to-finish; executed inside a worker.
+     * @p stats is the worker's live-stats slot (null when no plane).
+     */
+    using ShardBody = std::function<ShardRecord(
+        unsigned shard, unsigned shards, StatsPublisher *stats)>;
 
     CampaignResult runUnitImpl(const std::string &unit, unsigned trials,
                                MetricRegistry *metrics,
@@ -212,7 +247,9 @@ class WorkerCampaignRunner
     SignalGuard guard_;
     std::string basePath_;
     std::string tempDir_;   ///< Non-empty: remove on destruction.
+    std::unique_ptr<StatsPlane> statsPlane_;  ///< Null when disabled.
     int64_t workerPeakRss_ = 0;
+    std::map<unsigned, int64_t> slotPeakRss_;  ///< Slot -> its peak RSS.
     uint64_t workersStalled_ = 0;
     uint64_t shardsQuarantined_ = 0;
 };

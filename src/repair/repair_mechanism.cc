@@ -1,6 +1,7 @@
 #include "repair/repair_mechanism.h"
 
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "tracing/tracer.h"
 
 namespace relaxfault {
@@ -16,6 +17,7 @@ RepairMechanism::publishTelemetry(MetricRegistry &registry) const
 bool
 RepairMechanism::tracedRepair(const FaultRecord &fault, TraceSink *trace)
 {
+    const ProfilePhase profile(ProfilePhaseId::Repair);
     if (trace == nullptr)
         return tryRepair(fault);
     const TraceSpan span(trace, TracePhase::RepairAttempt);

@@ -9,6 +9,8 @@
 #include "dram/address_map.h"
 #include "repair/page_retirement.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+#include "telemetry/stats_plane.h"
 #include "tracing/trace_payloads.h"
 #include "tracing/tracer.h"
 
@@ -481,6 +483,7 @@ LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
                                   TraceSink *trace) const
 {
     const TraceSpan trial_span(trace, TracePhase::Trial);
+    const ProfilePhase profile_trial(ProfilePhaseId::Trial);
     NodeFaultSampler sampler(config_.faultModel);
     std::unique_ptr<RepairMechanism> mechanism;
     if (factory)
@@ -499,11 +502,16 @@ LifetimeSimulator::runSystemTrial(const MechanismFactory &factory,
 
     LifetimeMetrics metrics;
     for (unsigned n = 0; n < config_.nodesPerSystem; ++n) {
-        const NodeSample node = sampler.sampleNode(rng);
+        NodeSample node;
+        {
+            const ProfilePhase profile(ProfilePhaseId::NodeSample);
+            node = sampler.sampleNode(rng);
+        }
         if (retirement != nullptr)
             retirement->reset();
         if (trace != nullptr)
             trace->setNode(n);
+        const ProfilePhase profile(ProfilePhaseId::NodeSim);
         simulateNode(node, mechanism.get(), retirement.get(), metrics,
                      rng, telemetry, audit, trace);
     }
@@ -536,7 +544,9 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
     // stream depends only on the trial's global index — never on which
     // range, shard, or thread executed it.
     std::vector<LifetimeMetrics> per_trial(count);
-    ProgressMeter meter(options.progressLabel, count, options.progress);
+    ProgressMeter meter(options.progressLabel, count, options.progress,
+                        options.clock);
+    StatsPublisher *const stats = options.stats;
 
     // Hoisted counter handles shared with the fleet engine; SDC
     // expectations fold as integer micro-units so the merged counters
@@ -566,6 +576,8 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
             // bit-identical to per-trial recording.
             HistogramBatch trial_us_batch(h_trial_us);
             for (size_t t = begin; t < end; ++t) {
+                if (stats != nullptr)
+                    stats->trialStarted();
                 Rng trial_rng = Rng::forkAt(seed, first_trial + t);
                 if (sink != nullptr)
                     sink->beginTrial(first_trial + t);
@@ -587,6 +599,8 @@ LifetimeSimulator::runTrialRange(uint64_t first_trial, unsigned count,
                 if (audit_ptr != nullptr)
                     fold.foldAudit(audit_state.checks,
                                    audit_state.violations);
+                if (stats != nullptr)
+                    stats->trialFinished();
                 meter.tick();
             }
         },

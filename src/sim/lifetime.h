@@ -36,10 +36,12 @@
 
 namespace relaxfault {
 
+class Clock;
 class Counter;
 class Log2Histogram;
 class MetricRegistry;
 class PageRetirement;
+class StatsPublisher;
 class Tracer;
 class TraceSink;
 struct TrialAuditState;
@@ -204,6 +206,23 @@ struct TrialRunOptions
 
     /** Unit id (Tracer::registerUnit) trace events are attributed to. */
     uint16_t traceUnit = 0;
+
+    /**
+     * Optional live-stats sink (`src/telemetry/stats_plane.h`). The
+     * trial loop calls `trialStarted`/`trialFinished` around each trial
+     * — relaxed atomic adds into a shared-memory slot observers sample
+     * without coordination. Null is the disabled path (one predictable
+     * branch per trial); publishing consumes no RNG, so results stay
+     * bit-identical with the plane on or off.
+     */
+    StatsPublisher *stats = nullptr;
+
+    /**
+     * Clock the progress meter reads (null = the real steady clock).
+     * Injectable so progress-rate arithmetic is testable with a
+     * `FakeClock`; never consulted unless `progress` is on.
+     */
+    Clock *clock = nullptr;
 };
 
 /**

@@ -1,0 +1,234 @@
+#include "telemetry/bench_compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "telemetry/json_reader.h"
+
+namespace relaxfault {
+
+namespace {
+
+bool
+endsWith(const std::string &text, const char *suffix)
+{
+    const size_t n = std::char_traits<char>::length(suffix);
+    return text.size() >= n &&
+           text.compare(text.size() - n, n, suffix) == 0;
+}
+
+/** Row identity: every string cell, in order, '/'-joined. */
+std::string
+rowIdentity(const JsonValue &row)
+{
+    std::string id;
+    for (const auto &[key, value] : row.members()) {
+        if (!value.isString())
+            continue;
+        if (!id.empty())
+            id += '/';
+        id += value.string();
+    }
+    return id.empty() ? "(row)" : id;
+}
+
+std::string
+formatNumber(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+}
+
+} // namespace
+
+MetricDirection
+benchMetricDirection(const std::string &key)
+{
+    // Suffix rules so qualified names match too (worker_peak_rss_bytes,
+    // fill_ns_per_op). Latencies, durations, and footprints: lower is
+    // better. Throughputs: higher is better. Everything else is a
+    // scientific output and informational by design.
+    if (endsWith(key, "ns_per_op") || endsWith(key, "elapsed_ms") ||
+        endsWith(key, "duration_ms") || endsWith(key, "peak_rss_bytes") ||
+        endsWith(key, "sum_rss_bytes"))
+        return MetricDirection::LowerBetter;
+    if (endsWith(key, "trials_per_sec") || endsWith(key, "nodes_per_sec") ||
+        endsWith(key, "per_sec") || endsWith(key, "ops_per_s"))
+        return MetricDirection::HigherBetter;
+    return MetricDirection::Informational;
+}
+
+std::vector<BenchDelta>
+BenchCompareResult::regressions() const
+{
+    std::vector<BenchDelta> out;
+    for (const BenchDelta &delta : deltas) {
+        if (delta.regression)
+            out.push_back(delta);
+    }
+    return out;
+}
+
+BenchCompareResult
+compareBenchRecords(const JsonValue &baseline, const JsonValue &candidate,
+                    const BenchCompareOptions &options)
+{
+    BenchCompareResult result;
+    if (const JsonValue *bench = baseline.find("bench");
+        bench != nullptr && bench->isString())
+        result.bench = bench->string();
+
+    const JsonValue *base_rows = baseline.find("results");
+    const JsonValue *cand_rows = candidate.find("results");
+    if (base_rows == nullptr || !base_rows->isArray() ||
+        cand_rows == nullptr || !cand_rows->isArray()) {
+        result.notes.push_back("missing results array; nothing compared");
+        return result;
+    }
+
+    // Index candidate rows by identity; first occurrence wins (bench
+    // rows are unique by construction — panel/mechanism/unit columns).
+    std::map<std::string, const JsonValue *> cand_index;
+    for (const JsonValue &row : cand_rows->array()) {
+        if (row.isObject())
+            cand_index.emplace(rowIdentity(row), &row);
+    }
+
+    for (const JsonValue &base_row : base_rows->array()) {
+        if (!base_row.isObject())
+            continue;
+        const std::string unit = rowIdentity(base_row);
+        const auto it = cand_index.find(unit);
+        if (it == cand_index.end()) {
+            result.notes.push_back("row '" + unit +
+                                   "' missing from candidate");
+            continue;
+        }
+        const JsonValue &cand_row = *it->second;
+
+        for (const auto &[key, base_cell] : base_row.members()) {
+            if (!base_cell.isNumber())
+                continue;
+            const JsonValue *cand_cell = cand_row.find(key);
+            if (cand_cell == nullptr || !cand_cell->isNumber()) {
+                result.notes.push_back("column '" + unit + "." + key +
+                                       "' missing from candidate");
+                continue;
+            }
+
+            BenchDelta delta;
+            delta.unit = unit;
+            delta.key = key;
+            delta.baseline = base_cell.number();
+            delta.candidate = cand_cell->number();
+            delta.direction = benchMetricDirection(key);
+
+            const double base = delta.baseline;
+            const double cand = delta.candidate;
+            switch (delta.direction) {
+              case MetricDirection::LowerBetter:
+                delta.worseRatio = base > 0.0
+                    ? cand / base
+                    : (cand > 0.0 ? std::numeric_limits<
+                                        double>::infinity()
+                                  : 1.0);
+                break;
+              case MetricDirection::HigherBetter:
+                delta.worseRatio = cand > 0.0
+                    ? base / cand
+                    : (base > 0.0 ? std::numeric_limits<
+                                        double>::infinity()
+                                  : 1.0);
+                break;
+              case MetricDirection::Informational:
+                delta.worseRatio = base != 0.0 ? cand / base : 1.0;
+                break;
+            }
+
+            if (delta.direction != MetricDirection::Informational &&
+                delta.worseRatio >= options.failRatio) {
+                // Sub-noise-floor ns metrics never fail: a 1ns -> 3ns
+                // move is a cache effect, not a regression.
+                const bool under_floor =
+                    options.minNs > 0.0 && endsWith(key, "ns_per_op") &&
+                    base < options.minNs && cand < options.minNs;
+                if (!under_floor) {
+                    delta.regression = true;
+                    result.regressed = true;
+                }
+            }
+            result.deltas.push_back(delta);
+        }
+    }
+    return result;
+}
+
+std::string
+renderBenchDiffMarkdown(const std::vector<BenchCompareResult> &results,
+                        const BenchCompareOptions &options)
+{
+    size_t regressions = 0, compared = 0;
+    for (const BenchCompareResult &result : results) {
+        compared += result.deltas.size();
+        regressions += result.regressions().size();
+    }
+
+    std::string out = "# bench_diff\n\n";
+    out += regressions == 0 ? "**PASS**" : "**FAIL**";
+    out += ": " + std::to_string(compared) + " metric(s) compared, " +
+           std::to_string(regressions) + " regression(s) (fail ratio " +
+           formatNumber(options.failRatio) + "x";
+    if (options.minNs > 0.0)
+        out += ", ns floor " + formatNumber(options.minNs) + "ns";
+    out += ").\n";
+
+    if (regressions != 0) {
+        out += "\n## Regressions\n\n"
+               "| bench | unit | metric | baseline | candidate | worse |\n"
+               "|---|---|---|---|---|---|\n";
+        for (const BenchCompareResult &result : results) {
+            for (const BenchDelta &delta : result.regressions()) {
+                out += "| " + result.bench + " | " + delta.unit + " | " +
+                       delta.key + " | " + formatNumber(delta.baseline) +
+                       " | " + formatNumber(delta.candidate) + " | " +
+                       formatNumber(delta.worseRatio) + "x |\n";
+            }
+        }
+    }
+
+    // Everything directional that moved past 10% — context for the
+    // reviewer, not part of the verdict.
+    std::string moved;
+    for (const BenchCompareResult &result : results) {
+        for (const BenchDelta &delta : result.deltas) {
+            if (delta.regression ||
+                delta.direction == MetricDirection::Informational ||
+                std::fabs(delta.worseRatio - 1.0) < 0.10)
+                continue;
+            moved += "| " + result.bench + " | " + delta.unit + " | " +
+                     delta.key + " | " + formatNumber(delta.baseline) +
+                     " | " + formatNumber(delta.candidate) + " | " +
+                     formatNumber(delta.worseRatio) + "x |\n";
+        }
+    }
+    if (!moved.empty()) {
+        out += "\n## Moved >10% (within threshold)\n\n"
+               "| bench | unit | metric | baseline | candidate | worse |\n"
+               "|---|---|---|---|---|---|\n" +
+               moved;
+    }
+
+    std::string notes;
+    for (const BenchCompareResult &result : results) {
+        for (const std::string &note : result.notes)
+            notes += "- " + result.bench + ": " + note + "\n";
+    }
+    if (!notes.empty())
+        out += "\n## Notes\n\n" + notes;
+    return out;
+}
+
+} // namespace relaxfault

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Comparison engine behind `tools/bench_diff`.
+ *
+ * Takes two parsed `relaxfault.bench.v1` records — a baseline and a
+ * candidate — matches their result rows by string-cell identity, and
+ * classifies every shared numeric column. Performance metrics carry a
+ * direction (`ns_per_op` lower is better, `trials_per_sec` higher is
+ * better); a candidate worse than the baseline by at least the
+ * configured factor is a regression and makes the whole comparison
+ * fail. Scientific outputs (DUE rates, coverage fractions, repair
+ * probabilities) are *informational*: they are reported when they
+ * drift, but they never gate CI here — correctness of those values is
+ * the job of the deterministic simulation tests, not a ratio threshold.
+ *
+ * The engine is a library (not buried in the tool) so the threshold
+ * rules are unit-testable against synthetic fixtures — e.g. "a 2x
+ * `ns_per_op` regression must fail" — without spawning processes.
+ */
+
+#ifndef RELAXFAULT_TELEMETRY_BENCH_COMPARE_H
+#define RELAXFAULT_TELEMETRY_BENCH_COMPARE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relaxfault {
+
+class JsonValue;
+
+/** How a numeric bench column is judged. */
+enum class MetricDirection : uint8_t
+{
+    LowerBetter,    ///< Latency, duration, footprint.
+    HigherBetter,   ///< Throughput.
+    Informational,  ///< Scientific output; reported, never gating.
+};
+
+/** Direction of result column @p key (suffix-matched rule table). */
+MetricDirection benchMetricDirection(const std::string &key);
+
+/** Threshold rules for one comparison. */
+struct BenchCompareOptions
+{
+    /**
+     * A directional metric worse by at least this factor is a
+     * regression (2.0 = "at most 2x worse passes"); must be > 1.
+     */
+    double failRatio = 2.0;
+
+    /**
+     * Noise floor for nanosecond-scale metrics (`*ns_per_op`): when
+     * baseline AND candidate are below this many ns, ratio noise on a
+     * sub-ns path cannot fail the comparison. 0 disables the floor.
+     */
+    double minNs = 0.0;
+};
+
+/** One (row, column) pair present in both records. */
+struct BenchDelta
+{
+    std::string unit;  ///< Row identity: its string cells joined by '/'.
+    std::string key;   ///< Numeric column name.
+    double baseline = 0.0;
+    double candidate = 0.0;
+    /** candidate/baseline for LowerBetter, baseline/candidate for
+     *  HigherBetter, plain candidate/baseline for Informational. */
+    double worseRatio = 1.0;
+    MetricDirection direction = MetricDirection::Informational;
+    bool regression = false;
+};
+
+/** Full outcome of comparing two bench records. */
+struct BenchCompareResult
+{
+    std::string bench;               ///< Bench name (from the baseline).
+    std::vector<BenchDelta> deltas;  ///< Every shared numeric cell.
+    std::vector<std::string> notes;  ///< Rows/columns only one side has.
+    bool regressed = false;
+
+    /** Deltas flagged as regressions, in input order. */
+    std::vector<BenchDelta> regressions() const;
+};
+
+/**
+ * Compare two parsed `relaxfault.bench.v1` documents. Rows are matched
+ * by the ordered concatenation of their string-valued cells (e.g.
+ * `"1x-fit/RelaxFault"`); rows or numeric columns present on only one
+ * side become notes, never errors — a bench gaining a column must not
+ * fail the gate retroactively.
+ */
+BenchCompareResult compareBenchRecords(const JsonValue &baseline,
+                                       const JsonValue &candidate,
+                                       const BenchCompareOptions &options);
+
+/**
+ * Render @p results (one comparison per artifact pair) as a Markdown
+ * report: a verdict line, a table of regressions, and a collapsed
+ * summary of everything else that moved.
+ */
+std::string renderBenchDiffMarkdown(
+    const std::vector<BenchCompareResult> &results,
+    const BenchCompareOptions &options);
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TELEMETRY_BENCH_COMPARE_H

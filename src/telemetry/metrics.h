@@ -354,6 +354,16 @@ class MetricRegistry
     /** Emit the snapshot as one JSON object (counters/gauges/histograms). */
     void writeJson(JsonWriter &writer) const;
 
+    /**
+     * Render the snapshot in OpenMetrics text format: counters as
+     * `<name>_total`, gauges as gauges, histograms as exemplar-free
+     * summaries (p50/p90/p99 bucket upper bounds plus `_count`/`_sum`),
+     * terminated by `# EOF`. Names are prefixed `relaxfault_` and
+     * sanitized to the OpenMetrics charset (`sim.trial_us` becomes
+     * `relaxfault_sim_trial_us`). See openmetrics.cc.
+     */
+    std::string renderOpenMetrics() const;
+
     /** Human-readable dump, one metric per line. */
     void printSummary(std::ostream &os) const;
 

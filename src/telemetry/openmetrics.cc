@@ -1,0 +1,151 @@
+#include "telemetry/openmetrics.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/fs.h"
+#include "common/log.h"
+#include "telemetry/metrics.h"
+
+namespace relaxfault {
+
+namespace {
+
+/**
+ * OpenMetrics metric name: `relaxfault_` + the registry name with every
+ * character outside [a-zA-Z0-9_:] mapped to '_' (the repo's dotted
+ * names become the conventional underscore form).
+ */
+std::string
+openMetricsName(const std::string &name)
+{
+    std::string out = "relaxfault_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void
+appendValue(std::string &out, uint64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+    out += buffer;
+}
+
+void
+appendValue(std::string &out, int64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+    out += buffer;
+}
+
+} // namespace
+
+std::string
+MetricRegistry::renderOpenMetrics() const
+{
+    const MetricsSnapshot snapshot = this->snapshot();
+    std::string out;
+    out.reserve(4096);
+
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::string om = openMetricsName(name);
+        out += "# TYPE " + om + " counter\n";
+        out += om + "_total ";
+        appendValue(out, value);
+        out += '\n';
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::string om = openMetricsName(name);
+        out += "# TYPE " + om + " gauge\n";
+        out += om + ' ';
+        appendValue(out, value);
+        out += '\n';
+    }
+    for (const auto &[name, histogram] : snapshot.histograms) {
+        // Exemplar-free summary: quantile upper bounds are bucket
+        // bounds (exact to within one power of two), count and sum are
+        // exact integers.
+        const std::string om = openMetricsName(name);
+        out += "# TYPE " + om + " summary\n";
+        for (const double q : {0.5, 0.9, 0.99}) {
+            char label[32];
+            std::snprintf(label, sizeof(label), "%g", q);
+            out += om + "{quantile=\"" + label + "\"} ";
+            appendValue(out, histogram.quantileUpperBound(q));
+            out += '\n';
+        }
+        out += om + "_count ";
+        appendValue(out, histogram.count);
+        out += '\n';
+        out += om + "_sum ";
+        appendValue(out, histogram.sum);
+        out += '\n';
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+OpenMetricsExporter::OpenMetricsExporter(const MetricRegistry &registry,
+                                         std::string path,
+                                         uint64_t periodMs)
+    : registry_(registry), path_(std::move(path)), periodMs_(periodMs)
+{
+    if (periodMs_ != 0)
+        thread_ = std::thread([this]() { run(); });
+}
+
+OpenMetricsExporter::~OpenMetricsExporter()
+{
+    stop();
+}
+
+void
+OpenMetricsExporter::writeNow()
+{
+    const std::string text = registry_.renderOpenMetrics();
+    if (const IoResult io = atomicWriteFile(path_, text); !io)
+        fatal("cannot write --metrics-out file: " + io.describe(path_));
+    written_.fetch_add(1);
+}
+
+void
+OpenMetricsExporter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    writeNow();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+}
+
+void
+OpenMetricsExporter::run()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        wake_.wait_for(lock, std::chrono::milliseconds(periodMs_));
+        if (stopping_)
+            break;
+        lock.unlock();
+        writeNow();
+        lock.lock();
+    }
+}
+
+} // namespace relaxfault

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Periodic OpenMetrics snapshot exporter for live campaigns.
+ *
+ * `--metrics-out=PATH[:PERIOD_MS]` asks a bench to publish its
+ * `MetricRegistry` as an OpenMetrics text file: once at the end of the
+ * run (no period), or every PERIOD_MS while it runs. Every publish goes
+ * through `atomicWriteFile` (write-tmp, fsync, rename), so a scraper —
+ * `promtool`, a node-exporter textfile collector, `curl` from a
+ * sidecar — always reads a complete snapshot, never a torn one.
+ *
+ * The exporter owns one background thread that sleeps on a condition
+ * variable; it reads the registry through the same lock-free snapshot
+ * path every other reader uses, so exporting cannot perturb the
+ * simulation (and a registry snapshot is deterministic for a given
+ * trial prefix). `stop()` (or destruction) joins the thread and writes
+ * one final snapshot, so the artifact always reflects the finished run.
+ */
+
+#ifndef RELAXFAULT_TELEMETRY_OPENMETRICS_H
+#define RELAXFAULT_TELEMETRY_OPENMETRICS_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace relaxfault {
+
+class MetricRegistry;
+
+/** Background OpenMetrics snapshot writer (see file comment). */
+class OpenMetricsExporter
+{
+  public:
+    /**
+     * @p periodMs == 0 disables the background thread: the only
+     * snapshot is the final one written by `stop()`.
+     */
+    OpenMetricsExporter(const MetricRegistry &registry, std::string path,
+                        uint64_t periodMs);
+
+    ~OpenMetricsExporter();
+
+    OpenMetricsExporter(const OpenMetricsExporter &) = delete;
+    OpenMetricsExporter &operator=(const OpenMetricsExporter &) = delete;
+
+    /** Render and atomically publish one snapshot now (fatal on I/O). */
+    void writeNow();
+
+    /** Join the background thread and publish the final snapshot. */
+    void stop();
+
+    const std::string &path() const { return path_; }
+
+    /** Snapshots published so far (including the final one). */
+    uint64_t snapshotsWritten() const { return written_.load(); }
+
+  private:
+    void run();
+
+    const MetricRegistry &registry_;
+    std::string path_;
+    uint64_t periodMs_;
+    std::atomic<uint64_t> written_{0};
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    bool stopped_ = false;
+    std::thread thread_;
+};
+
+} // namespace relaxfault
+
+#endif // RELAXFAULT_TELEMETRY_OPENMETRICS_H

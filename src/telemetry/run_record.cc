@@ -30,6 +30,19 @@ runTimestampMs()
             .count());
 }
 
+void
+writeProvenance(JsonWriter &writer)
+{
+    writer.key("git_rev").value(runGitRev());
+    writer.key("timestamp_ms").value(runTimestampMs());
+}
+
+std::string
+toolVersionLine(const std::string &tool)
+{
+    return tool + " " + runGitRev();
+}
+
 ResultRow::Cell &
 ResultRow::cell(const std::string &key, Kind kind)
 {

@@ -38,6 +38,22 @@ std::string runGitRev();
 uint64_t runTimestampMs();
 
 /**
+ * Emit the shared provenance keys — `git_rev` and `timestamp_ms` — into
+ * an open JSON object. Every JSON artifact family (bench records,
+ * trace exports, map-infer reports, fleet-top snapshots) stamps these
+ * two keys through this one helper, so artifacts produced by the same
+ * build are correlatable by revision with identical key spelling.
+ */
+void writeProvenance(JsonWriter &writer);
+
+/**
+ * One-line `--version` output shared by the CLI tools:
+ * "<tool> <git-rev>". Tools print it and exit 0, so operators (and CI)
+ * can verify an artifact and the tool reading it came from one build.
+ */
+std::string toolVersionLine(const std::string &tool);
+
+/**
  * One named result row: an ordered list of key/value cells, where each
  * value remembers whether it was a string, integer, double, or bool so
  * JSON output preserves types.

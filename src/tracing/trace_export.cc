@@ -5,6 +5,7 @@
 #include "common/fs.h"
 #include "telemetry/json_reader.h"
 #include "telemetry/json_writer.h"
+#include "telemetry/run_record.h"
 #include "tracing/tracer.h"
 
 namespace relaxfault {
@@ -80,6 +81,7 @@ writeChromeTrace(const Tracer &tracer, JsonWriter &writer)
     writer.key("schema").value(kTraceSchema);
     writer.key("displayTimeUnit").value("ms");
     writer.key("otherData").beginObject();
+    writeProvenance(writer);
     writer.key("recorded_events").value(tracer.recorded());
     writer.key("dropped_events").value(tracer.dropped());
     writer.key("filter").value(traceFilterSpec(tracer.config().filter));

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Bench artifact regression gate: diff two `relaxfault.bench.v1` JSON
+ * artifacts (or two directories of them) and fail on a perf regression.
+ *
+ *   bench_diff BASELINE.json CANDIDATE.json
+ *   bench_diff baseline_dir/ candidate_dir/ --fail-ratio=2 --min-ns=1
+ *   bench_diff old.json new.json --out=REPORT.md
+ *
+ * Rows are matched by their string-cell identity, and each shared
+ * numeric column is judged by the suffix-matched direction table in
+ * `telemetry/bench_compare.h`: latency/footprint columns must not grow
+ * by the fail ratio, throughput columns must not shrink by it, and
+ * scientific outputs (DUE rates, coverage) are reported but never gate
+ * — their correctness is the deterministic tests' job. Exit status is
+ * nonzero iff any comparison regressed, so the tool drops straight into
+ * CI; the Markdown report (stdout, or `--out`) is the human half.
+ *
+ * Directory mode pairs files by name: a file present on only one side
+ * is a note, not a failure — new benches must not fail the gate
+ * retroactively.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/fs.h"
+#include "common/log.h"
+#include "telemetry/bench_compare.h"
+#include "telemetry/json_reader.h"
+#include "telemetry/run_record.h"
+
+using namespace relaxfault;
+
+namespace {
+
+/** One side's artifacts: path + parsed JSON-lines records. */
+struct Artifact
+{
+    std::string name;  ///< Pairing key (file name in directory mode).
+    std::string path;
+    std::vector<JsonParseResult> records;
+};
+
+Artifact
+loadArtifact(const std::string &name, const std::string &path)
+{
+    Artifact artifact;
+    artifact.name = name;
+    artifact.path = path;
+    std::string text;
+    if (const IoResult io = readFile(path, text); !io)
+        fatal("bench_diff: " + io.describe(path));
+    for (const std::string &line : splitLines(text)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonParseResult parsed = parseJson(line);
+        if (!parsed.ok)
+            fatal("bench_diff: " + path + ": " + parsed.error);
+        artifact.records.push_back(std::move(parsed));
+    }
+    if (artifact.records.empty())
+        fatal("bench_diff: " + path + ": no JSON records");
+    return artifact;
+}
+
+/** Expand a file-or-directory argument into named artifacts. */
+std::vector<Artifact>
+loadSide(const std::string &path)
+{
+    std::vector<Artifact> artifacts;
+    if (std::filesystem::is_directory(path)) {
+        std::vector<std::string> names;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(path)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".json")
+                names.push_back(entry.path().filename().string());
+        }
+        std::sort(names.begin(), names.end());
+        for (const std::string &name : names)
+            artifacts.push_back(loadArtifact(
+                name, (std::filesystem::path(path) / name).string()));
+        if (artifacts.empty())
+            fatal("bench_diff: " + path + ": no .json artifacts");
+    } else {
+        artifacts.push_back(loadArtifact(
+            std::filesystem::path(path).filename().string(), path));
+    }
+    return artifacts;
+}
+
+const JsonParseResult *
+findRecord(const std::vector<JsonParseResult> &records,
+           const std::string &bench)
+{
+    for (const JsonParseResult &record : records) {
+        const JsonValue *name = record.value.find("bench");
+        if (name != nullptr && name->isString() &&
+            name->string() == bench)
+            return &record;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options(argc, argv,
+                             {"fail-ratio", "min-ns", "out", "version"});
+    if (options.has("version")) {
+        std::cout << toolVersionLine("bench_diff") << "\n";
+        return 0;
+    }
+    if (options.positional().size() != 2)
+        fatal("usage: bench_diff BASELINE CANDIDATE [--fail-ratio=2.0] "
+              "[--min-ns=0] [--out=REPORT.md] [--version]  (each side a "
+              "BENCH_*.json file or a directory of them)");
+    BenchCompareOptions compare;
+    compare.failRatio = options.getDouble("fail-ratio", 2.0);
+    if (compare.failRatio <= 1.0)
+        fatal("bench_diff: --fail-ratio must be > 1");
+    compare.minNs = options.getDouble("min-ns", 0.0);
+
+    const std::vector<Artifact> baselines =
+        loadSide(options.positional()[0]);
+    std::vector<Artifact> candidates =
+        loadSide(options.positional()[1]);
+    // Single file vs single file: the two names ARE the pair, whatever
+    // they are called ("old.json new.json" must just work). Name-based
+    // pairing is for directory mode.
+    if (baselines.size() == 1 && candidates.size() == 1)
+        candidates.front().name = baselines.front().name;
+
+    std::vector<BenchCompareResult> results;
+    std::vector<std::string> unpaired;
+    for (const Artifact &baseline : baselines) {
+        const auto match = std::find_if(
+            candidates.begin(), candidates.end(),
+            [&](const Artifact &candidate) {
+                return candidate.name == baseline.name;
+            });
+        if (match == candidates.end()) {
+            unpaired.push_back("baseline-only artifact: " +
+                               baseline.name);
+            continue;
+        }
+        // Pair records within the artifact by bench name, so multi-line
+        // (JSON Lines) files diff line-for-line even when reordered.
+        for (const JsonParseResult &base_record : baseline.records) {
+            const JsonValue *name = base_record.value.find("bench");
+            const std::string bench =
+                name != nullptr && name->isString() ? name->string()
+                                                    : "?";
+            const JsonParseResult *cand_record =
+                findRecord(match->records, bench);
+            if (cand_record == nullptr) {
+                unpaired.push_back("bench '" + bench + "' (" +
+                                   baseline.name +
+                                   ") missing from candidate");
+                continue;
+            }
+            results.push_back(compareBenchRecords(
+                base_record.value, cand_record->value, compare));
+        }
+    }
+    for (const Artifact &candidate : candidates) {
+        const bool paired = std::any_of(
+            baselines.begin(), baselines.end(),
+            [&](const Artifact &baseline) {
+                return baseline.name == candidate.name;
+            });
+        if (!paired)
+            unpaired.push_back("candidate-only artifact: " +
+                               candidate.name + " (not gated)");
+    }
+    if (results.empty())
+        fatal("bench_diff: no artifact pair matched between " +
+              options.positional()[0] + " and " +
+              options.positional()[1]);
+
+    std::string report = renderBenchDiffMarkdown(results, compare);
+    if (!unpaired.empty()) {
+        report += "\n## Unpaired\n\n";
+        for (const std::string &note : unpaired)
+            report += "- " + note + "\n";
+    }
+    report += "\n_" + toolVersionLine("bench_diff") + "_\n";
+
+    const std::string out_path = options.getString("out", "");
+    if (!out_path.empty()) {
+        if (const IoResult io = atomicWriteFile(out_path, report); !io)
+            fatal("bench_diff: cannot write --out file: " +
+                  io.describe(out_path));
+        inform("wrote " + out_path);
+    } else {
+        std::cout << report;
+    }
+
+    bool regressed = false;
+    for (const BenchCompareResult &result : results)
+        regressed = regressed || result.regressed;
+    if (regressed) {
+        warn("bench_diff: regression(s) at fail-ratio " +
+             std::to_string(compare.failRatio));
+        return 1;
+    }
+    return 0;
+}

@@ -35,6 +35,7 @@
 #include "dram/address_map.h"
 #include "dram/map_infer.h"
 #include "telemetry/json_writer.h"
+#include "telemetry/run_record.h"
 
 using namespace relaxfault;
 
@@ -111,6 +112,7 @@ writeJson(const std::string &path, const std::string &source,
     JsonWriter json(os);
     json.beginObject();
     json.key("schema").value("relaxfault.mapinfer.v1");
+    writeProvenance(json);
     json.key("source").value(source);
     json.key("geometry").value(geometry_name);
     json.key("line_bits")
@@ -198,7 +200,11 @@ main(int argc, char **argv)
     const CliOptions options(argc, argv,
                              {"mapping", "geometry", "observations",
                               "emit-observations", "samples", "probes",
-                              "seed", "json", "list"});
+                              "seed", "json", "list", "version"});
+    if (options.has("version")) {
+        std::cout << toolVersionLine("map_infer") << "\n";
+        return 0;
+    }
     if (options.has("list")) {
         for (const std::string &name : addressMappingNames())
             std::cout << name << "\n";

@@ -34,6 +34,7 @@
 #include "common/table.h"
 #include "faults/fault.h"
 #include "telemetry/metrics.h"
+#include "telemetry/run_record.h"
 #include "tracing/trace_event.h"
 #include "tracing/trace_export.h"
 
@@ -353,7 +354,11 @@ main(int argc, char **argv)
 {
     const CliOptions options(argc, argv,
                              {"summary", "trial", "unit", "degraded",
-                              "last", "phases"});
+                              "last", "phases", "version"});
+    if (options.has("version")) {
+        std::cout << toolVersionLine("trace_query") << "\n";
+        return 0;
+    }
     if (options.positional().empty())
         fatal("usage: trace_query TRACE.json [TRACE.json...] [--summary] "
               "[--trial=N [--unit=LABEL]] [--degraded [--last=K]] "
